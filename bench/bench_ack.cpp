@@ -1,0 +1,71 @@
+// Experiment E2 — Theorem 3.9 / Corollary 3.8: acknowledged broadcast.
+//
+// For every family, B_ack must inform everyone by t <= 2n-3 and deliver the
+// source's first "ack" at t' ∈ [2ℓ-2, 3ℓ-4].  The paper states
+// t' <= t + n - 2; the ℓ = n extremal graphs (end-sourced paths) need
+// t + n - 1 — the table's last column flags exactly those rows (documented
+// discrepancy, see EXPERIMENTS.md).
+#include <cstdio>
+
+#include "analysis/experiments.hpp"
+#include "core/runner.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace radiocast;
+
+  std::printf("Experiment E2: Theorem 3.9 — acknowledged broadcast windows\n\n");
+  par::ThreadPool pool;
+
+  struct Row {
+    std::string family;
+    std::uint32_t n = 0, ell = 0;
+    std::uint64_t t = 0, t_ack = 0;
+    bool in_cor38 = false, in_paper_window = false, in_fixed_window = false;
+  };
+
+  bool all_ok = true;
+  TextTable table({"family", "n", "ell", "t(informed)", "t'(ack)",
+                   "cor3.8[2l-2,3l-4]", "paper t+n-2", "fixed t+n-1"});
+  for (const std::uint32_t n : {16u, 64u, 256u}) {
+    const auto suite = analysis::standard_suite(n, 7 * n);
+    const auto rows = par::parallel_map(pool, suite.size(), [&](std::size_t i) {
+      const auto& w = suite[i];
+      const auto run = core::run_acknowledged(w.graph, w.source);
+      Row r;
+      r.family = w.family;
+      r.n = w.graph.node_count();
+      r.ell = run.ell;
+      r.t = run.completion_round;
+      r.t_ack = run.ack_round;
+      const std::uint64_t ell = run.ell;
+      r.in_cor38 = run.all_informed && run.ack_round >= 2 * ell - 2 &&
+                   run.ack_round <= std::max<std::uint64_t>(3 * ell - 4, 2 * ell - 2);
+      r.in_paper_window = run.ack_round >= r.t + 1 && r.t + r.n >= 2 &&
+                          run.ack_round <= r.t + r.n - 2;
+      r.in_fixed_window =
+          run.ack_round >= r.t + 1 && run.ack_round <= r.t + r.n - 1;
+      return r;
+    });
+    for (const auto& r : rows) {
+      all_ok = all_ok && r.in_cor38 && r.in_fixed_window;
+      table.row()
+          .add(r.family)
+          .add(r.n)
+          .add(r.ell)
+          .add(r.t)
+          .add(r.t_ack)
+          .add(r.in_cor38 ? "yes" : "NO")
+          .add(r.in_paper_window ? "yes" : "no (l=n)")
+          .add(r.in_fixed_window ? "yes" : "NO");
+    }
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("paper: t <= 2n-3, t' in {t+1..t+n-2}; measured: Cor 3.8 window "
+              "always holds, the stated n-2 slack fails only on l=n graphs "
+              "(paths) where t' = t+n-1.  overall: %s\n",
+              all_ok ? "OK" : "VIOLATION");
+  return all_ok ? 0 : 1;
+}

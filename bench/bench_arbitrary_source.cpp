@@ -1,0 +1,65 @@
+// Experiment E5 — B_arb (§4): the labeling does not know the source.  For
+// each family, every node (sampled stride for big graphs) plays the source,
+// including the coordinator r and the ack anchor z; the run must deliver µ to
+// all nodes and end with a network-wide agreed completion round.
+#include <cstdio>
+
+#include "analysis/experiments.hpp"
+#include "core/runner.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace radiocast;
+
+  std::printf("Experiment E5: arbitrary-source broadcast (6 label values)\n\n");
+  par::ThreadPool pool;
+
+  struct Row {
+    std::string family;
+    std::uint32_t n = 0, sources = 0, failures = 0;
+    std::uint64_t t_min = ~0ull, t_max = 0;  // total rounds range
+    std::uint64_t T = 0;
+  };
+
+  bool all_ok = true;
+  TextTable table({"family", "n", "sources-tried", "failures", "T",
+                   "rounds(min)", "rounds(max)"});
+  for (const std::uint32_t n : {12u, 24u, 48u}) {
+    const auto suite = analysis::quick_suite(n, 11 * n);
+    const auto rows = par::parallel_map(pool, suite.size(), [&](std::size_t i) {
+      const auto& w = suite[i];
+      Row r;
+      r.family = w.family;
+      r.n = w.graph.node_count();
+      const std::uint32_t stride = std::max(1u, r.n / 8);
+      for (graph::NodeId s = 0; s < r.n; s += stride) {
+        const auto run = core::run_arbitrary(w.graph, s, /*coordinator=*/0);
+        ++r.sources;
+        if (!run.ok) ++r.failures;
+        r.T = run.T;
+        r.t_min = std::min(r.t_min, run.total_rounds);
+        r.t_max = std::max(r.t_max, run.total_rounds);
+      }
+      return r;
+    });
+    for (const auto& r : rows) {
+      all_ok = all_ok && r.failures == 0;
+      table.row()
+          .add(r.family)
+          .add(r.n)
+          .add(r.sources)
+          .add(r.failures)
+          .add(r.T)
+          .add(r.t_min)
+          .add(r.t_max);
+    }
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("paper: B_arb solves acknowledged broadcast for every source; "
+              "measured: %s\n",
+              all_ok ? "every tried source succeeded with agreed completion"
+                     : "FAILURES PRESENT");
+  return all_ok ? 0 : 1;
+}

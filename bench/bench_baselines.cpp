@@ -1,0 +1,76 @@
+// Experiment E6 — the §1 positioning table: algorithm B (2-bit labels)
+// against round-robin (Θ(log n)-bit labels), color-robin over G²
+// (Θ(log Δ)-bit labels) and randomized label-free Decay.
+//
+// Expected shape (the paper's argument, not its absolute numbers):
+//  - label bits: B constant, color-robin grows with Δ, round-robin with n;
+//  - rounds: B <= 2n-3 always; color-robin wins on bounded-degree deep
+//    graphs (C·ecc); round-robin pays ~n per BFS layer; Decay randomizes.
+#include <cstdio>
+
+#include "analysis/experiments.hpp"
+#include "baselines/baselines.hpp"
+#include "core/runner.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace radiocast;
+
+  std::printf("Experiment E6: B vs baselines — rounds and label bits\n\n");
+  par::ThreadPool pool;
+
+  struct Row {
+    std::string family;
+    std::uint32_t n = 0;
+    std::uint64_t b_rounds = 0, rr_rounds = 0, cr_rounds = 0, decay_rounds = 0;
+    std::uint32_t rr_bits = 0, cr_bits = 0;
+    bool ok = false;
+  };
+
+  bool all_ok = true;
+  TextTable table({"family", "n", "B rounds", "B bits", "color-robin", "bits",
+                   "round-robin", "bits", "decay(rand)", "bits"});
+  for (const std::uint32_t n : {16u, 64u, 256u}) {
+    const auto suite = analysis::standard_suite(n, 13 * n);
+    const auto rows = par::parallel_map(pool, suite.size(), [&](std::size_t i) {
+      const auto& w = suite[i];
+      Row r;
+      r.family = w.family;
+      r.n = w.graph.node_count();
+      const auto b = core::run_broadcast(w.graph, w.source);
+      const auto rr = baselines::run_round_robin(w.graph, w.source);
+      const auto cr = baselines::run_color_robin(w.graph, w.source);
+      const auto dk = baselines::run_decay(w.graph, w.source, 1234 + i);
+      r.b_rounds = b.completion_round;
+      r.rr_rounds = rr.completion_round;
+      r.cr_rounds = cr.completion_round;
+      r.decay_rounds = dk.completion_round;
+      r.rr_bits = rr.label_bits;
+      r.cr_bits = cr.label_bits;
+      r.ok = b.all_informed && rr.all_informed && cr.all_informed &&
+             dk.all_informed;
+      return r;
+    });
+    for (const auto& r : rows) {
+      all_ok = all_ok && r.ok;
+      table.row()
+          .add(r.family)
+          .add(r.n)
+          .add(r.b_rounds)
+          .add(2)
+          .add(r.cr_rounds)
+          .add(r.cr_bits)
+          .add(r.rr_rounds)
+          .add(r.rr_bits)
+          .add(r.decay_rounds)
+          .add(0);
+    }
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("paper: O(log n)-bit and O(log Delta)-bit labelings suffice but "
+              "2 bits are enough; measured: all schemes completed = %s\n",
+              all_ok ? "yes" : "NO");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,64 @@
+// Experiment E11 — the §1.1 model contrast: "If collision detection is
+// available, broadcast is trivially feasible, even in anonymous networks."
+//
+// Side-by-side on symmetric networks: without collision detection and
+// without labels the equitable-partition certificate proves impossibility;
+// with collision detection the anonymous beep protocol delivers the message
+// in ecc·(L+1) rounds; and the paper's 2-bit λ solves it without collision
+// detection.  Three models, one table.
+#include <cstdio>
+
+#include "analysis/symmetry.hpp"
+#include "baselines/beep.hpp"
+#include "core/runner.hpp"
+#include "graph/generators.hpp"
+#include "graph/traversal.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace radiocast;
+
+  std::printf("Experiment E11: collision detection vs labels (paper §1.1)\n\n");
+  constexpr std::uint32_t kBits = 8;
+  constexpr std::uint32_t kMu = 0xB7;
+
+  struct Case {
+    std::string name;
+    graph::Graph g;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"C4", graph::cycle(4)});
+  cases.push_back({"C16", graph::cycle(16)});
+  cases.push_back({"K_{3,3}", graph::complete_bipartite(3, 3)});
+  cases.push_back({"Q4 hypercube", graph::hypercube(4)});
+  cases.push_back({"torus 4x4", graph::torus(4, 4)});
+  cases.push_back({"path P16", graph::path(16)});
+  cases.push_back({"grid 4x4", graph::grid(4, 4)});
+
+  bool all_ok = true;
+  TextTable table({"network", "n", "ecc", "anon, no-CD", "anon beep + CD",
+                   "rounds", "2-bit lambda, no-CD", "rounds"});
+  for (const auto& c : cases) {
+    const std::vector<std::uint32_t> plain(c.g.node_count(), 0);
+    const auto sym = analysis::analyze_symmetry(c.g, plain, 0);
+    const auto beep = baselines::run_beep(c.g, 0, kMu, kBits);
+    const auto b = core::run_broadcast(c.g, 0);
+    all_ok = all_ok && beep.ok && b.all_informed;
+    table.row()
+        .add(c.name)
+        .add(c.g.node_count())
+        .add(graph::eccentricity(c.g, 0))
+        .add(sym.broadcast_blocked ? "IMPOSSIBLE" : "feasible")
+        .add(beep.ok ? "delivered" : "FAILED")
+        .add(beep.completion_round)
+        .add(b.all_informed ? "delivered" : "FAILED")
+        .add(b.completion_round);
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("paper: collision detection makes broadcast trivially feasible "
+              "even anonymously (bit-by-bit, silence=0, energy=1); measured: "
+              "%s.  The networks marked IMPOSSIBLE are exactly where the "
+              "paper's labels are load-bearing.\n",
+              all_ok ? "beep protocol delivered everywhere" : "FAILURE");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,90 @@
+// P1 — google-benchmark micro-bench: cost of the centralized preprocessing
+// (stage-set construction + labeling) as a function of n and density.  The
+// labeling is the part of the system the paper's "central monitor" runs once
+// per deployment, so its scaling matters for the IoT scenario.
+#include <benchmark/benchmark.h>
+
+#include "core/labeling.hpp"
+#include "graph/generators.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace radiocast;
+
+void BM_StageSets_Path(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto g = graph::path(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::build_stage_sets(g, 0));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_StageSets_Path)->RangeMultiplier(4)->Range(64, 16384)->Complexity();
+
+void BM_StageSets_Grid(benchmark::State& state) {
+  const auto side = static_cast<std::uint32_t>(state.range(0));
+  const auto g = graph::grid(side, side);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::build_stage_sets(g, 0));
+  }
+  state.SetComplexityN(side * side);
+}
+BENCHMARK(BM_StageSets_Grid)->RangeMultiplier(2)->Range(8, 128)->Complexity();
+
+void BM_StageSets_Gnp(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  Rng rng(n);
+  const auto g = graph::gnp_connected(n, 8.0 / n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::build_stage_sets(g, 0));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_StageSets_Gnp)->RangeMultiplier(4)->Range(64, 16384)->Complexity();
+
+void BM_LabelBroadcast(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  Rng rng(n ^ 0xABCD);
+  const auto g = graph::gnp_connected(n, 6.0 / n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::label_broadcast(g, 0));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_LabelBroadcast)->RangeMultiplier(4)->Range(64, 16384)->Complexity();
+
+void BM_LabelAcknowledged(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  Rng rng(n ^ 0x1234);
+  const auto g = graph::gnp_connected(n, 6.0 / n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::label_acknowledged(g, 0));
+  }
+}
+BENCHMARK(BM_LabelAcknowledged)->RangeMultiplier(4)->Range(64, 4096);
+
+void BM_LabelArbitrary(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  Rng rng(n ^ 0x5678);
+  const auto g = graph::gnp_connected(n, 6.0 / n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::label_arbitrary(g, 0));
+  }
+}
+BENCHMARK(BM_LabelArbitrary)->RangeMultiplier(4)->Range(64, 4096);
+
+void BM_DomPolicy(benchmark::State& state) {
+  const auto policy = core::kAllDomPolicies[static_cast<std::size_t>(state.range(0))];
+  Rng rng(42);
+  const auto g = graph::gnp_connected(2048, 6.0 / 2048, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::build_stage_sets(g, 0, policy, 1));
+  }
+  state.SetLabel(core::to_string(policy));
+}
+BENCHMARK(BM_DomPolicy)->DenseRange(0, 6);
+
+}  // namespace
+
+BENCHMARK_MAIN();

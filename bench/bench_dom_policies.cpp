@@ -1,0 +1,83 @@
+// Ablation A1 — the design choice the paper leaves open: WHICH minimal
+// dominating subset DOM_i is selected.  All policies are correct (tests prove
+// it); this bench measures their effect on ℓ, the completion round, the
+// number of "stay" transmissions and the number of 1-labeled bits.
+#include <cstdio>
+
+#include "analysis/experiments.hpp"
+#include "core/runner.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace radiocast;
+
+  std::printf("Ablation A1: minimal-dominating-subset policy\n\n");
+  par::ThreadPool pool;
+  bool all_ok = true;
+
+  struct Row {
+    std::string family;
+    core::DomPolicy policy{};
+    std::uint32_t ell = 0;
+    std::uint64_t rounds = 0, stays = 0, data_tx = 0, max_tx = 0;
+    bool ok = false;
+  };
+
+  const auto suite = analysis::standard_suite(96, 2718);
+  std::vector<std::pair<std::size_t, core::DomPolicy>> jobs;
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    for (const auto p : core::kAllDomPolicies) jobs.emplace_back(i, p);
+  }
+  const auto rows = par::parallel_map(pool, jobs.size(), [&](std::size_t j) {
+    const auto& [i, policy] = jobs[j];
+    const auto& w = suite[i];
+    core::RunOptions opt;
+    opt.policy = policy;
+    opt.seed = 31337;
+    opt.trace = sim::TraceLevel::kFull;
+    const auto run = core::run_broadcast(w.graph, w.source, opt);
+    return Row{w.family,       policy,
+               run.ell,        run.completion_round,
+               run.stay_count, run.data_tx_count,
+               run.max_node_tx, run.all_informed};
+  });
+
+  TextTable table(
+      {"family", "policy", "ell", "rounds", "mu-tx", "stay-tx", "max-node-tx"});
+  for (const auto& r : rows) {
+    all_ok = all_ok && r.ok;
+    table.row()
+        .add(r.family)
+        .add(core::to_string(r.policy))
+        .add(r.ell)
+        .add(r.rounds)
+        .add(r.data_tx)
+        .add(r.stays)
+        .add(r.max_tx);
+  }
+  std::printf("%s\n", table.str().c_str());
+
+  // Aggregate per policy.
+  TextTable agg({"policy", "sum rounds", "sum mu-tx", "sum stay-tx",
+                 "worst duty"});
+  for (const auto p : core::kAllDomPolicies) {
+    std::uint64_t rounds = 0, data = 0, stays = 0, duty = 0;
+    for (const auto& r : rows) {
+      if (r.policy == p) {
+        rounds += r.rounds;
+        data += r.data_tx;
+        stays += r.stays;
+        duty = std::max(duty, r.max_tx);
+      }
+    }
+    agg.row().add(core::to_string(p)).add(rounds).add(data).add(stays).add(duty);
+  }
+  std::printf("%s\n", agg.str().c_str());
+  std::printf("takeaway: correctness is policy-independent (paper needs only "
+              "minimality); greedy-cover trades fewer transmitters for more "
+              "stay traffic.  all runs informed: %s\n",
+              all_ok ? "yes" : "NO");
+  return all_ok ? 0 : 1;
+}

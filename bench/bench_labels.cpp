@@ -1,0 +1,67 @@
+// Experiment E3 — label budgets: λ uses at most 4 label values (2 bits),
+// λ_ack at most 5 (Fact 3.1 forbids 101/111/011), λ_arb exactly adds the
+// coordinator's 111 for at most 6.  Histograms are aggregated over many
+// random graphs plus the whole family suite.
+#include <cstdio>
+
+#include "analysis/experiments.hpp"
+#include "analysis/metrics.hpp"
+#include "core/labeling.hpp"
+#include "graph/generators.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace radiocast;
+
+  std::printf("Experiment E3: label-value budgets of the three schemes\n\n");
+  const char* names[8] = {"000", "001", "010", "011", "100", "101", "110", "111"};
+
+  std::vector<std::uint64_t> hist_l(8, 0), hist_ack(8, 0), hist_arb(8, 0);
+  std::uint32_t max_l = 0, max_ack = 0, max_arb = 0;
+  std::uint64_t graphs = 0;
+
+  Rng rng(2019);
+  auto feed = [&](const graph::Graph& g, graph::NodeId s) {
+    ++graphs;
+    const auto l = core::label_broadcast(g, s);
+    const auto a = core::label_acknowledged(g, s);
+    const auto r = core::label_arbitrary(g, s);
+    for (const auto& lab : l.labels) ++hist_l[lab.value()];
+    for (const auto& lab : a.labels) ++hist_ack[lab.value()];
+    for (const auto& lab : r.labels) ++hist_arb[lab.value()];
+    max_l = std::max(max_l, analysis::distinct_labels(l.labels));
+    max_ack = std::max(max_ack, analysis::distinct_labels(a.labels));
+    max_arb = std::max(max_arb, analysis::distinct_labels(r.labels));
+  };
+
+  for (int rep = 0; rep < 400; ++rep) {
+    const auto n = 8 + static_cast<std::uint32_t>(rng.below(56));
+    const double p = 0.05 + 0.4 * rng.uniform();
+    const auto g = graph::gnp_connected(n, p, rng);
+    feed(g, static_cast<graph::NodeId>(rng.below(n)));
+  }
+  for (const auto& w : analysis::standard_suite(48, 5)) feed(w.graph, w.source);
+
+  TextTable table({"label", "lambda(2-bit)", "lambda_ack(3-bit)",
+                   "lambda_arb(3-bit)"});
+  for (int v = 0; v < 8; ++v) {
+    table.row()
+        .add(names[v])
+        .add(hist_l[static_cast<std::size_t>(v)])
+        .add(hist_ack[static_cast<std::size_t>(v)])
+        .add(hist_arb[static_cast<std::size_t>(v)]);
+  }
+  std::printf("%s\n", table.str().c_str());
+
+  const bool fact31 =
+      hist_ack[0b101] == 0 && hist_ack[0b111] == 0 && hist_ack[0b011] == 0;
+  const bool budgets = max_l <= 4 && max_ack <= 5 && max_arb <= 6;
+  std::printf("graphs labeled: %llu\n", static_cast<unsigned long long>(graphs));
+  std::printf("max distinct values: lambda=%u (paper: <=4), lambda_ack=%u "
+              "(paper: <=5), lambda_arb=%u (paper: <=6)\n",
+              max_l, max_ack, max_arb);
+  std::printf("Fact 3.1 (101/111/011 never assigned by lambda_ack): %s\n",
+              fact31 ? "holds" : "VIOLATED");
+  return (fact31 && budgets) ? 0 : 1;
+}

@@ -1,0 +1,74 @@
+// Experiment E12 — the §1.2 "many consecutive messages" scenario as a
+// throughput table: K acknowledged broadcasts over one labeling, the source
+// gated on each ack.  Determinism makes the pipeline perfectly periodic, so
+// steady-state cost per message equals the first instance's span, and the
+// 3-bit labels are amortized over the whole session.
+#include <cstdio>
+
+#include "analysis/experiments.hpp"
+#include "core/multi.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace radiocast;
+
+  std::printf("Experiment E12: multi-message acknowledged sessions (§1.2)\n\n");
+  par::ThreadPool pool;
+  constexpr std::size_t kMessages = 8;
+
+  struct Row {
+    std::string family;
+    std::uint32_t n = 0;
+    std::uint64_t first_ack = 0, per_msg = 0, total = 0;
+    bool ok = false, periodic = false;
+  };
+
+  bool all_ok = true;
+  TextTable table({"family", "n", "ack#1", "rounds/msg", "total(8 msgs)",
+                   "periodic"});
+  for (const std::uint32_t n : {16u, 64u, 256u}) {
+    const auto suite = analysis::quick_suite(n, 17 * n);
+    const auto rows = par::parallel_map(pool, suite.size(), [&](std::size_t i) {
+      const auto& w = suite[i];
+      std::vector<std::uint32_t> payloads(kMessages);
+      for (std::size_t k = 0; k < kMessages; ++k) {
+        payloads[k] = static_cast<std::uint32_t>(k + 1);
+      }
+      const auto run = core::run_multi_broadcast(w.graph, w.source, payloads);
+      Row r;
+      r.family = w.family;
+      r.n = w.graph.node_count();
+      r.ok = run.ok;
+      if (run.ok) {
+        r.first_ack = run.ack_rounds.front();
+        r.per_msg = run.rounds_per_message;
+        r.total = run.total_rounds;
+        r.periodic = true;
+        for (std::size_t k = 1; k < run.ack_rounds.size(); ++k) {
+          if (run.ack_rounds[k] - run.ack_rounds[k - 1] != r.per_msg) {
+            r.periodic = false;
+          }
+        }
+      }
+      return r;
+    });
+    for (const auto& r : rows) {
+      all_ok = all_ok && r.ok && r.periodic;
+      table.row()
+          .add(r.family)
+          .add(r.n)
+          .add(r.first_ack)
+          .add(r.per_msg)
+          .add(r.total)
+          .add(r.periodic ? "yes" : "NO");
+    }
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("paper: short labels enable multiple executions; acknowledged "
+              "broadcast gates each next message.  measured: %s\n",
+              all_ok ? "all sessions delivered, perfectly periodic pipeline"
+                     : "FAILURE");
+  return all_ok ? 0 : 1;
+}

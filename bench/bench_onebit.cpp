@@ -1,0 +1,101 @@
+// Experiment E8 — the §5 one-bit claims: radius-<=2 graphs (the paper's
+// explicit modification), grids and series-parallel graphs (asserted without
+// construction), plus the 3-label-value acknowledged variants.  Success is a
+// per-graph searched-and-verified certificate (DESIGN.md §3.4).
+#include <cstdio>
+
+#include "graph/generators.hpp"
+#include "graph/traversal.hpp"
+#include "onebit/runner.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace radiocast;
+
+  std::printf("Experiment E8: one-bit labeling schemes (paper §5)\n\n");
+  par::ThreadPool pool;
+  bool all_ok = true;
+
+  struct Case {
+    std::string name;
+    graph::Graph g;
+    graph::NodeId source = 0;
+  };
+  std::vector<Case> cases;
+
+  // Radius-<=2 instances: dense random graphs + bipartite + stars from a leaf.
+  {
+    Rng rng(808);
+    for (int i = 0; i < 6; ++i) {
+      auto g = graph::gnp_connected(24 + 8 * static_cast<std::uint32_t>(i), 0.4, rng);
+      if (graph::eccentricity(g, 0) <= 2) {
+        cases.push_back({"radius2/gnp-dense", std::move(g), 0});
+      }
+    }
+    cases.push_back({"radius2/K_{6,9}", graph::complete_bipartite(6, 9), 0});
+    cases.push_back({"radius2/star-leaf", graph::star(40), 3});
+  }
+  // Grids (the §5 assertion) of growing size, corner and interior sources.
+  for (const auto& [r, c] : {std::pair{3u, 3u}, std::pair{4u, 6u},
+                            std::pair{7u, 7u}, std::pair{10u, 10u},
+                            std::pair{12u, 16u}}) {
+    cases.push_back({"grid/" + std::to_string(r) + "x" + std::to_string(c),
+                     graph::grid(r, c), 0});
+  }
+  cases.push_back({"grid/8x8-interior", graph::grid(8, 8), 3 * 8 + 4});
+  // Series-parallel graphs.
+  {
+    Rng rng(909);
+    for (const std::uint32_t e : {10u, 30u, 80u, 200u}) {
+      cases.push_back({"series-parallel/m~" + std::to_string(e),
+                       graph::series_parallel(e, rng), 0});
+    }
+  }
+  // Trees and cycles round out the picture (also 1-bit labelable).
+  {
+    Rng rng(1010);
+    cases.push_back({"tree/random-40", graph::random_tree(40, rng), 0});
+    cases.push_back({"cycle/C24", graph::cycle(24), 0});
+    cases.push_back({"path/P50", graph::path(50), 0});
+  }
+
+  struct Row {
+    std::string name;
+    std::uint32_t n = 0, attempts = 0, ones = 0;
+    std::uint64_t rounds = 0, ack = 0;
+    bool ok = false, ack_ok = false;
+  };
+  const auto rows = par::parallel_map(pool, cases.size(), [&](std::size_t i) {
+    const auto& c = cases[i];
+    const auto run = onebit::run_onebit(c.g, c.source, {.max_attempts = 256});
+    const auto ack =
+        onebit::run_onebit_acknowledged(c.g, c.source, {.max_attempts = 256});
+    return Row{c.name,       c.g.node_count(), run.attempts, run.ones,
+               run.completion_round, ack.ack_round, run.ok, ack.ok};
+  });
+
+  TextTable table({"instance", "n", "1-bit ok", "rounds", "bound 2n-3",
+                   "ones", "tries", "ack(3 labels)", "ack round"});
+  for (const auto& r : rows) {
+    all_ok = all_ok && r.ok && r.ack_ok;
+    table.row()
+        .add(r.name)
+        .add(r.n)
+        .add(r.ok ? "yes" : "NO")
+        .add(r.rounds)
+        .add(2ull * r.n - 3)
+        .add(r.ones)
+        .add(r.attempts)
+        .add(r.ack_ok ? "yes" : "NO")
+        .add(r.ack);
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("paper: 1-bit labels suffice for radius-2 / grids / "
+              "series-parallel, acknowledged with 3 label values; measured: %s\n",
+              all_ok ? "certificates found and engine-verified for all instances"
+                     : "SOME INSTANCE FAILED");
+  return all_ok ? 0 : 1;
+}

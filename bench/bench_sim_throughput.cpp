@@ -1,0 +1,98 @@
+// P2 — google-benchmark micro-bench: simulator throughput (rounds/s and
+// deliveries/s for full B executions) and thread-pool sweep scaling, the
+// HPC-facing measurements of the harness itself.
+#include <benchmark/benchmark.h>
+
+#include "core/runner.hpp"
+#include "graph/generators.hpp"
+#include "onebit/labeler.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace radiocast;
+
+void BM_EngineFullBroadcast(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  Rng rng(n);
+  const auto g = graph::gnp_connected(n, 6.0 / n, rng);
+  const auto labeling = core::label_broadcast(g, 0);
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    sim::Engine engine(g, core::make_broadcast_protocols(labeling, 1));
+    engine.run_until([](const sim::Engine& e) { return e.all_informed(); },
+                     4ull * n + 8);
+    rounds += engine.round();
+    benchmark::DoNotOptimize(engine.all_informed());
+  }
+  state.counters["rounds/s"] = benchmark::Counter(
+      static_cast<double>(rounds), benchmark::Counter::kIsRate);
+  state.counters["node-rounds/s"] = benchmark::Counter(
+      static_cast<double>(rounds) * n, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EngineFullBroadcast)->RangeMultiplier(4)->Range(64, 16384);
+
+void BM_EngineStepDense(benchmark::State& state) {
+  // Worst-case per-round cost: everyone transmits every round (all collide).
+  class Chatter final : public sim::Protocol {
+   public:
+    std::optional<sim::Message> on_round() override {
+      return sim::Message{sim::MsgKind::kData, 0, 0, std::nullopt};
+    }
+    void on_hear(const sim::Message&) override {}
+    bool informed() const override { return true; }
+  };
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto g = graph::complete(n);
+  std::vector<std::unique_ptr<sim::Protocol>> p;
+  for (std::uint32_t v = 0; v < n; ++v) p.push_back(std::make_unique<Chatter>());
+  sim::Engine engine(g, std::move(p));
+  for (auto _ : state) {
+    engine.step();
+  }
+  state.counters["edge-visits/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * n * (n - 1),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EngineStepDense)->RangeMultiplier(2)->Range(32, 512);
+
+void BM_ParallelSweep(benchmark::State& state) {
+  // End-to-end experiment sweep (label + run 64 graphs) on k threads.
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<graph::Graph> graphs;
+  for (int i = 0; i < 64; ++i) {
+    graphs.push_back(graph::gnp_connected(256, 6.0 / 256, rng));
+  }
+  par::ThreadPool pool(threads);
+  for (auto _ : state) {
+    std::uint64_t total = 0;
+    const auto rounds = par::parallel_map(pool, graphs.size(), [&](std::size_t i) {
+      return core::run_broadcast(graphs[i], 0).completion_round;
+    });
+    for (const auto r : rounds) total += r;
+    benchmark::DoNotOptimize(total);
+  }
+  state.counters["graphs/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 64, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ParallelSweep)->DenseRange(1, 4)->UseRealTime();
+
+void BM_OneBitSearch(benchmark::State& state) {
+  const auto side = static_cast<std::uint32_t>(state.range(0));
+  const auto g = graph::grid(side, side);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    onebit::OneBitOptions opt;
+    opt.max_attempts = 64;
+    opt.seed = seed++;
+    benchmark::DoNotOptimize(onebit::find_onebit_labeling(g, 0, opt));
+  }
+}
+BENCHMARK(BM_OneBitSearch)->DenseRange(4, 12, 4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,228 @@
+// radiocast_cli — command-line front end for the library.
+//
+//   radiocast_cli gen <family> [args...]          emit an edge list
+//   radiocast_cli label  [--source N] [--scheme b|ack|arb] < edges
+//   radiocast_cli run    [--source N] [--scheme b|ack|arb|onebit] < edges
+//   radiocast_cli verify [--source N] < edges     run B + Lemma 2.8 check
+//   radiocast_cli dot    [--source N] < edges     Graphviz with labels
+//
+// Families for `gen`: path N | cycle N | star N | complete N | grid R C |
+// torus R C | hypercube D | tree N SEED | gnp N P SEED | disk N R SEED |
+// sp M SEED | wheel N | petersen
+//
+// Examples:
+//   radiocast_cli gen grid 4 6 | radiocast_cli run --scheme ack
+//   radiocast_cli gen gnp 30 0.15 7 | radiocast_cli verify
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/runner.hpp"
+#include "core/verifier.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/traversal.hpp"
+#include "onebit/runner.hpp"
+#include "sim/engine.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace radiocast;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: radiocast_cli gen <family> [args...]\n"
+               "       radiocast_cli {label|run|verify|dot} [--source N] "
+               "[--scheme b|ack|arb|onebit] < edge-list\n");
+  return 2;
+}
+
+struct Options {
+  graph::NodeId source = 0;
+  std::string scheme = "b";
+};
+
+Options parse_options(int argc, char** argv, int first) {
+  Options opt;
+  for (int i = first; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--source") == 0 && i + 1 < argc) {
+      opt.source = static_cast<graph::NodeId>(std::stoul(argv[++i]));
+    } else if (std::strcmp(argv[i], "--scheme") == 0 && i + 1 < argc) {
+      opt.scheme = argv[++i];
+    }
+  }
+  return opt;
+}
+
+int cmd_gen(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string family = argv[2];
+  auto arg = [&](int k, std::uint32_t fallback) {
+    return argc > 2 + k ? static_cast<std::uint32_t>(std::stoul(argv[2 + k]))
+                        : fallback;
+  };
+  graph::Graph g;
+  if (family == "path") {
+    g = graph::path(arg(1, 10));
+  } else if (family == "cycle") {
+    g = graph::cycle(arg(1, 10));
+  } else if (family == "star") {
+    g = graph::star(arg(1, 10));
+  } else if (family == "complete") {
+    g = graph::complete(arg(1, 8));
+  } else if (family == "grid") {
+    g = graph::grid(arg(1, 4), arg(2, 4));
+  } else if (family == "torus") {
+    g = graph::torus(arg(1, 4), arg(2, 4));
+  } else if (family == "hypercube") {
+    g = graph::hypercube(arg(1, 4));
+  } else if (family == "wheel") {
+    g = graph::wheel(arg(1, 8));
+  } else if (family == "petersen") {
+    g = graph::petersen();
+  } else if (family == "tree") {
+    Rng rng(arg(2, 1));
+    g = graph::random_tree(arg(1, 16), rng);
+  } else if (family == "gnp") {
+    const double p = argc > 4 ? std::stod(argv[4]) : 0.2;
+    Rng rng(argc > 5 ? std::stoull(argv[5]) : 1);
+    g = graph::gnp_connected(arg(1, 20), p, rng);
+  } else if (family == "disk") {
+    const double r = argc > 4 ? std::stod(argv[4]) : 0.3;
+    Rng rng(argc > 5 ? std::stoull(argv[5]) : 1);
+    g = graph::random_geometric(arg(1, 20), r, rng);
+  } else if (family == "sp") {
+    Rng rng(arg(2, 1));
+    g = graph::series_parallel(arg(1, 20), rng);
+  } else {
+    std::fprintf(stderr, "unknown family '%s'\n", family.c_str());
+    return 2;
+  }
+  graph::write_edge_list(g, std::cout);
+  return 0;
+}
+
+int cmd_label(const graph::Graph& g, const Options& opt) {
+  if (opt.scheme == "b") {
+    const auto lab = core::label_broadcast(g, opt.source);
+    for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+      std::printf("%u %s\n", v, lab.labels[v].to_string(2).c_str());
+    }
+  } else if (opt.scheme == "ack") {
+    const auto lab = core::label_acknowledged(g, opt.source);
+    for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+      std::printf("%u %s\n", v, lab.labels[v].to_string(3).c_str());
+    }
+  } else if (opt.scheme == "arb") {
+    const auto lab = core::label_arbitrary(g, opt.source);
+    for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+      std::printf("%u %s\n", v, lab.labels[v].to_string(3).c_str());
+    }
+  } else if (opt.scheme == "onebit") {
+    const auto lab = onebit::find_onebit_labeling(g, opt.source);
+    if (!lab.ok) {
+      std::fprintf(stderr, "no one-bit labeling found\n");
+      return 1;
+    }
+    for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+      std::printf("%u %d\n", v, lab.bits[v] ? 1 : 0);
+    }
+  } else {
+    return usage();
+  }
+  return 0;
+}
+
+int cmd_run(const graph::Graph& g, const Options& opt) {
+  if (opt.scheme == "b") {
+    const auto run = core::run_broadcast(g, opt.source);
+    std::printf("scheme=lambda(2-bit) n=%u informed=%s rounds=%llu bound=%llu "
+                "ell=%u\n",
+                g.node_count(), run.all_informed ? "all" : "NOT-ALL",
+                static_cast<unsigned long long>(run.completion_round),
+                static_cast<unsigned long long>(run.bound), run.ell);
+    return run.all_informed ? 0 : 1;
+  }
+  if (opt.scheme == "ack") {
+    const auto run = core::run_acknowledged(g, opt.source);
+    std::printf("scheme=lambda_ack(3-bit) informed=%s t=%llu t'=%llu z=%u\n",
+                run.all_informed ? "all" : "NOT-ALL",
+                static_cast<unsigned long long>(run.completion_round),
+                static_cast<unsigned long long>(run.ack_round), run.z);
+    return run.all_informed && run.ack_round != 0 ? 0 : 1;
+  }
+  if (opt.scheme == "arb") {
+    const auto run = core::run_arbitrary(g, opt.source, 0);
+    std::printf("scheme=lambda_arb(3-bit) ok=%s total_rounds=%llu "
+                "common_done=%llu T=%llu\n",
+                run.ok ? "yes" : "NO",
+                static_cast<unsigned long long>(run.total_rounds),
+                static_cast<unsigned long long>(run.done_round),
+                static_cast<unsigned long long>(run.T));
+    return run.ok ? 0 : 1;
+  }
+  if (opt.scheme == "onebit") {
+    const auto run = onebit::run_onebit(g, opt.source);
+    std::printf("scheme=onebit ok=%s rounds=%llu ones=%u attempts=%u\n",
+                run.ok ? "yes" : "NO",
+                static_cast<unsigned long long>(run.completion_round),
+                run.ones, run.attempts);
+    return run.ok ? 0 : 1;
+  }
+  return usage();
+}
+
+int cmd_verify(const graph::Graph& g, const Options& opt) {
+  const auto labeling = core::label_broadcast(g, opt.source);
+  sim::Engine engine(g, core::make_broadcast_protocols(labeling, 1),
+                     {sim::TraceLevel::kFull});
+  engine.run_until([](const sim::Engine& e) { return e.all_informed(); },
+                   4ull * g.node_count() + 8);
+  const auto verdict = core::verify_lemma_2_8(g, labeling, engine.trace());
+  std::printf("informed=%s completion=%llu lemma2.8=%s\n",
+              engine.all_informed() ? "all" : "NOT-ALL",
+              static_cast<unsigned long long>(engine.last_first_data_reception()),
+              verdict.empty() ? "OK" : verdict.c_str());
+  return engine.all_informed() && verdict.empty() ? 0 : 1;
+}
+
+int cmd_dot(const graph::Graph& g, const Options& opt) {
+  const auto lab = core::label_broadcast(g, opt.source);
+  std::vector<std::string> text(g.node_count());
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    text[v] = lab.labels[v].to_string(2);
+  }
+  std::printf("%s", graph::to_dot(g, text, opt.source).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "gen") return cmd_gen(argc, argv);
+
+  const Options opt = parse_options(argc, argv, 2);
+  graph::Graph g = graph::read_edge_list(std::cin);
+  if (g.node_count() == 0) {
+    std::fprintf(stderr, "empty graph on stdin\n");
+    return 2;
+  }
+  if (!graph::is_connected(g)) {
+    std::fprintf(stderr, "input graph is not connected\n");
+    return 2;
+  }
+  if (opt.source >= g.node_count()) {
+    std::fprintf(stderr, "source out of range\n");
+    return 2;
+  }
+
+  if (cmd == "label") return cmd_label(g, opt);
+  if (cmd == "run") return cmd_run(g, opt);
+  if (cmd == "verify") return cmd_verify(g, opt);
+  if (cmd == "dot") return cmd_dot(g, opt);
+  return usage();
+}

@@ -1,0 +1,80 @@
+#include "analysis/experiments.hpp"
+
+#include <cmath>
+
+#include "parallel/parallel_for.hpp"
+
+namespace radiocast::analysis {
+
+std::vector<Workload> standard_suite(std::uint32_t n, std::uint64_t seed) {
+  RC_EXPECTS(n >= 8);
+  Rng rng(seed);
+  std::vector<Workload> out;
+  out.push_back({"path/end-src", graph::path(n), 0});
+  out.push_back({"path/mid-src", graph::path(n), n / 2});
+  out.push_back({"cycle", graph::cycle(n), 0});
+  out.push_back({"star/center-src", graph::star(n), 0});
+  out.push_back({"star/leaf-src", graph::star(n), 1});
+  out.push_back({"complete", graph::complete(n), 0});
+  out.push_back({"bipartite", graph::complete_bipartite(n / 2, n - n / 2), 0});
+  {
+    const auto side = static_cast<std::uint32_t>(std::lround(std::sqrt(n)));
+    out.push_back({"grid", graph::grid(std::max(2u, side), std::max(2u, side)), 0});
+    if (side >= 3) out.push_back({"torus", graph::torus(side, side), 0});
+  }
+  {
+    std::uint32_t dim = 1;
+    while ((2u << dim) <= n) ++dim;
+    out.push_back({"hypercube", graph::hypercube(dim), 0});
+  }
+  {
+    std::uint32_t depth = 1;
+    std::uint32_t count = 4;  // 1 + 3
+    while (count + (3u << depth) <= n) {
+      count += 3u << depth;
+      ++depth;
+    }
+    out.push_back({"tree/ternary", graph::balanced_tree(3, depth), 0});
+  }
+  out.push_back({"tree/random", graph::random_tree(n, rng), 0});
+  out.push_back({"caterpillar", graph::caterpillar(std::max(1u, n / 4), 3), 0});
+  out.push_back({"lollipop", graph::lollipop(std::max(2u, n / 2), n - n / 2), 0});
+  out.push_back({"gnp/sparse", graph::gnp_connected(n, 2.0 / n, rng), 0});
+  out.push_back({"gnp/dense", graph::gnp_connected(n, 0.3, rng), 0});
+  {
+    const double radius = 1.8 / std::sqrt(static_cast<double>(n));
+    out.push_back({"unit-disk", graph::random_geometric(n, radius, rng), 0});
+  }
+  out.push_back({"series-parallel", graph::series_parallel(std::max(2u, n), rng), 0});
+  out.push_back(
+      {"clustered", graph::clustered(std::max(2u, n / 8), 8, 0.5, rng), 0});
+  return out;
+}
+
+std::vector<Workload> quick_suite(std::uint32_t n, std::uint64_t seed) {
+  RC_EXPECTS(n >= 8);
+  Rng rng(seed);
+  std::vector<Workload> out;
+  out.push_back({"path", graph::path(n), 0});
+  out.push_back({"star", graph::star(n), 0});
+  {
+    const auto side = static_cast<std::uint32_t>(std::lround(std::sqrt(n)));
+    out.push_back({"grid", graph::grid(std::max(2u, side), std::max(2u, side)), 0});
+  }
+  out.push_back({"tree/random", graph::random_tree(n, rng), 0});
+  out.push_back({"gnp/sparse", graph::gnp_connected(n, 2.0 / n, rng), 0});
+  {
+    const double radius = 1.8 / std::sqrt(static_cast<double>(n));
+    out.push_back({"unit-disk", graph::random_geometric(n, radius, rng), 0});
+  }
+  return out;
+}
+
+std::vector<std::string> sweep(par::ThreadPool& pool,
+                               const std::vector<Workload>& suite,
+                               const std::function<std::string(const Workload&)>& fn) {
+  return par::parallel_map(pool, suite.size(),
+                           [&](std::size_t i) { return fn(suite[i]); });
+}
+
+}  // namespace radiocast::analysis

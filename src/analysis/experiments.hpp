@@ -1,0 +1,46 @@
+/// \file experiments.hpp
+/// \brief Shared experiment harness: the standard workload suite and a
+///        thread-pooled sweep runner used by the bench binaries.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/rng.hpp"
+
+namespace radiocast::analysis {
+
+using graph::Graph;
+using graph::NodeId;
+
+/// One named workload instance.
+struct Workload {
+  std::string family;
+  Graph graph;
+  NodeId source = 0;
+};
+
+/// The standard family suite at target size ~n (actual sizes vary slightly
+/// with family structure).  Deterministic for a given seed.  Families:
+/// path (end + middle source), cycle, star (center + leaf source), complete,
+/// complete-bipartite, grid, torus, hypercube, balanced ternary tree, random
+/// tree, caterpillar, lollipop, gnp sparse/dense, unit-disk, series-parallel,
+/// clustered.
+std::vector<Workload> standard_suite(std::uint32_t n, std::uint64_t seed);
+
+/// A smaller suite (path/star/grid/random tree/gnp/unit-disk) for expensive
+/// sweeps.
+std::vector<Workload> quick_suite(std::uint32_t n, std::uint64_t seed);
+
+/// Runs `fn(workload)` over a suite on a shared thread pool and returns the
+/// result strings in suite order (deterministic output regardless of the
+/// thread count).
+std::vector<std::string> sweep(par::ThreadPool& pool,
+                               const std::vector<Workload>& suite,
+                               const std::function<std::string(const Workload&)>& fn);
+
+}  // namespace radiocast::analysis

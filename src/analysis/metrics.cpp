@@ -1,0 +1,32 @@
+#include "analysis/metrics.hpp"
+
+#include <bit>
+#include <set>
+
+namespace radiocast::analysis {
+
+std::uint32_t control_bits(const sim::Message& m, bool payload_is_control) {
+  std::uint32_t bits = 3;  // kind tag
+  if (m.phase != 0) bits += 2;
+  if (m.stamp) {
+    bits += static_cast<std::uint32_t>(std::bit_width(*m.stamp + 1));
+  }
+  if (payload_is_control) {
+    bits += static_cast<std::uint32_t>(
+        std::bit_width(static_cast<std::uint64_t>(m.payload) + 1));
+  }
+  return bits;
+}
+
+std::uint32_t distinct_labels(const std::vector<core::Label>& labels) {
+  std::set<std::uint8_t> values;
+  for (const auto& l : labels) values.insert(l.value());
+  return static_cast<std::uint32_t>(values.size());
+}
+
+std::uint32_t label_bits(const std::vector<core::Label>& labels) {
+  const auto d = distinct_labels(labels);
+  return d <= 1 ? 1u : std::bit_width(d - 1);
+}
+
+}  // namespace radiocast::analysis

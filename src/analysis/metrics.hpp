@@ -1,0 +1,30 @@
+/// \file metrics.hpp
+/// \brief Wire-size accounting and label statistics.
+///
+/// The paper notes that B needs only constant-size control information while
+/// B_ack appends a Θ(log n)-bit round counter.  These helpers charge message
+/// fields explicitly so `bench_message_size` can regenerate that claim.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/labeling.hpp"
+#include "sim/message.hpp"
+
+namespace radiocast::analysis {
+
+/// Control bits of a message, excluding the source-message body µ itself:
+/// 3 bits of kind tag, 2 bits of phase tag when used, ⌈log2(stamp+1)⌉ stamp
+/// bits when stamped, plus payload bits for protocol-carried integers
+/// (T / m / round numbers), charged as ⌈log2(payload+1)⌉ when
+/// `payload_is_control` is set.
+std::uint32_t control_bits(const sim::Message& m, bool payload_is_control);
+
+/// Number of distinct label values used.
+std::uint32_t distinct_labels(const std::vector<core::Label>& labels);
+
+/// Minimum bits to distinguish the labels actually used: ⌈log2(#distinct)⌉.
+std::uint32_t label_bits(const std::vector<core::Label>& labels);
+
+}  // namespace radiocast::analysis

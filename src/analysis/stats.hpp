@@ -1,0 +1,76 @@
+/// \file stats.hpp
+/// \brief Streaming summary statistics (Welford) for the experiment harness.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "support/contracts.hpp"
+
+namespace radiocast::analysis {
+
+/// Single-pass mean/variance/min/max accumulator (numerically stable).
+class Summary {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+
+  double mean() const {
+    RC_EXPECTS(count_ > 0);
+    return mean_;
+  }
+
+  /// Sample variance (n-1 denominator); 0 for a single observation.
+  double variance() const {
+    RC_EXPECTS(count_ > 0);
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+
+  double stddev() const { return std::sqrt(variance()); }
+
+  double min() const {
+    RC_EXPECTS(count_ > 0);
+    return min_;
+  }
+
+  double max() const {
+    RC_EXPECTS(count_ > 0);
+    return max_;
+  }
+
+  /// Merges another accumulator (parallel reduction), Chan et al. formula.
+  void merge(const Summary& other) noexcept {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto n1 = static_cast<double>(count_);
+    const auto n2 = static_cast<double>(other.count_);
+    mean_ += delta * n2 / (n1 + n2);
+    m2_ += other.m2_ + delta * delta * n1 * n2 / (n1 + n2);
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace radiocast::analysis

@@ -1,0 +1,89 @@
+#include "analysis/symmetry.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/contracts.hpp"
+
+namespace radiocast::analysis {
+
+SymmetryResult analyze_symmetry(const Graph& g,
+                                const std::vector<std::uint32_t>& initial_colors,
+                                NodeId source) {
+  const std::uint32_t n = g.node_count();
+  RC_EXPECTS(initial_colors.size() == n);
+  RC_EXPECTS(source < n);
+
+  SymmetryResult out;
+  // Initial partition: (label color, is-source).  Normalize to 0..k-1.
+  std::vector<std::uint64_t> sig64(n);
+  for (NodeId v = 0; v < n; ++v) {
+    sig64[v] = (static_cast<std::uint64_t>(initial_colors[v]) << 1) |
+               (v == source ? 1u : 0u);
+  }
+  std::vector<std::uint32_t> color(n);
+  {
+    std::map<std::uint64_t, std::uint32_t> remap;
+    for (NodeId v = 0; v < n; ++v) {
+      auto [it, inserted] = remap.try_emplace(sig64[v],
+                                              static_cast<std::uint32_t>(remap.size()));
+      color[v] = it->second;
+    }
+    out.class_count = static_cast<std::uint32_t>(remap.size());
+  }
+
+  // Color refinement to the coarsest stable (equitable) partition.
+  for (;;) {
+    // Signature: (own color, sorted multiset of neighbour colors).
+    std::map<std::vector<std::uint32_t>, std::uint32_t> remap;
+    std::vector<std::uint32_t> next(n);
+    for (NodeId v = 0; v < n; ++v) {
+      std::vector<std::uint32_t> sig;
+      sig.reserve(g.degree(v) + 1);
+      sig.push_back(color[v]);
+      for (const NodeId w : g.neighbors(v)) sig.push_back(color[w]);
+      std::sort(sig.begin() + 1, sig.end());
+      auto [it, inserted] =
+          remap.try_emplace(std::move(sig), static_cast<std::uint32_t>(remap.size()));
+      next[v] = it->second;
+    }
+    const auto new_count = static_cast<std::uint32_t>(remap.size());
+    if (new_count == out.class_count) break;
+    out.class_count = new_count;
+    color = std::move(next);
+  }
+  out.node_class = color;
+
+  // Per-node class-neighbour counts.
+  // informable closure: start from the source class ({source} is always a
+  // singleton because is-source is part of the initial coloring).
+  std::vector<bool> class_informable(out.class_count, false);
+  class_informable[color[source]] = true;
+  bool changed = true;
+  std::vector<std::uint32_t> cnt(out.class_count);
+  while (changed) {
+    changed = false;
+    for (NodeId v = 0; v < n; ++v) {
+      if (class_informable[color[v]]) continue;
+      std::fill(cnt.begin(), cnt.end(), 0u);
+      for (const NodeId w : g.neighbors(v)) ++cnt[color[w]];
+      for (std::uint32_t k = 0; k < out.class_count; ++k) {
+        if (cnt[k] == 1 && class_informable[k]) {
+          class_informable[color[v]] = true;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (!class_informable[color[v]]) {
+      out.broadcast_blocked = true;
+      out.blocked_node = v;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace radiocast::analysis

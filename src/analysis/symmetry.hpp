@@ -1,0 +1,47 @@
+/// \file symmetry.hpp
+/// \brief Impossibility certificates for deterministic broadcast.
+///
+/// The paper's introduction proves broadcast impossible on the unlabeled
+/// four-cycle: the two source neighbours always behave identically, so the
+/// antipode only ever sees 0 or 2 transmitters.  This module mechanizes the
+/// argument for arbitrary (graph, labeling, source) triples:
+///
+/// 1. Compute the coarsest *equitable partition* refining (label, is-source)
+///    by color refinement (1-WL).  Under any universal deterministic
+///    algorithm, nodes in the same class have identical histories forever: a
+///    class transmits all-or-nothing, and equitability makes every member see
+///    the same transmitting-neighbour count and (when the count is 1) the
+///    same message.
+/// 2. A node v can only ever hear a message if some class K satisfies
+///    |Γ(v) ∩ K| = 1, and it can only become *informed* by hearing an
+///    informed class.  The closure of "can hear uniquely from" starting at
+///    the source class therefore upper-bounds the informable nodes under
+///    EVERY algorithm.  Any node outside the closure is a sound impossibility
+///    certificate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace radiocast::analysis {
+
+using graph::Graph;
+using graph::NodeId;
+
+struct SymmetryResult {
+  std::vector<std::uint32_t> node_class;  ///< stable equitable class per node
+  std::uint32_t class_count = 0;
+  bool broadcast_blocked = false;  ///< certificate found
+  NodeId blocked_node = graph::kNoNode;  ///< a provably never-informed node
+};
+
+/// `initial_colors`: per-node color encoding the label (any encoding works;
+/// the source is distinguished automatically).  Pass all-zero for an
+/// unlabeled network.
+SymmetryResult analyze_symmetry(const Graph& g,
+                                const std::vector<std::uint32_t>& initial_colors,
+                                NodeId source);
+
+}  // namespace radiocast::analysis

@@ -1,0 +1,155 @@
+#include "baselines/baselines.hpp"
+
+#include <bit>
+#include <memory>
+
+#include "sim/engine.hpp"
+#include "support/contracts.hpp"
+
+namespace radiocast::baselines {
+
+using sim::Message;
+using sim::MsgKind;
+
+namespace {
+
+std::uint32_t bits_for(std::uint32_t values) {
+  return values <= 1 ? 1u : std::bit_width(values - 1);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RoundRobinProtocol
+// ---------------------------------------------------------------------------
+
+RoundRobinProtocol::RoundRobinProtocol(std::uint32_t id, std::uint32_t modulus,
+                                       std::optional<std::uint32_t> source_message)
+    : id_(id), modulus_(modulus), payload_(source_message) {
+  RC_EXPECTS(modulus_ >= 1 && id_ < modulus_);
+}
+
+std::optional<Message> RoundRobinProtocol::on_round() {
+  ++round_;
+  if (payload_ && (round_ - 1) % modulus_ == id_) {
+    return Message{MsgKind::kData, 0, *payload_, std::nullopt};
+  }
+  return std::nullopt;
+}
+
+void RoundRobinProtocol::on_hear(const Message& m) {
+  if (m.kind == MsgKind::kData && !payload_) payload_ = m.payload;
+}
+
+// ---------------------------------------------------------------------------
+// ColorRobinProtocol
+// ---------------------------------------------------------------------------
+
+ColorRobinProtocol::ColorRobinProtocol(std::uint32_t color,
+                                       std::uint32_t color_count,
+                                       std::optional<std::uint32_t> source_message)
+    : color_(color), count_(color_count), payload_(source_message) {
+  RC_EXPECTS(count_ >= 1 && color_ < count_);
+}
+
+std::optional<Message> ColorRobinProtocol::on_round() {
+  ++round_;
+  if (payload_ && (round_ - 1) % count_ == color_) {
+    return Message{MsgKind::kData, 0, *payload_, std::nullopt};
+  }
+  return std::nullopt;
+}
+
+void ColorRobinProtocol::on_hear(const Message& m) {
+  if (m.kind == MsgKind::kData && !payload_) payload_ = m.payload;
+}
+
+// ---------------------------------------------------------------------------
+// DecayProtocol
+// ---------------------------------------------------------------------------
+
+DecayProtocol::DecayProtocol(std::uint32_t n, std::uint64_t seed,
+                             std::optional<std::uint32_t> source_message)
+    : phase_len_(bits_for(n) + 1), payload_(source_message), rng_(seed) {}
+
+std::optional<Message> DecayProtocol::on_round() {
+  ++round_;
+  if (!payload_) return std::nullopt;
+  const std::uint64_t step = (round_ - 1) % phase_len_;  // 0-based step j
+  const double p = 1.0 / static_cast<double>(1ull << step);
+  if (rng_.bernoulli(p)) {
+    return Message{MsgKind::kData, 0, *payload_, std::nullopt};
+  }
+  return std::nullopt;
+}
+
+void DecayProtocol::on_hear(const Message& m) {
+  if (m.kind == MsgKind::kData && !payload_) payload_ = m.payload;
+}
+
+// ---------------------------------------------------------------------------
+// Runners
+// ---------------------------------------------------------------------------
+
+namespace {
+
+BaselineRun finish(sim::Engine& engine, std::uint64_t max_rounds,
+                   std::uint32_t label_bits) {
+  engine.run_until([](const sim::Engine& e) { return e.all_informed(); },
+                   max_rounds);
+  BaselineRun out;
+  out.all_informed = engine.all_informed();
+  out.completion_round = engine.last_first_data_reception();
+  out.label_bits = label_bits;
+  return out;
+}
+
+}  // namespace
+
+BaselineRun run_round_robin(const graph::Graph& g, NodeId source,
+                            std::uint32_t mu) {
+  const std::uint32_t n = g.node_count();
+  std::vector<std::unique_ptr<sim::Protocol>> protocols;
+  protocols.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    protocols.push_back(std::make_unique<RoundRobinProtocol>(
+        v, n, v == source ? std::optional<std::uint32_t>(mu) : std::nullopt));
+  }
+  sim::Engine engine(g, std::move(protocols));
+  // id + modulus, each ⌈log2 n⌉ bits.
+  return finish(engine, 2ull * n * n + 16, 2 * bits_for(n));
+}
+
+BaselineRun run_color_robin(const graph::Graph& g, NodeId source,
+                            std::uint32_t mu) {
+  const auto coloring = graph::square_coloring(g);
+  std::vector<std::unique_ptr<sim::Protocol>> protocols;
+  protocols.reserve(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    protocols.push_back(std::make_unique<ColorRobinProtocol>(
+        coloring.color[v], coloring.count,
+        v == source ? std::optional<std::uint32_t>(mu) : std::nullopt));
+  }
+  sim::Engine engine(g, std::move(protocols));
+  const std::uint64_t max_rounds =
+      static_cast<std::uint64_t>(coloring.count) * (g.node_count() + 2) + 16;
+  return finish(engine, max_rounds, 2 * bits_for(coloring.count));
+}
+
+BaselineRun run_decay(const graph::Graph& g, NodeId source, std::uint64_t seed,
+                      std::uint32_t mu) {
+  Rng master(seed);
+  std::vector<std::unique_ptr<sim::Protocol>> protocols;
+  protocols.reserve(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    protocols.push_back(std::make_unique<DecayProtocol>(
+        g.node_count(), master.next(),
+        v == source ? std::optional<std::uint32_t>(mu) : std::nullopt));
+  }
+  sim::Engine engine(g, std::move(protocols));
+  // Expected O(D log n + log^2 n); allow a very generous cap.
+  const std::uint64_t max_rounds = 64ull * (g.node_count() + 16);
+  return finish(engine, max_rounds, 0);
+}
+
+}  // namespace radiocast::baselines

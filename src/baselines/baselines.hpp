@@ -1,0 +1,96 @@
+/// \file baselines.hpp
+/// \brief The comparison schemes the paper positions λ against (§1).
+///
+/// 1. Round-robin: unique ids = Θ(log n)-bit labels; the node with
+///    id ≡ (t-1) mod M transmits when informed.  Collision-free by
+///    construction; completes within M · ecc(s) rounds.
+/// 2. Color-robin: a proper coloring of G² (≤ Δ²+1 colors, Θ(log Δ)-bit
+///    labels); informed nodes of color ≡ (t-1) mod C transmit.  Two
+///    same-color transmitters are never within distance 2, so every
+///    transmission is heard by all listening neighbours; completes within
+///    C · ecc(s) rounds.
+/// 3. Decay (Bar-Yehuda–Goldreich–Itai): randomized, label-free, knows n.
+///    Rounds are grouped into phases of ⌈log2 n⌉+1 steps; in step j every
+///    informed node transmits with probability 2^{-j}.  Expected
+///    O(D log n + log² n) completion.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "graph/coloring.hpp"
+#include "graph/graph.hpp"
+#include "sim/protocol.hpp"
+#include "support/rng.hpp"
+
+namespace radiocast::baselines {
+
+using graph::NodeId;
+
+/// Round-robin over unique ids (label = (id, modulus)).
+class RoundRobinProtocol final : public sim::Protocol {
+ public:
+  RoundRobinProtocol(std::uint32_t id, std::uint32_t modulus,
+                     std::optional<std::uint32_t> source_message);
+
+  std::optional<sim::Message> on_round() override;
+  void on_hear(const sim::Message& m) override;
+  bool informed() const override { return payload_.has_value(); }
+
+ private:
+  std::uint32_t id_;
+  std::uint32_t modulus_;
+  std::optional<std::uint32_t> payload_;
+  std::uint64_t round_ = 0;
+};
+
+/// Round-robin over color classes of a proper G² coloring
+/// (label = (color, color_count)).
+class ColorRobinProtocol final : public sim::Protocol {
+ public:
+  ColorRobinProtocol(std::uint32_t color, std::uint32_t color_count,
+                     std::optional<std::uint32_t> source_message);
+
+  std::optional<sim::Message> on_round() override;
+  void on_hear(const sim::Message& m) override;
+  bool informed() const override { return payload_.has_value(); }
+
+ private:
+  std::uint32_t color_;
+  std::uint32_t count_;
+  std::optional<std::uint32_t> payload_;
+  std::uint64_t round_ = 0;
+};
+
+/// BGI Decay: label-free randomized baseline that knows n.
+class DecayProtocol final : public sim::Protocol {
+ public:
+  DecayProtocol(std::uint32_t n, std::uint64_t seed,
+                std::optional<std::uint32_t> source_message);
+
+  std::optional<sim::Message> on_round() override;
+  void on_hear(const sim::Message& m) override;
+  bool informed() const override { return payload_.has_value(); }
+
+ private:
+  std::uint32_t phase_len_;
+  std::optional<std::uint32_t> payload_;
+  std::uint64_t round_ = 0;
+  Rng rng_;
+};
+
+/// Completion statistics for one baseline execution.
+struct BaselineRun {
+  bool all_informed = false;
+  std::uint64_t completion_round = 0;
+  std::uint32_t label_bits = 0;  ///< bits a scheme needs per node
+};
+
+BaselineRun run_round_robin(const graph::Graph& g, NodeId source,
+                            std::uint32_t mu = 42);
+BaselineRun run_color_robin(const graph::Graph& g, NodeId source,
+                            std::uint32_t mu = 42);
+BaselineRun run_decay(const graph::Graph& g, NodeId source, std::uint64_t seed,
+                      std::uint32_t mu = 42);
+
+}  // namespace radiocast::baselines

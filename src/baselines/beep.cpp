@@ -1,0 +1,112 @@
+#include "baselines/beep.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "support/contracts.hpp"
+
+namespace radiocast::baselines {
+
+using sim::Message;
+using sim::MsgKind;
+
+BeepBroadcastProtocol::BeepBroadcastProtocol(
+    std::uint32_t bits, std::optional<std::uint32_t> source_message)
+    : bits_(bits),
+      state_(source_message ? State::kRelaying : State::kIdle),
+      decoded_(source_message) {
+  RC_EXPECTS(bits_ >= 1 && bits_ <= 32);
+  if (source_message) {
+    RC_EXPECTS_MSG(bits_ == 32 || *source_message < (1u << bits_),
+                   "message does not fit in the frame width");
+    relay_anchor_ = 0;  // source's frame occupies rounds 1 .. bits+1
+  }
+}
+
+bool BeepBroadcastProtocol::frame_bit(std::uint32_t value, std::uint32_t k) const {
+  // k = 1..bits_, MSB first.
+  return ((value >> (bits_ - k)) & 1u) != 0;
+}
+
+std::optional<Message> BeepBroadcastProtocol::on_round() {
+  ++round_;
+  // Fold in the previous round's observation: the engine's callbacks fire
+  // after on_round, and silence (no callback at all) is as meaningful as
+  // energy under collision detection.
+  const bool energy = energy_this_round_;
+  energy_this_round_ = false;
+  const std::uint64_t prev = round_ - 1;
+  if (state_ == State::kIdle) {
+    if (prev >= 1 && energy) {
+      // Sensed the start beep of the upstream relay frame.
+      frame_start_ = prev;
+      state_ = State::kDecoding;
+      accum_ = 0;
+      decoded_count_ = 0;
+    }
+  } else if (state_ == State::kDecoding) {
+    if (prev > frame_start_) {
+      accum_ = (accum_ << 1) | (energy ? 1u : 0u);
+      if (++decoded_count_ == bits_) {
+        decoded_ = accum_;
+        state_ = State::kRelaying;
+        // Relay frame directly follows the decoded frame, so all nodes of
+        // the same BFS layer relay in unison.
+        relay_anchor_ = frame_start_ + bits_;
+      }
+    }
+  }
+
+  if (state_ == State::kRelaying) {
+    const std::uint64_t offset = round_ - relay_anchor_;
+    if (offset == 1) {
+      return Message{MsgKind::kData, 0, 1, std::nullopt};  // start beep
+    }
+    if (offset >= 2 && offset <= bits_ + 1) {
+      const auto k = static_cast<std::uint32_t>(offset - 1);
+      if (frame_bit(*decoded_, k)) {
+        return Message{MsgKind::kData, 0, 1, std::nullopt};
+      }
+      return std::nullopt;  // silent bit round
+    }
+    state_ = State::kDone;
+  }
+  return std::nullopt;
+}
+
+void BeepBroadcastProtocol::on_hear(const Message&) { energy_this_round_ = true; }
+void BeepBroadcastProtocol::on_collision() { energy_this_round_ = true; }
+
+BeepRun run_beep(const graph::Graph& g, graph::NodeId source, std::uint32_t mu,
+                 std::uint32_t bits) {
+  RC_EXPECTS(source < g.node_count());
+  BeepRun out;
+  out.frame_bits = bits;
+
+  std::vector<std::unique_ptr<sim::Protocol>> protocols;
+  protocols.reserve(g.node_count());
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    protocols.push_back(std::make_unique<BeepBroadcastProtocol>(
+        bits, v == source ? std::optional<std::uint32_t>(mu) : std::nullopt));
+  }
+  sim::Engine engine(g, std::move(protocols),
+                     sim::EngineOptions{sim::TraceLevel::kCounters,
+                                        /*collision_detection=*/true});
+  const std::uint64_t max_rounds =
+      (static_cast<std::uint64_t>(bits) + 2) * (g.node_count() + 2);
+  engine.run_until([](const sim::Engine& e) { return e.all_informed(); },
+                   max_rounds);
+
+  bool ok = engine.all_informed();
+  for (graph::NodeId v = 0; v < g.node_count() && ok; ++v) {
+    const auto& p =
+        dynamic_cast<const BeepBroadcastProtocol&>(engine.protocol(v));
+    ok = p.decoded().has_value() && *p.decoded() == mu;
+  }
+  out.ok = ok;
+  out.completion_round = engine.round();
+  return out;
+}
+
+}  // namespace radiocast::baselines

@@ -1,0 +1,76 @@
+/// \file beep.hpp
+/// \brief Anonymous bit-by-bit broadcast under collision detection.
+///
+/// Paper §1.1: "If collision detection is available, broadcast is trivially
+/// feasible, even in anonymous networks: consecutive bits of the source
+/// message can be transmitted by a sequence of silent and noisy rounds,
+/// using silence as 0 and a message or collision as 1."
+///
+/// This protocol reproduces that remark.  Nodes are fully anonymous (no
+/// labels, no ids, identical code); only *energy vs silence* is observable,
+/// which requires the engine's collision-detection mode.  The message is sent
+/// as frames of 1 start-beep plus L data beeps:
+///
+///   - the source emits its frame in rounds 1 .. L+1;
+///   - every node at BFS distance d first senses energy in round
+///     (d-1)(L+1)+1, decodes the following L rounds, then relays the whole
+///     frame once.  All distance-d nodes relay in unison, so listeners at
+///     distance d+1 see the OR of identical aligned frames — exactly the
+///     frame itself.  No collision ever corrupts a bit.
+///
+/// Completion takes ecc(source) · (L+1) rounds — and it works on the
+/// unlabeled four-cycle, which is impossible without collision detection
+/// (experiment E7/E11).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "graph/graph.hpp"
+#include "sim/protocol.hpp"
+
+namespace radiocast::baselines {
+
+class BeepBroadcastProtocol final : public sim::Protocol {
+ public:
+  /// `bits`: frame width L (message length in bits, known network-wide).
+  /// `source_message`: engaged iff this node is the source.
+  BeepBroadcastProtocol(std::uint32_t bits,
+                        std::optional<std::uint32_t> source_message);
+
+  std::optional<sim::Message> on_round() override;
+  void on_hear(const sim::Message& m) override;
+  void on_collision() override;
+  bool informed() const override { return decoded_.has_value(); }
+
+  /// Observer: the decoded message (engaged once informed).
+  std::optional<std::uint32_t> decoded() const noexcept { return decoded_; }
+
+ private:
+  bool frame_bit(std::uint32_t value, std::uint32_t k) const;
+
+  enum class State : std::uint8_t { kIdle, kDecoding, kRelaying, kDone };
+
+  std::uint32_t bits_;
+  State state_;
+  std::optional<std::uint32_t> decoded_;
+  std::uint64_t round_ = 0;
+  std::uint64_t frame_start_ = 0;  ///< local round of the sensed start beep
+  std::uint64_t relay_anchor_ = 0; ///< relay frame = rounds anchor+1 .. anchor+bits+1
+  std::uint32_t accum_ = 0;        ///< bits decoded so far (MSB first)
+  std::uint32_t decoded_count_ = 0;
+  bool energy_this_round_ = false;
+};
+
+/// Result of an anonymous beep broadcast.
+struct BeepRun {
+  bool ok = false;                 ///< everyone decoded exactly µ
+  std::uint64_t completion_round = 0;
+  std::uint32_t frame_bits = 0;
+};
+
+/// Runs the beep protocol (engine in collision-detection mode).
+BeepRun run_beep(const graph::Graph& g, graph::NodeId source, std::uint32_t mu,
+                 std::uint32_t bits);
+
+}  // namespace radiocast::baselines

@@ -1,0 +1,153 @@
+/// \file protocols.hpp
+/// \brief Universal deterministic algorithms B (Algorithm 1) and B_ack
+///        (Algorithm 2), plus the common-completion-round wrapper (§3 end).
+///
+/// These are per-node state machines over the locality-enforcing
+/// sim::Protocol interface.  Every decision uses only the node's label and
+/// relative local timing ("first received µ one/two rounds ago"), exactly as
+/// the paper requires — no global clock is read anywhere; B_ack *reconstructs*
+/// global time from the O(log n)-bit stamps carried by messages.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/labeling.hpp"
+#include "sim/protocol.hpp"
+
+namespace radiocast::core {
+
+/// Algorithm 1 (B): 2-bit labels, unstamped messages.
+class BroadcastProtocol final : public sim::Protocol {
+ public:
+  /// `source_message`: engaged iff this node is the source (holds µ).
+  BroadcastProtocol(Label label, std::optional<std::uint32_t> source_message);
+
+  std::optional<sim::Message> on_round() override;
+  void on_hear(const sim::Message& m) override;
+  bool informed() const override { return payload_.has_value(); }
+
+  /// Observer: local round of the first µ reception (0 = source / never).
+  std::uint64_t first_data_round() const noexcept { return first_data_; }
+
+ private:
+  Label label_;
+  std::optional<std::uint32_t> payload_;
+  bool sent_or_received_ = false;
+  std::uint64_t round_ = 0;
+  std::uint64_t first_data_ = 0;
+  std::uint64_t last_data_tx_ = 0;
+  std::uint64_t stay_heard_ = 0;
+};
+
+/// Shared state machine for the *stamped* broadcast used by Algorithm 2 and
+/// both phases that B_arb layers on top of it.  Handles the source's initial
+/// transmission, the x1 rule, the x2 "stay" rule, the stay-triggered
+/// retransmission, stamp bookkeeping (`informedRound`, `transmitRounds`), and
+/// filtering by message kind + phase tag.  Ack initiation/forwarding is owner
+/// logic (it differs across B_ack / common-round / B_arb).
+class StampedCore {
+ public:
+  StampedCore(Label label, sim::MsgKind data_kind, std::uint8_t phase);
+
+  /// Turns this node into the phase origin: it will transmit
+  /// (data_kind, payload, stamp=first_stamp) at the next on_round.
+  void make_origin(std::uint32_t payload, std::uint64_t first_stamp);
+
+  /// Lines 4-5 of Algorithm 2: origin's one-off initial transmission.
+  std::optional<sim::Message> maybe_initial(std::uint64_t r);
+  /// Lines 12-16: transmit µ two local rounds after first receiving it (x1).
+  std::optional<sim::Message> maybe_x1(std::uint64_t r);
+  /// Lines 20-22: transmit "stay" one local round after first reception (x2).
+  std::optional<sim::Message> maybe_x2(std::uint64_t r) const;
+  /// Lines 23-27: stay-triggered retransmission.
+  std::optional<sim::Message> maybe_stay_trigger(std::uint64_t r);
+
+  /// Consumes matching data/stay messages; ignores everything else.
+  void hear(const sim::Message& m, std::uint64_t r);
+
+  bool informed() const noexcept { return payload_.has_value(); }
+  bool is_origin() const noexcept { return origin_; }
+  /// True iff the node first received the phase data in local round r-1.
+  bool just_informed(std::uint64_t r) const noexcept {
+    return first_data_local_ != 0 && r == first_data_local_ + 1;
+  }
+  /// The paper's informedRound variable (phase-relative global round).
+  std::uint64_t informed_stamp() const noexcept { return informed_stamp_; }
+  std::uint64_t first_data_local() const noexcept { return first_data_local_; }
+  /// The paper's transmitRounds test (line 29).
+  bool has_transmit_stamp(std::uint64_t k) const;
+  std::uint32_t payload() const;
+  std::uint8_t phase() const noexcept { return phase_; }
+
+ private:
+  sim::Message data_message(std::uint64_t stamp) const;
+
+  Label label_;
+  sim::MsgKind data_kind_;
+  std::uint8_t phase_;
+
+  std::optional<std::uint32_t> payload_;
+  bool origin_ = false;
+  bool origin_started_ = false;
+  std::uint64_t origin_first_stamp_ = 1;
+
+  std::uint64_t informed_stamp_ = 0;
+  std::uint64_t first_data_local_ = 0;
+  std::uint64_t last_data_tx_local_ = 0;
+  std::uint64_t stay_heard_local_ = 0;
+  std::uint64_t stay_stamp_ = 0;
+  std::vector<std::uint64_t> transmit_stamps_;
+};
+
+/// Algorithm 2 (B_ack): 3-bit labels, stamped messages, acknowledgement chain.
+class AckBroadcastProtocol final : public sim::Protocol {
+ public:
+  AckBroadcastProtocol(Label label, std::optional<std::uint32_t> source_message);
+
+  std::optional<sim::Message> on_round() override;
+  void on_hear(const sim::Message& m) override;
+  bool informed() const override { return core_.informed() || core_.is_origin(); }
+
+  /// Observer: local round at which the source first received an "ack"
+  /// (0 = not yet / not the source).
+  std::uint64_t ack_round() const noexcept { return ack_received_round_; }
+  std::uint64_t informed_stamp() const noexcept { return core_.informed_stamp(); }
+
+ private:
+  Label label_;
+  StampedCore core_;
+  std::uint64_t round_ = 0;
+  std::uint64_t ack_heard_local_ = 0;
+  std::uint64_t ack_heard_stamp_ = 0;
+  std::uint64_t ack_received_round_ = 0;  // source only
+};
+
+/// §3 closing construction: B_ack(µ), then the source broadcasts m (its first
+/// ack round) with a stamped B; every node then knows that the µ-broadcast
+/// was complete by round 2m, and all nodes agree on that round.
+class CommonRoundProtocol final : public sim::Protocol {
+ public:
+  CommonRoundProtocol(Label label, std::optional<std::uint32_t> source_message);
+
+  std::optional<sim::Message> on_round() override;
+  void on_hear(const sim::Message& m) override;
+  bool informed() const override { return phase1_.informed() || phase1_.is_origin(); }
+
+  /// Observer: the common round 2m once known to this node (0 = not yet).
+  std::uint64_t knows_done_at() const noexcept;
+  /// Observer: global round at which this node learned m (0 = not yet).
+  std::uint64_t learned_m_stamp() const noexcept;
+
+ private:
+  Label label_;
+  StampedCore phase1_;  ///< B_ack broadcast of µ (phase tag 1)
+  StampedCore phase2_;  ///< stamped B broadcast of m (phase tag 2)
+  std::uint64_t round_ = 0;
+  std::uint64_t ack_heard_local_ = 0;
+  std::uint64_t ack_heard_stamp_ = 0;
+  std::uint64_t m_value_ = 0;  // source: round of first ack; others: payload
+};
+
+}  // namespace radiocast::core

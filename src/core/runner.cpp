@@ -1,0 +1,190 @@
+#include "core/runner.hpp"
+
+#include <algorithm>
+
+namespace radiocast::core {
+
+namespace {
+
+std::uint64_t auto_rounds(std::uint32_t n, std::uint64_t factor) {
+  return factor * std::max<std::uint64_t>(n, 2) + 16;
+}
+
+std::uint64_t theorem_bound(std::uint32_t n) {
+  return n >= 2 ? 2ull * n - 3 : 0;
+}
+
+}  // namespace
+
+std::vector<std::unique_ptr<sim::Protocol>> make_broadcast_protocols(
+    const Labeling& labeling, std::uint32_t mu) {
+  std::vector<std::unique_ptr<sim::Protocol>> out;
+  out.reserve(labeling.labels.size());
+  for (NodeId v = 0; v < labeling.labels.size(); ++v) {
+    out.push_back(std::make_unique<BroadcastProtocol>(
+        labeling.labels[v],
+        v == labeling.source ? std::optional<std::uint32_t>(mu) : std::nullopt));
+  }
+  return out;
+}
+
+std::vector<std::unique_ptr<sim::Protocol>> make_ack_protocols(
+    const Labeling& labeling, std::uint32_t mu) {
+  std::vector<std::unique_ptr<sim::Protocol>> out;
+  out.reserve(labeling.labels.size());
+  for (NodeId v = 0; v < labeling.labels.size(); ++v) {
+    out.push_back(std::make_unique<AckBroadcastProtocol>(
+        labeling.labels[v],
+        v == labeling.source ? std::optional<std::uint32_t>(mu) : std::nullopt));
+  }
+  return out;
+}
+
+std::vector<std::unique_ptr<sim::Protocol>> make_common_round_protocols(
+    const Labeling& labeling, std::uint32_t mu) {
+  std::vector<std::unique_ptr<sim::Protocol>> out;
+  out.reserve(labeling.labels.size());
+  for (NodeId v = 0; v < labeling.labels.size(); ++v) {
+    out.push_back(std::make_unique<CommonRoundProtocol>(
+        labeling.labels[v],
+        v == labeling.source ? std::optional<std::uint32_t>(mu) : std::nullopt));
+  }
+  return out;
+}
+
+std::vector<std::unique_ptr<sim::Protocol>> make_arb_protocols(
+    const ArbLabeling& labeling, NodeId source, std::uint32_t mu) {
+  std::vector<std::unique_ptr<sim::Protocol>> out;
+  out.reserve(labeling.labels.size());
+  for (NodeId v = 0; v < labeling.labels.size(); ++v) {
+    out.push_back(std::make_unique<ArbProtocol>(
+        labeling.labels[v],
+        v == source ? std::optional<std::uint32_t>(mu) : std::nullopt));
+  }
+  return out;
+}
+
+BroadcastRun run_broadcast(const Graph& g, NodeId source, const RunOptions& opt) {
+  BroadcastRun out;
+  out.bound = theorem_bound(g.node_count());
+  Labeling labeling = label_broadcast(g, source, {opt.policy, opt.seed});
+  out.ell = labeling.stages.ell;
+  if (g.node_count() == 1) {
+    out.all_informed = true;
+    return out;
+  }
+  sim::Engine engine(g, make_broadcast_protocols(labeling, opt.mu),
+                     {opt.trace});
+  const auto max_rounds =
+      opt.max_rounds ? opt.max_rounds : auto_rounds(g.node_count(), 4);
+  engine.run_until([](const sim::Engine& e) { return e.all_informed(); },
+                   max_rounds);
+  out.all_informed = engine.all_informed();
+  out.completion_round = engine.last_first_data_reception();
+  out.max_node_tx = engine.max_tx_count();
+  if (opt.trace == sim::TraceLevel::kFull) {
+    out.stay_count = engine.trace().count_transmissions(sim::MsgKind::kStay);
+    out.data_tx_count = engine.trace().count_transmissions(sim::MsgKind::kData);
+  }
+  return out;
+}
+
+AckRun run_acknowledged(const Graph& g, NodeId source, const RunOptions& opt) {
+  AckRun out;
+  out.bound = theorem_bound(g.node_count());
+  Labeling labeling = label_acknowledged(g, source, {opt.policy, opt.seed});
+  out.ell = labeling.stages.ell;
+  out.z = labeling.z;
+  if (g.node_count() == 1) {
+    out.all_informed = true;
+    return out;
+  }
+  sim::Engine engine(g, make_ack_protocols(labeling, opt.mu), {opt.trace});
+  auto& src = dynamic_cast<AckBroadcastProtocol&>(engine.protocol(source));
+  const auto max_rounds =
+      opt.max_rounds ? opt.max_rounds : auto_rounds(g.node_count(), 6);
+  engine.run_until([&src](const sim::Engine&) { return src.ack_round() != 0; },
+                   max_rounds);
+  out.all_informed = engine.all_informed();
+  out.completion_round = engine.last_first_data_reception();
+  out.ack_round = src.ack_round();
+  out.max_stamp = engine.max_stamp_seen();
+  return out;
+}
+
+CommonRoundRun run_common_round(const Graph& g, NodeId source,
+                                const RunOptions& opt) {
+  CommonRoundRun out;
+  RC_EXPECTS_MSG(g.node_count() >= 2, "common-round needs at least two nodes");
+  Labeling labeling = label_acknowledged(g, source, {opt.policy, opt.seed});
+  sim::Engine engine(g, make_common_round_protocols(labeling, opt.mu),
+                     {opt.trace});
+  const auto max_rounds =
+      opt.max_rounds ? opt.max_rounds : auto_rounds(g.node_count(), 10);
+  // Run until every node knows m (and therefore the common round 2m).
+  engine.run_until(
+      [](const sim::Engine& e) {
+        for (NodeId v = 0; v < e.graph().node_count(); ++v) {
+          const auto& p = dynamic_cast<const CommonRoundProtocol&>(e.protocol(v));
+          if (p.knows_done_at() == 0) return false;
+        }
+        return true;
+      },
+      max_rounds);
+
+  const auto& src = dynamic_cast<const CommonRoundProtocol&>(engine.protocol(source));
+  out.common_round = src.knows_done_at();
+  out.m = out.common_round / 2;
+  bool ok = out.common_round != 0;
+  for (NodeId v = 0; v < g.node_count() && ok; ++v) {
+    const auto& p = dynamic_cast<const CommonRoundProtocol&>(engine.protocol(v));
+    ok = p.knows_done_at() == out.common_round &&
+         p.learned_m_stamp() < out.common_round;
+    out.last_learned = std::max(out.last_learned, p.learned_m_stamp());
+  }
+  out.ok = ok;
+  return out;
+}
+
+ArbRun run_arbitrary(const Graph& g, NodeId source, NodeId coordinator,
+                     const RunOptions& opt) {
+  ArbRun out;
+  out.coordinator = coordinator;
+  RC_EXPECTS_MSG(g.node_count() >= 2, "B_arb needs at least two nodes");
+  ArbLabeling labeling = label_arbitrary(g, coordinator, {opt.policy, opt.seed});
+  sim::Engine engine(g, make_arb_protocols(labeling, source, opt.mu),
+                     {opt.trace});
+  const auto max_rounds =
+      opt.max_rounds ? opt.max_rounds : auto_rounds(g.node_count(), 16);
+  engine.run_until(
+      [](const sim::Engine& e) {
+        for (NodeId v = 0; v < e.graph().node_count(); ++v) {
+          const auto& p = dynamic_cast<const ArbProtocol&>(e.protocol(v));
+          if (!p.mu() || p.done_round() == 0) return false;
+        }
+        return true;
+      },
+      max_rounds);
+  out.total_rounds = engine.round();
+
+  bool ok = true;
+  std::uint64_t done = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const auto& p = dynamic_cast<const ArbProtocol&>(engine.protocol(v));
+    if (!p.mu() || *p.mu() != opt.mu || p.done_round() == 0) {
+      ok = false;
+      break;
+    }
+    if (done == 0) done = p.done_round();
+    if (p.done_round() != done) {
+      ok = false;
+      break;
+    }
+    if (p.is_coordinator()) out.T = p.T();
+  }
+  out.ok = ok;
+  out.done_round = done;
+  return out;
+}
+
+}  // namespace radiocast::core

@@ -1,0 +1,43 @@
+#include "core/schedule.hpp"
+
+#include <algorithm>
+
+namespace radiocast::core {
+
+BroadcastSchedule predict_schedule(const Graph& g, const Labeling& labeling) {
+  const auto& st = labeling.stages;
+  BroadcastSchedule out;
+  out.informed_round.assign(g.node_count(), 0);
+  out.tx_count.assign(g.node_count(), 0);
+  if (g.node_count() <= 1) return out;
+
+  for (std::size_t i = 0; i < st.dom.size(); ++i) {
+    // Round 2i+1 (stage i+1 in 1-based terms): DOM transmits µ, NEW hears.
+    PlannedRound data;
+    data.round = 2 * i + 1;
+    data.is_data = true;
+    data.transmitters = st.dom[i];
+    data.newly_informed = st.fresh[i];
+    for (const NodeId v : data.transmitters) ++out.tx_count[v];
+    for (const NodeId v : data.newly_informed) {
+      out.informed_round[v] = data.round;
+    }
+    out.completion_round = std::max(out.completion_round, data.round);
+    out.rounds.push_back(std::move(data));
+
+    // Round 2i+2: the x2 designators among NEW_{i+1} transmit "stay".
+    PlannedRound stay;
+    stay.round = 2 * i + 2;
+    stay.is_data = false;
+    for (const NodeId v : st.fresh[i]) {
+      if (labeling.labels[v].x2) stay.transmitters.push_back(v);
+    }
+    if (!stay.transmitters.empty()) {
+      for (const NodeId v : stay.transmitters) ++out.tx_count[v];
+      out.rounds.push_back(std::move(stay));
+    }
+  }
+  return out;
+}
+
+}  // namespace radiocast::core

@@ -1,0 +1,41 @@
+/// \file schedule.hpp
+/// \brief Analytic prediction of B's entire execution from the stage sets.
+///
+/// Lemma 2.8 says the execution of algorithm B is fully determined by the
+/// DOM/NEW sequences: round 2i-1 transmitters are DOM_i (message µ), round 2i
+/// transmitters are the x2-designators inside NEW_i ("stay"), and NEW_i is
+/// informed in round 2i-1.  This module computes that schedule *without
+/// running the simulator* — the centralized planner's view — which enables
+///   - O(1)-per-query predictions (informed round, duty cycle, completion),
+///   - a differential oracle: the predicted schedule must equal the engine's
+///     trace transmission-for-transmission (tested),
+///   - deployment-time capacity analysis (per-node energy budgets).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/labeling.hpp"
+
+namespace radiocast::core {
+
+/// One planned round of the broadcast.
+struct PlannedRound {
+  std::uint64_t round = 0;             ///< 1-based global round
+  bool is_data = false;                ///< µ round (odd) vs "stay" round (even)
+  std::vector<NodeId> transmitters;    ///< sorted
+  std::vector<NodeId> newly_informed;  ///< sorted; data rounds only
+};
+
+/// The full predicted execution of algorithm B under `labeling`.
+struct BroadcastSchedule {
+  std::vector<PlannedRound> rounds;  ///< silent rounds are omitted
+  std::uint64_t completion_round = 0;
+  std::vector<std::uint64_t> informed_round;  ///< per node; 0 for the source
+  std::vector<std::uint32_t> tx_count;        ///< per-node duty cycle
+};
+
+/// Predicts the schedule from the labeling's stage sets (no simulation).
+BroadcastSchedule predict_schedule(const Graph& g, const Labeling& labeling);
+
+}  // namespace radiocast::core

@@ -1,0 +1,25 @@
+/// \file verifier.hpp
+/// \brief Checks the paper's exact execution characterization (Lemma 2.8)
+///        against a recorded trace.
+///
+/// Lemma 2.8: in round 2i-1 the transmitters of µ are exactly DOM_i and the
+/// first-time receivers of µ are exactly NEW_i; in round 2i the "stay"
+/// transmitters are exactly the x2-labeled members of NEW_i.  This is the
+/// strongest per-round statement in the paper, so the test suite runs it over
+/// every family and policy; benches reuse it as a self-check.
+#pragma once
+
+#include <string>
+
+#include "core/labeling.hpp"
+#include "sim/trace.hpp"
+
+namespace radiocast::core {
+
+/// Returns an empty string if the trace matches Lemma 2.8 (plus
+/// Observation 3.3: no µ/stay transmissions after round 2ℓ-3); otherwise a
+/// human-readable diagnostic naming the first violated round.
+std::string verify_lemma_2_8(const Graph& g, const Labeling& labeling,
+                             const sim::Trace& trace);
+
+}  // namespace radiocast::core

@@ -1,0 +1,47 @@
+#include "graph/coloring.hpp"
+
+#include <algorithm>
+
+namespace radiocast::graph {
+
+Coloring square_coloring(const Graph& g) {
+  const std::uint32_t n = g.node_count();
+  Coloring out;
+  out.color.assign(n, kNoNode);
+  // forbidden[c] == v marks color c as used within distance 2 of v.
+  std::vector<NodeId> forbidden;
+  for (NodeId v = 0; v < n; ++v) {
+    for (const NodeId u : g.neighbors(v)) {
+      if (out.color[u] != kNoNode) {
+        if (out.color[u] >= forbidden.size()) forbidden.resize(out.color[u] + 1, kNoNode);
+        forbidden[out.color[u]] = v;
+      }
+      for (const NodeId w : g.neighbors(u)) {
+        if (w != v && out.color[w] != kNoNode) {
+          if (out.color[w] >= forbidden.size()) forbidden.resize(out.color[w] + 1, kNoNode);
+          forbidden[out.color[w]] = v;
+        }
+      }
+    }
+    std::uint32_t c = 0;
+    while (c < forbidden.size() && forbidden[c] == v) ++c;
+    out.color[v] = c;
+    out.count = std::max(out.count, c + 1);
+  }
+  return out;
+}
+
+bool is_square_proper(const Graph& g, const Coloring& c) {
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (c.color[v] >= c.count) return false;
+    for (const NodeId u : g.neighbors(v)) {
+      if (c.color[u] == c.color[v]) return false;
+      for (const NodeId w : g.neighbors(u)) {
+        if (w != v && c.color[w] == c.color[v]) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace radiocast::graph

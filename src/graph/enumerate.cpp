@@ -1,0 +1,11 @@
+#include "graph/enumerate.hpp"
+
+namespace radiocast::graph {
+
+std::uint64_t connected_graph_count(std::uint32_t n) {
+  std::uint64_t count = 0;
+  for_each_connected_graph(n, [&count](const Graph&) { ++count; });
+  return count;
+}
+
+}  // namespace radiocast::graph

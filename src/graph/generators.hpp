@@ -1,0 +1,88 @@
+/// \file generators.hpp
+/// \brief Graph families used as radio-network workloads.
+///
+/// The paper's algorithms are universal (topology-independent), so the
+/// experiment sweeps draw from structurally diverse families: worst-case
+/// chains (paths achieve the 2n-3 bound), dense graphs, trees, grids/tori
+/// (the §5 one-bit claims), unit-disk graphs (the classical radio-network
+/// geometry and the paper's IoT motivation), series-parallel graphs, and
+/// clustered topologies.  Every generator returns a connected graph; the
+/// random families restore connectivity explicitly and deterministically.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace radiocast::graph {
+
+/// Path 0-1-…-(n-1).  n >= 1.
+Graph path(std::uint32_t n);
+
+/// Cycle on n >= 3 vertices.
+Graph cycle(std::uint32_t n);
+
+/// Star with centre 0 and n-1 leaves.  n >= 2.
+Graph star(std::uint32_t n);
+
+/// Complete graph K_n.  n >= 1.
+Graph complete(std::uint32_t n);
+
+/// Complete bipartite K_{a,b}; side A = 0..a-1, side B = a..a+b-1.
+Graph complete_bipartite(std::uint32_t a, std::uint32_t b);
+
+/// rows x cols grid; vertex (r, c) has id r*cols + c.  rows, cols >= 1.
+Graph grid(std::uint32_t rows, std::uint32_t cols);
+
+/// rows x cols torus (grid with wraparound).  rows, cols >= 3.
+Graph torus(std::uint32_t rows, std::uint32_t cols);
+
+/// d-dimensional hypercube, n = 2^d.  d >= 1.
+Graph hypercube(std::uint32_t dim);
+
+/// Wheel: hub 0 joined to a cycle 1..n-1.  n >= 4.
+Graph wheel(std::uint32_t n);
+
+/// The Petersen graph (10 vertices, 3-regular, girth 5).
+Graph petersen();
+
+/// Complete `arity`-ary tree of the given depth (root = 0, depth 0 = root only).
+Graph balanced_tree(std::uint32_t arity, std::uint32_t depth);
+
+/// Uniform random recursive tree: vertex i >= 1 attaches to a uniform j < i.
+Graph random_tree(std::uint32_t n, Rng& rng);
+
+/// Caterpillar: a spine path with `legs` pendant leaves per spine vertex.
+Graph caterpillar(std::uint32_t spine, std::uint32_t legs);
+
+/// Lollipop: K_k joined to a path of `tail` extra vertices.
+Graph lollipop(std::uint32_t clique, std::uint32_t tail);
+
+/// Erdős–Rényi G(n, p) conditioned on connectivity: after sampling, the
+/// components are chained together with one deterministic-random edge each, so
+/// the result is connected for every seed.
+Graph gnp_connected(std::uint32_t n, double p, Rng& rng);
+
+/// Random geometric (unit-disk) graph: n points in the unit square, edges
+/// within `radius`.  Components are chained via their closest point pairs, so
+/// the result stays geometrically plausible and connected.
+Graph random_geometric(std::uint32_t n, double radius, Rng& rng);
+
+/// Random 2-terminal series-parallel graph with approximately `edges` edges
+/// (duplicates arising from parallel composition are merged, so the final
+/// count can be lower).  Always connected.
+Graph series_parallel(std::uint32_t edges, Rng& rng);
+
+/// "IoT campus": `clusters` dense G(size, p_intra) clusters whose gateways
+/// (vertex 0 of each cluster) form a random tree backbone.
+Graph clustered(std::uint32_t clusters, std::uint32_t size, double p_intra,
+                Rng& rng);
+
+/// The 13-node graph reconstructed from the paper's Figure 1 (see DESIGN.md
+/// and EXPERIMENTS.md for the reconstruction argument).  Vertex 0 is the
+/// source; ids are chosen so the ascending-id DOM policy reproduces the
+/// figure's dominating-set choices exactly.
+Graph figure1();
+
+}  // namespace radiocast::graph

@@ -1,0 +1,63 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace radiocast::graph {
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  RC_EXPECTS(u < node_count() && v < node_count());
+  const auto nb = neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+std::uint32_t Graph::max_degree() const noexcept {
+  std::uint32_t best = 0;
+  for (NodeId v = 0; v < node_count(); ++v) best = std::max(best, degree(v));
+  return best;
+}
+
+std::string Graph::summary() const {
+  std::ostringstream os;
+  os << "Graph(n=" << node_count() << ", m=" << edge_count() << ")";
+  return os.str();
+}
+
+GraphBuilder::GraphBuilder(std::uint32_t node_count) : n_(node_count) {}
+
+GraphBuilder& GraphBuilder::add_edge(NodeId u, NodeId v) {
+  RC_EXPECTS_MSG(u != v, "self-loops are not allowed in simple graphs");
+  RC_EXPECTS(u < n_ && v < n_);
+  if (u > v) std::swap(u, v);
+  edges_.emplace_back(u, v);
+  return *this;
+}
+
+Graph GraphBuilder::build() && {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  Graph g;
+  g.offsets_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    ++g.offsets_[u + 1];
+    ++g.offsets_[v + 1];
+  }
+  for (std::size_t i = 1; i < g.offsets_.size(); ++i) {
+    g.offsets_[i] += g.offsets_[i - 1];
+  }
+  g.adj_.resize(edges_.size() * 2);
+  std::vector<std::uint32_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [u, v] : edges_) {
+    g.adj_[cursor[u]++] = v;
+    g.adj_[cursor[v]++] = u;
+  }
+  // Edges were inserted in sorted (u,v) order, but each vertex's list mixes
+  // lower and higher endpoints; sort per vertex for binary-search lookups.
+  for (NodeId v = 0; v < n_; ++v) {
+    std::sort(g.adj_.begin() + g.offsets_[v], g.adj_.begin() + g.offsets_[v + 1]);
+  }
+  return g;
+}
+
+}  // namespace radiocast::graph

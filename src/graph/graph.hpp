@@ -1,0 +1,85 @@
+/// \file graph.hpp
+/// \brief Immutable CSR graph and its builder.
+///
+/// Radio networks in the paper are simple undirected connected graphs.  The
+/// simulator iterates neighbourhoods in every round, so the storage is a
+/// compressed sparse row (CSR) layout: one offsets array and one flat,
+/// per-vertex-sorted adjacency array.  Graphs are immutable after `build()`;
+/// all mutation happens in `GraphBuilder`.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/contracts.hpp"
+
+namespace radiocast::graph {
+
+/// Vertex identifier; vertices are always 0..n-1.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node" / "unreached".
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+/// Immutable simple undirected graph in CSR form.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Number of vertices.
+  std::uint32_t node_count() const noexcept {
+    return static_cast<std::uint32_t>(offsets_.size() - 1);
+  }
+
+  /// Number of undirected edges.
+  std::size_t edge_count() const noexcept { return adj_.size() / 2; }
+
+  /// Sorted neighbours of `v`.
+  std::span<const NodeId> neighbors(NodeId v) const {
+    RC_EXPECTS(v < node_count());
+    return {adj_.data() + offsets_[v], adj_.data() + offsets_[v + 1]};
+  }
+
+  std::uint32_t degree(NodeId v) const {
+    RC_EXPECTS(v < node_count());
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Edge test by binary search: O(log deg(u)).
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// Maximum degree Δ.
+  std::uint32_t max_degree() const noexcept;
+
+  /// Human-readable one-line summary, e.g. "Graph(n=13, m=14)".
+  std::string summary() const;
+
+ private:
+  friend class GraphBuilder;
+  std::vector<std::uint32_t> offsets_{0};
+  std::vector<NodeId> adj_;
+};
+
+/// Accumulates edges, then produces a validated `Graph`.
+/// Self-loops are rejected; duplicate edges are deduplicated.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(std::uint32_t node_count);
+
+  /// Adds the undirected edge {u, v}.  u != v required.
+  GraphBuilder& add_edge(NodeId u, NodeId v);
+
+  std::uint32_t node_count() const noexcept { return n_; }
+
+  /// Finalizes into a CSR graph.  The builder may be reused afterwards only
+  /// by constructing a new one.
+  Graph build() &&;
+
+ private:
+  std::uint32_t n_;
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+};
+
+}  // namespace radiocast::graph

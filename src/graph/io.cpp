@@ -1,0 +1,68 @@
+#include "graph/io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace radiocast::graph {
+
+Graph read_edge_list(std::istream& in) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  NodeId max_id = 0;
+  std::uint32_t declared_nodes = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string first;
+    if (!(ls >> first)) continue;
+    if (first == "nodes") {
+      ls >> declared_nodes;
+      continue;
+    }
+    const NodeId u = static_cast<NodeId>(std::stoul(first));
+    NodeId v = 0;
+    RC_EXPECTS_MSG(static_cast<bool>(ls >> v), "malformed edge line");
+    edges.emplace_back(u, v);
+    max_id = std::max(max_id, std::max(u, v));
+  }
+  const std::uint32_t n =
+      std::max(declared_nodes, edges.empty() ? declared_nodes : max_id + 1);
+  GraphBuilder b(n);
+  for (const auto& [u, v] : edges) b.add_edge(u, v);
+  return std::move(b).build();
+}
+
+void write_edge_list(const Graph& g, std::ostream& out) {
+  out << "nodes " << g.node_count() << '\n';
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    for (const NodeId w : g.neighbors(v)) {
+      if (v < w) out << v << ' ' << w << '\n';
+    }
+  }
+}
+
+std::string to_dot(const Graph& g, const std::vector<std::string>& node_text,
+                   NodeId highlight) {
+  RC_EXPECTS(node_text.empty() || node_text.size() == g.node_count());
+  std::ostringstream os;
+  os << "graph radio {\n  node [shape=circle];\n";
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    os << "  n" << v << " [label=\"" << v;
+    if (!node_text.empty()) os << "\\n" << node_text[v];
+    os << "\"";
+    if (v == highlight) os << ", shape=doublecircle";
+    os << "];\n";
+  }
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    for (const NodeId w : g.neighbors(v)) {
+      if (v < w) os << "  n" << v << " -- n" << w << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace radiocast::graph

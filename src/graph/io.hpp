@@ -1,0 +1,25 @@
+/// \file io.hpp
+/// \brief Edge-list and Graphviz serialization.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace radiocast::graph {
+
+/// Reads an edge list: one "u v" pair per line; '#' starts a comment.
+/// Node count = 1 + max id seen (or the optional header "nodes N").
+Graph read_edge_list(std::istream& in);
+
+/// Writes "nodes N" followed by one "u v" line per edge.
+void write_edge_list(const Graph& g, std::ostream& out);
+
+/// Graphviz rendering; `node_text` (optional, size n) annotates vertices,
+/// `highlight` (optional) draws one vertex double-circled (the source).
+std::string to_dot(const Graph& g, const std::vector<std::string>& node_text = {},
+                   NodeId highlight = kNoNode);
+
+}  // namespace radiocast::graph

@@ -1,0 +1,178 @@
+#include "graph/properties.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "graph/traversal.hpp"
+
+namespace radiocast::graph {
+
+bool is_tree(const Graph& g) {
+  return g.node_count() >= 1 && g.edge_count() == g.node_count() - 1 &&
+         is_connected(g);
+}
+
+bool is_bipartite(const Graph& g, std::vector<std::uint8_t>* parts) {
+  const std::uint32_t n = g.node_count();
+  std::vector<std::uint8_t> side(n, 2);  // 2 = unvisited
+  for (NodeId start = 0; start < n; ++start) {
+    if (side[start] != 2) continue;
+    side[start] = 0;
+    std::deque<NodeId> queue{start};
+    while (!queue.empty()) {
+      const NodeId v = queue.front();
+      queue.pop_front();
+      for (const NodeId w : g.neighbors(v)) {
+        if (side[w] == 2) {
+          side[w] = static_cast<std::uint8_t>(1 - side[v]);
+          queue.push_back(w);
+        } else if (side[w] == side[v]) {
+          return false;
+        }
+      }
+    }
+  }
+  if (parts != nullptr) *parts = std::move(side);
+  return true;
+}
+
+std::uint32_t girth(const Graph& g) {
+  const std::uint32_t n = g.node_count();
+  std::uint32_t best = kUnreachable;
+  std::vector<std::uint32_t> dist(n);
+  std::vector<NodeId> parent(n);
+  for (NodeId s = 0; s < n; ++s) {
+    std::fill(dist.begin(), dist.end(), kUnreachable);
+    std::fill(parent.begin(), parent.end(), kNoNode);
+    dist[s] = 0;
+    std::deque<NodeId> queue{s};
+    while (!queue.empty()) {
+      const NodeId v = queue.front();
+      queue.pop_front();
+      for (const NodeId w : g.neighbors(v)) {
+        if (dist[w] == kUnreachable) {
+          dist[w] = dist[v] + 1;
+          parent[w] = v;
+          queue.push_back(w);
+        } else if (w != parent[v]) {
+          // Non-tree edge closes a cycle through s of length <= d(v)+d(w)+1.
+          best = std::min(best, dist[v] + dist[w] + 1);
+        }
+      }
+    }
+  }
+  return best == kUnreachable ? 0 : best;
+}
+
+std::uint32_t degeneracy(const Graph& g) {
+  const std::uint32_t n = g.node_count();
+  std::vector<std::uint32_t> deg(n);
+  std::vector<bool> removed(n, false);
+  for (NodeId v = 0; v < n; ++v) deg[v] = g.degree(v);
+  std::uint32_t result = 0;
+  for (std::uint32_t step = 0; step < n; ++step) {
+    NodeId best = kNoNode;
+    for (NodeId v = 0; v < n; ++v) {
+      if (!removed[v] && (best == kNoNode || deg[v] < deg[best])) best = v;
+    }
+    result = std::max(result, deg[best]);
+    removed[best] = true;
+    for (const NodeId w : g.neighbors(best)) {
+      if (!removed[w]) --deg[w];
+    }
+  }
+  return result;
+}
+
+std::uint64_t triangle_count(const Graph& g) {
+  std::uint64_t count = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    for (const NodeId u : g.neighbors(v)) {
+      if (u <= v) continue;
+      for (const NodeId w : g.neighbors(u)) {
+        if (w <= u) continue;
+        if (g.has_edge(v, w)) ++count;
+      }
+    }
+  }
+  return count;
+}
+
+std::vector<std::uint32_t> degree_histogram(const Graph& g) {
+  std::vector<std::uint32_t> hist(static_cast<std::size_t>(g.max_degree()) + 1, 0);
+  for (NodeId v = 0; v < g.node_count(); ++v) ++hist[g.degree(v)];
+  return hist;
+}
+
+bool is_series_parallel(const Graph& g) {
+  if (!is_connected(g) || g.node_count() < 2) return false;
+  // Mutable multigraph as adjacency multisets.
+  const std::uint32_t n = g.node_count();
+  std::vector<std::multiset<NodeId>> adj(n);
+  for (NodeId v = 0; v < n; ++v) {
+    for (const NodeId w : g.neighbors(v)) adj[v].insert(w);
+  }
+  std::vector<bool> alive(n, true);
+  std::uint32_t alive_count = n;
+  auto edge_count = [&] {
+    std::uint64_t twice = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (alive[v]) twice += adj[v].size();
+    }
+    return twice / 2;
+  };
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (NodeId v = 0; v < n; ++v) {
+      if (!alive[v]) continue;
+      // Parallel reduction: collapse duplicate edges at v.
+      for (auto it = adj[v].begin(); it != adj[v].end();) {
+        if (adj[v].count(*it) > 1) {
+          const NodeId w = *it;
+          // Keep one copy of {v, w}.
+          while (adj[v].count(w) > 1) {
+            adj[v].erase(adj[v].find(w));
+            adj[w].erase(adj[w].find(v));
+            progress = true;
+          }
+          it = adj[v].begin();
+        } else {
+          ++it;
+        }
+      }
+      if (adj[v].size() == 1 && alive_count > 2) {
+        // Degree-1 removal (pendant): irrelevant to 2-terminal reducibility.
+        const NodeId w = *adj[v].begin();
+        adj[w].erase(adj[w].find(v));
+        adj[v].clear();
+        alive[v] = false;
+        --alive_count;
+        progress = true;
+      } else if (adj[v].size() == 2 && alive_count > 2) {
+        // Series reduction: smooth v.
+        auto it = adj[v].begin();
+        const NodeId a = *it++;
+        const NodeId b = *it;
+        if (a == b) {
+          // Self-parallel through v; collapse.
+          adj[a].erase(adj[a].find(v));
+          adj[a].erase(adj[a].find(v));
+        } else {
+          adj[a].erase(adj[a].find(v));
+          adj[b].erase(adj[b].find(v));
+          adj[a].insert(b);
+          adj[b].insert(a);
+        }
+        adj[v].clear();
+        alive[v] = false;
+        --alive_count;
+        progress = true;
+      }
+    }
+  }
+  return alive_count == 2 && edge_count() == 1;
+}
+
+}  // namespace radiocast::graph

@@ -1,0 +1,41 @@
+/// \file properties.hpp
+/// \brief Structural predicates and invariants used to validate generators
+///        and to characterize experiment workloads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace radiocast::graph {
+
+/// Connected and m = n - 1.
+bool is_tree(const Graph& g);
+
+/// Two-colorable; if so and `parts` is non-null, writes the 0/1 side of every
+/// vertex (component-wise).
+bool is_bipartite(const Graph& g, std::vector<std::uint8_t>* parts = nullptr);
+
+/// Length of the shortest cycle; 0 if the graph is acyclic (a forest).
+/// BFS from every vertex: O(n·m), fine for test/workload sizes.
+std::uint32_t girth(const Graph& g);
+
+/// Degeneracy (smallest d such that every subgraph has a vertex of degree
+/// <= d) and a degeneracy ordering via repeated minimum-degree removal.
+std::uint32_t degeneracy(const Graph& g);
+
+/// Number of triangles.
+std::uint64_t triangle_count(const Graph& g);
+
+/// Per-degree histogram: result[d] = #vertices of degree d.
+std::vector<std::uint32_t> degree_histogram(const Graph& g);
+
+/// True iff the graph is 2-terminal series-parallel reducible between any
+/// terminals, tested by the classical reduction: repeatedly remove degree-1
+/// vertices, smooth degree-2 vertices (merging parallel edges), and accept
+/// iff a single edge remains.  Series-parallel graphs are exactly the
+/// K4-minor-free connected graphs.
+bool is_series_parallel(const Graph& g);
+
+}  // namespace radiocast::graph

@@ -1,0 +1,63 @@
+#include "graph/traversal.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace radiocast::graph {
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source) {
+  RC_EXPECTS(source < g.node_count());
+  std::vector<std::uint32_t> dist(g.node_count(), kUnreachable);
+  std::deque<NodeId> queue{source};
+  dist[source] = 0;
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    for (const NodeId w : g.neighbors(v)) {
+      if (dist[w] == kUnreachable) {
+        dist[w] = dist[v] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.node_count() == 0) return true;
+  const auto dist = bfs_distances(g, 0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](std::uint32_t d) { return d == kUnreachable; });
+}
+
+std::uint32_t eccentricity(const Graph& g, NodeId source) {
+  const auto dist = bfs_distances(g, source);
+  std::uint32_t ecc = 0;
+  for (const auto d : dist) {
+    RC_EXPECTS_MSG(d != kUnreachable, "eccentricity requires a connected graph");
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::uint32_t diameter(const Graph& g) {
+  std::uint32_t diam = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    diam = std::max(diam, eccentricity(g, v));
+  }
+  return diam;
+}
+
+std::vector<std::vector<NodeId>> bfs_layers(const Graph& g, NodeId source) {
+  const auto dist = bfs_distances(g, source);
+  std::uint32_t ecc = 0;
+  for (const auto d : dist) {
+    RC_EXPECTS_MSG(d != kUnreachable, "bfs_layers requires a connected graph");
+    ecc = std::max(ecc, d);
+  }
+  std::vector<std::vector<NodeId>> layers(static_cast<std::size_t>(ecc) + 1);
+  for (NodeId v = 0; v < g.node_count(); ++v) layers[dist[v]].push_back(v);
+  return layers;
+}
+
+}  // namespace radiocast::graph

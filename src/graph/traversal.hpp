@@ -1,0 +1,31 @@
+/// \file traversal.hpp
+/// \brief BFS-based structural queries: distances, connectivity, eccentricity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace radiocast::graph {
+
+/// Distance (in hops) used by traversal routines; kUnreachable for no path.
+inline constexpr std::uint32_t kUnreachable = static_cast<std::uint32_t>(-1);
+
+/// BFS distances from `source` to every vertex.
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source);
+
+/// True iff the graph is connected (n = 0 counts as connected).
+bool is_connected(const Graph& g);
+
+/// Maximum finite BFS distance from `source`.  Requires a connected graph.
+std::uint32_t eccentricity(const Graph& g, NodeId source);
+
+/// Exact diameter by all-pairs BFS: O(n·m).  Intended for tests and small
+/// experiment graphs.
+std::uint32_t diameter(const Graph& g);
+
+/// BFS layers from `source`: layers[d] lists the vertices at distance d.
+std::vector<std::vector<NodeId>> bfs_layers(const Graph& g, NodeId source);
+
+}  // namespace radiocast::graph

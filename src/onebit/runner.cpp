@@ -1,0 +1,129 @@
+#include "onebit/runner.hpp"
+
+#include <algorithm>
+
+#include "core/protocols.hpp"
+#include "sim/engine.hpp"
+
+namespace radiocast::onebit {
+
+namespace {
+
+constexpr std::uint32_t kMu = 99;
+
+std::uint32_t count_ones(const std::vector<bool>& bits) {
+  std::uint32_t ones = 0;
+  for (const bool b : bits) ones += b ? 1u : 0u;
+  return ones;
+}
+
+/// Lowest-id node whose first reception happens in the final wave; used as z.
+/// Replays the closed-form dynamics to find per-node informed stages.
+graph::NodeId last_informed_node(const Graph& g, graph::NodeId source,
+                                 const std::vector<bool>& bits) {
+  // Replay and remember the last NEW set.
+  std::vector<bool> informed(g.node_count(), false);
+  informed[source] = true;
+  std::vector<graph::NodeId> tx{source};
+  std::vector<graph::NodeId> fresh, last_fresh;
+  std::vector<std::uint32_t> cnt(g.node_count(), 0);
+  std::vector<bool> in_set(g.node_count(), false);
+  const std::uint64_t max_stages = 4ull * g.node_count() + 8;
+  for (std::uint64_t stage = 1; stage <= max_stages; ++stage) {
+    cnt.assign(g.node_count(), 0);
+    for (const auto t : tx) {
+      for (const auto w : g.neighbors(t)) ++cnt[w];
+    }
+    for (const auto t : tx) cnt[t] = 0;
+    fresh.clear();
+    for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+      if (!informed[v] && cnt[v] == 1) fresh.push_back(v);
+    }
+    if (fresh.empty()) break;
+    last_fresh = fresh;
+    for (const auto v : fresh) informed[v] = true;
+    std::vector<graph::NodeId> designators;
+    for (const auto v : fresh) {
+      if (bits[v]) designators.push_back(v);
+    }
+    for (const auto b : designators) in_set[b] = true;
+    std::vector<graph::NodeId> next_tx = designators;
+    for (const auto v : tx) {
+      std::uint32_t c = 0;
+      for (const auto w : g.neighbors(v)) {
+        if (in_set[w]) ++c;
+      }
+      if (c == 1) next_tx.push_back(v);
+    }
+    for (const auto b : designators) in_set[b] = false;
+    std::sort(next_tx.begin(), next_tx.end());
+    tx = std::move(next_tx);
+  }
+  RC_ASSERT_MSG(!last_fresh.empty(), "no node was ever informed");
+  return last_fresh.front();
+}
+
+}  // namespace
+
+OneBitRun run_onebit(const Graph& g, graph::NodeId source,
+                     const OneBitOptions& opt) {
+  OneBitRun out;
+  const auto labeling = find_onebit_labeling(g, source, opt);
+  out.attempts = labeling.attempts;
+  if (!labeling.ok) return out;
+  out.labeling_found = true;
+  out.ones = count_ones(labeling.bits);
+  if (g.node_count() == 1) {
+    out.ok = true;
+    return out;
+  }
+
+  std::vector<std::unique_ptr<sim::Protocol>> protocols;
+  protocols.reserve(g.node_count());
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    const core::Label label{labeling.bits[v], labeling.bits[v], false};
+    protocols.push_back(std::make_unique<core::BroadcastProtocol>(
+        label, v == source ? std::optional<std::uint32_t>(kMu) : std::nullopt));
+  }
+  sim::Engine engine(g, std::move(protocols));
+  engine.run_until([](const sim::Engine& e) { return e.all_informed(); },
+                   4ull * g.node_count() + 16);
+  out.ok = engine.all_informed();
+  out.completion_round = engine.last_first_data_reception();
+  return out;
+}
+
+OneBitRun run_onebit_acknowledged(const Graph& g, graph::NodeId source,
+                                  const OneBitOptions& opt) {
+  OneBitRun out;
+  const auto labeling = find_onebit_labeling(g, source, opt);
+  out.attempts = labeling.attempts;
+  if (!labeling.ok) return out;
+  out.labeling_found = true;
+  out.ones = count_ones(labeling.bits);
+  if (g.node_count() == 1) {
+    out.ok = true;
+    return out;
+  }
+
+  const graph::NodeId z = last_informed_node(g, source, labeling.bits);
+  RC_ASSERT_MSG(!labeling.bits[z], "last-informed node must carry bit 0");
+
+  std::vector<std::unique_ptr<sim::Protocol>> protocols;
+  protocols.reserve(g.node_count());
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    const core::Label label{labeling.bits[v], labeling.bits[v], v == z};
+    protocols.push_back(std::make_unique<core::AckBroadcastProtocol>(
+        label, v == source ? std::optional<std::uint32_t>(kMu) : std::nullopt));
+  }
+  sim::Engine engine(g, std::move(protocols));
+  auto& src = dynamic_cast<core::AckBroadcastProtocol&>(engine.protocol(source));
+  engine.run_until([&src](const sim::Engine&) { return src.ack_round() != 0; },
+                   6ull * g.node_count() + 16);
+  out.ok = engine.all_informed() && src.ack_round() != 0;
+  out.completion_round = engine.last_first_data_reception();
+  out.ack_round = src.ack_round();
+  return out;
+}
+
+}  // namespace radiocast::onebit

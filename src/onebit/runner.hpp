@@ -1,0 +1,34 @@
+/// \file runner.hpp
+/// \brief Engine-validated execution of the 1-bit schemes.
+///
+/// The universal algorithm for 1-bit labels is algorithm B with x1 = x2 = the
+/// bit, so these runners reuse core::BroadcastProtocol / AckBroadcastProtocol
+/// with Label{b, b, ·}.  The acknowledged variant adds a third label value "z"
+/// (the last-informed node), mirroring §3 — three label values total, matching
+/// the paper's "acknowledged broadcast is possible using 3 labels".
+#pragma once
+
+#include "graph/graph.hpp"
+#include "onebit/labeler.hpp"
+
+namespace radiocast::onebit {
+
+struct OneBitRun {
+  bool labeling_found = false;
+  bool ok = false;                     ///< engine-validated full informedness
+  std::uint64_t completion_round = 0;  ///< last first-µ reception (engine)
+  std::uint64_t ack_round = 0;         ///< acknowledged variant only
+  std::uint32_t attempts = 0;          ///< labeling restarts consumed
+  std::uint32_t ones = 0;              ///< number of 1-labeled nodes
+};
+
+/// Finds a 1-bit labeling and validates broadcast through the real engine.
+OneBitRun run_onebit(const Graph& g, graph::NodeId source,
+                     const OneBitOptions& opt = {});
+
+/// 1-bit + z marker (3 label values): acknowledged broadcast via Algorithm 2
+/// machinery (stamped messages, z-initiated ack chain).
+OneBitRun run_onebit_acknowledged(const Graph& g, graph::NodeId source,
+                                  const OneBitOptions& opt = {});
+
+}  // namespace radiocast::onebit

@@ -1,0 +1,48 @@
+/// \file parallel_for.hpp
+/// \brief Deterministic data-parallel loops on top of ThreadPool.
+///
+/// `parallel_map` evaluates `f(i)` for i in [0, n) and returns results in
+/// index order regardless of scheduling, so sweeps produce identical tables
+/// on any thread count — a requirement for reproducible experiment output.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "support/contracts.hpp"
+
+namespace radiocast::par {
+
+/// Runs `body(i)` for every i in [0, n) using `pool`, blocking until done.
+/// Work is split into contiguous chunks to limit queue traffic.
+template <typename Body>
+void parallel_for(ThreadPool& pool, std::size_t n, Body body,
+                  std::size_t grain = 1) {
+  RC_EXPECTS(grain >= 1);
+  if (n == 0) return;
+  const std::size_t workers = pool.thread_count();
+  const std::size_t target_chunks = workers * 4;
+  std::size_t chunk = std::max(grain, (n + target_chunks - 1) / target_chunks);
+  for (std::size_t begin = 0; begin < n; begin += chunk) {
+    const std::size_t end = std::min(n, begin + chunk);
+    pool.submit([begin, end, &body] {
+      for (std::size_t i = begin; i < end; ++i) body(i);
+    });
+  }
+  pool.wait_idle();
+}
+
+/// Maps `f` over [0, n); results land in index order.
+template <typename F>
+auto parallel_map(ThreadPool& pool, std::size_t n, F f, std::size_t grain = 1)
+    -> std::vector<decltype(f(std::size_t{0}))> {
+  using R = decltype(f(std::size_t{0}));
+  std::vector<R> out(n);
+  parallel_for(
+      pool, n, [&](std::size_t i) { out[i] = f(i); }, grain);
+  return out;
+}
+
+}  // namespace radiocast::par

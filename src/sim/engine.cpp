@@ -1,0 +1,125 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+namespace radiocast::sim {
+
+Engine::Engine(const graph::Graph& g, std::vector<std::unique_ptr<Protocol>> protocols,
+               EngineOptions options)
+    : graph_(g), protocols_(std::move(protocols)), options_(options) {
+  RC_EXPECTS_MSG(protocols_.size() == g.node_count(),
+                 "one protocol per vertex required");
+  for (const auto& p : protocols_) RC_EXPECTS(p != nullptr);
+  const auto n = g.node_count();
+  first_data_.assign(n, 0);
+  tx_count_.assign(n, 0);
+  rx_count_.assign(n, 0);
+  tx_neighbor_count_.assign(n, 0);
+  unique_transmitter_.assign(n, graph::kNoNode);
+}
+
+std::uint64_t Engine::max_tx_count() const {
+  std::uint64_t best = 0;
+  for (const auto c : tx_count_) best = std::max(best, c);
+  return best;
+}
+
+bool Engine::step() {
+  ++round_;
+  const auto n = graph_.node_count();
+
+  // Phase 1: collect decisions in lockstep.  No delivery happens until every
+  // node has decided, so protocols cannot observe same-round transmissions.
+  decisions_.clear();
+  for (NodeId v = 0; v < n; ++v) {
+    if (auto msg = protocols_[v]->on_round()) {
+      decisions_.emplace_back(v, *msg);
+      if (msg->stamp) max_stamp_ = std::max(max_stamp_, *msg->stamp);
+    }
+  }
+
+  // Phase 2: per-listener transmitting-neighbour counts.
+  touched_.clear();
+  for (const auto& [t, msg] : decisions_) {
+    for (const NodeId w : graph_.neighbors(t)) {
+      if (tx_neighbor_count_[w] == 0) {
+        touched_.push_back(w);
+        unique_transmitter_[w] = t;
+      }
+      ++tx_neighbor_count_[w];
+    }
+  }
+
+  // Phase 3: deliver to listeners with exactly one transmitting neighbour.
+  RoundRecord record;
+  const bool record_full = options_.trace == TraceLevel::kFull;
+  if (record_full) record.transmissions = decisions_;
+
+  // A transmitting node never hears (paper §1.1); mark transmitters.
+  // tx_neighbor_count_ is only defined for touched nodes this round.
+  std::vector<bool> transmitting;
+  if (!decisions_.empty()) {
+    transmitting.assign(n, false);
+    for (const auto& [t, msg] : decisions_) transmitting[t] = true;
+  }
+
+  for (const NodeId w : touched_) {
+    const auto count = tx_neighbor_count_[w];
+    if (count == 1 && !transmitting[w]) {
+      const NodeId t = unique_transmitter_[w];
+      // Find t's message (decisions_ is sorted by id by construction).
+      const auto it = std::lower_bound(
+          decisions_.begin(), decisions_.end(), t,
+          [](const auto& d, NodeId id) { return d.first < id; });
+      RC_ASSERT(it != decisions_.end() && it->first == t);
+      const Message& m = it->second;
+      protocols_[w]->on_hear(m);
+      ++rx_count_[w];
+      if (m.kind == MsgKind::kData && first_data_[w] == 0) first_data_[w] = round_;
+      if (record_full) record.deliveries.emplace_back(w, m);
+    } else if (count >= 2 && !transmitting[w]) {
+      if (options_.collision_detection) protocols_[w]->on_collision();
+      if (record_full) record.collisions.push_back(w);
+    }
+  }
+
+  // Reset scratch for touched nodes only.
+  for (const NodeId w : touched_) {
+    tx_neighbor_count_[w] = 0;
+    unique_transmitter_[w] = graph::kNoNode;
+  }
+
+  tx_total_ += decisions_.size();
+  for (const auto& [t, msg] : decisions_) ++tx_count_[t];
+  silent_streak_ = decisions_.empty() ? silent_streak_ + 1 : 0;
+  if (record_full) trace_.push(std::move(record));
+  return !decisions_.empty();
+}
+
+bool Engine::all_informed() const {
+  for (const auto& p : protocols_) {
+    if (!p->informed()) return false;
+  }
+  return true;
+}
+
+std::uint32_t Engine::informed_count() const {
+  std::uint32_t count = 0;
+  for (const auto& p : protocols_) count += p->informed() ? 1u : 0u;
+  return count;
+}
+
+std::uint64_t Engine::last_first_data_reception() const {
+  std::uint64_t last = 0;
+  for (const auto r : first_data_) last = std::max(last, r);
+  return last;
+}
+
+const Trace& Engine::trace() const {
+  RC_EXPECTS_MSG(options_.trace == TraceLevel::kFull,
+                 "full trace was not recorded; construct Engine with "
+                 "TraceLevel::kFull");
+  return trace_;
+}
+
+}  // namespace radiocast::sim

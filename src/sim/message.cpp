@@ -1,0 +1,27 @@
+#include "sim/message.hpp"
+
+#include <sstream>
+
+namespace radiocast::sim {
+
+const char* to_string(MsgKind k) {
+  switch (k) {
+    case MsgKind::kData: return "Data";
+    case MsgKind::kStay: return "Stay";
+    case MsgKind::kAck: return "Ack";
+    case MsgKind::kInit: return "Init";
+    case MsgKind::kReady: return "Ready";
+  }
+  return "?";
+}
+
+std::string to_string(const Message& m) {
+  std::ostringstream os;
+  os << to_string(m.kind);
+  if (m.phase != 0) os << "/ph" << static_cast<int>(m.phase);
+  os << "(p=" << m.payload << ")";
+  if (m.stamp) os << "@" << *m.stamp;
+  return os.str();
+}
+
+}  // namespace radiocast::sim

@@ -1,0 +1,47 @@
+/// \file protocol.hpp
+/// \brief The universal-algorithm interface.
+///
+/// A universal deterministic broadcast algorithm decides, per round, from the
+/// node's **label and local history only** (paper §1.1).  This interface makes
+/// that structural: a protocol object is constructed from its label (and, for
+/// the source, the message), and the engine only ever calls `on_round()` and
+/// `on_hear()`.  There is no way for a protocol to see the graph, the global
+/// round number, or any other node's state.  Collisions are invisible: the
+/// engine simply does not call `on_hear` (no collision detection).
+#pragma once
+
+#include "sim/message.hpp"
+
+namespace radiocast::sim {
+
+/// Per-node protocol state machine.
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  Protocol() = default;
+  Protocol(const Protocol&) = delete;
+  Protocol& operator=(const Protocol&) = delete;
+
+  /// Called once at the start of every round, in lockstep at all nodes.
+  /// Return a message to transmit it this round, or std::nullopt to listen.
+  virtual std::optional<Message> on_round() = 0;
+
+  /// Called after the round resolves iff this node listened and exactly one
+  /// of its neighbours transmitted.  Never called for transmitting nodes.
+  virtual void on_hear(const Message& m) = 0;
+
+  /// Called instead of on_hear iff this node listened, two or more
+  /// neighbours transmitted, **and** the engine was configured with
+  /// `collision_detection = true`.  The default radio model of the paper has
+  /// no collision detection, so the default engine never calls this; the
+  /// hook exists to reproduce the paper's §1.1 remark that collision
+  /// detection makes broadcast trivially feasible even in anonymous networks.
+  virtual void on_collision() {}
+
+  /// Observer hook for the harness/tests only: whether this node holds the
+  /// source message.  Protocol logic of *other* nodes never reads this.
+  virtual bool informed() const = 0;
+};
+
+}  // namespace radiocast::sim

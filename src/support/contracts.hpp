@@ -1,0 +1,81 @@
+/// \file contracts.hpp
+/// \brief Lightweight design-by-contract macros used across the library.
+///
+/// The C++ Core Guidelines recommend stating preconditions (`Expects`) and
+/// postconditions (`Ensures`) explicitly (I.5/I.7).  We throw a dedicated
+/// exception type instead of calling `std::terminate` so that the test suite
+/// can assert on contract violations, and so that long experiment sweeps can
+/// report a broken invariant together with the offending configuration.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace radiocast {
+
+/// Thrown when a precondition, postcondition or internal invariant is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& message) {
+  std::string what(kind);
+  what += " violated: ";
+  what += expr;
+  if (!message.empty()) {
+    what += " — ";
+    what += message;
+  }
+  what += " (";
+  what += file;
+  what += ':';
+  what += std::to_string(line);
+  what += ')';
+  throw ContractViolation(what);
+}
+}  // namespace detail
+
+}  // namespace radiocast
+
+/// Precondition check.  `msg` is optional context, evaluated lazily.
+#define RC_EXPECTS(cond)                                                        \
+  do {                                                                          \
+    if (!(cond))                                                                \
+      ::radiocast::detail::contract_fail("precondition", #cond, __FILE__,       \
+                                         __LINE__, {});                        \
+  } while (false)
+
+#define RC_EXPECTS_MSG(cond, msg)                                               \
+  do {                                                                          \
+    if (!(cond))                                                                \
+      ::radiocast::detail::contract_fail("precondition", #cond, __FILE__,       \
+                                         __LINE__, (msg));                     \
+  } while (false)
+
+/// Postcondition check.
+#define RC_ENSURES(cond)                                                        \
+  do {                                                                          \
+    if (!(cond))                                                                \
+      ::radiocast::detail::contract_fail("postcondition", #cond, __FILE__,      \
+                                         __LINE__, {});                        \
+  } while (false)
+
+/// Internal invariant check (always on: the library is about correctness
+/// claims, so we do not compile these out in release builds).
+#define RC_ASSERT(cond)                                                         \
+  do {                                                                          \
+    if (!(cond))                                                                \
+      ::radiocast::detail::contract_fail("invariant", #cond, __FILE__,          \
+                                         __LINE__, {});                        \
+  } while (false)
+
+#define RC_ASSERT_MSG(cond, msg)                                                \
+  do {                                                                          \
+    if (!(cond))                                                                \
+      ::radiocast::detail::contract_fail("invariant", #cond, __FILE__,          \
+                                         __LINE__, (msg));                     \
+  } while (false)

@@ -1,0 +1,27 @@
+/// \file stopwatch.hpp
+/// \brief Monotonic wall-clock timer for the experiment harness.
+#pragma once
+
+#include <chrono>
+
+namespace radiocast {
+
+/// Starts timing on construction; `seconds()`/`millis()` read elapsed time.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace radiocast

@@ -1,0 +1,99 @@
+/// \file table.hpp
+/// \brief Fixed-width text tables for the benchmark harness.
+///
+/// Every experiment binary prints the rows the paper's claims correspond to.
+/// A small shared formatter keeps that output uniform and diffable.
+#pragma once
+
+#include <iomanip>
+#include <iosfwd>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/contracts.hpp"
+
+namespace radiocast {
+
+/// Column-aligned text table.  Cells are strings; numeric helpers format with
+/// a fixed precision so repeated runs diff cleanly.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {
+    RC_EXPECTS(!header_.empty());
+  }
+
+  /// Starts a new row; returns *this for chaining via `add`.
+  TextTable& row() {
+    rows_.emplace_back();
+    return *this;
+  }
+
+  TextTable& add(std::string cell) {
+    RC_EXPECTS_MSG(!rows_.empty(), "call row() before add()");
+    rows_.back().push_back(std::move(cell));
+    return *this;
+  }
+
+  TextTable& add(const char* cell) { return add(std::string(cell)); }
+
+  template <typename Integer>
+    requires std::integral<Integer>
+  TextTable& add(Integer v) {
+    return add(std::to_string(v));
+  }
+
+  TextTable& add(double v, int precision = 2) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return add(os.str());
+  }
+
+  /// Renders the table with a separator line under the header.
+  std::string str() const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& r : rows_) {
+      RC_ASSERT_MSG(r.size() == header_.size(), "row arity mismatch");
+      for (std::size_t c = 0; c < r.size(); ++c)
+        width[c] = std::max(width[c], r[c].size());
+    }
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        os << "| " << cells[c] << std::string(width[c] - cells[c].size() + 1, ' ');
+      }
+      os << "|\n";
+    };
+    emit(header_);
+    for (std::size_t c = 0; c < header_.size(); ++c)
+      os << '|' << std::string(width[c] + 2, '-');
+    os << "|\n";
+    for (const auto& r : rows_) emit(r);
+    return os.str();
+  }
+
+  /// Comma-separated rendering for downstream plotting.
+  std::string csv() const {
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        if (c) os << ',';
+        os << cells[c];
+      }
+      os << '\n';
+    };
+    emit(header_);
+    for (const auto& r : rows_) emit(r);
+    return os.str();
+  }
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace radiocast

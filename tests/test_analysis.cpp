@@ -1,0 +1,159 @@
+// Tests for src/analysis: the symmetry/impossibility engine (mechanizing the
+// paper's four-cycle argument), wire-size metrics, and the experiment suite.
+#include <gtest/gtest.h>
+
+#include "analysis/experiments.hpp"
+#include "analysis/metrics.hpp"
+#include "analysis/symmetry.hpp"
+#include "core/labeling.hpp"
+#include "graph/generators.hpp"
+#include "graph/traversal.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/rng.hpp"
+
+namespace radiocast::analysis {
+namespace {
+
+std::vector<std::uint32_t> unlabeled(std::uint32_t n) {
+  return std::vector<std::uint32_t>(n, 0);
+}
+
+TEST(Symmetry, FourCycleIsBlockedUnlabeled) {
+  // The paper's introduction argument, mechanized.
+  const auto g = graph::cycle(4);
+  const auto r = analyze_symmetry(g, unlabeled(4), 0);
+  EXPECT_TRUE(r.broadcast_blocked);
+  EXPECT_EQ(r.blocked_node, 2u);  // the antipode
+  // Classes: {s}, {1,3}, {2}.
+  EXPECT_EQ(r.class_count, 3u);
+  EXPECT_EQ(r.node_class[1], r.node_class[3]);
+  EXPECT_NE(r.node_class[0], r.node_class[2]);
+}
+
+TEST(Symmetry, EvenCyclesBlockedOddCyclesNot) {
+  for (const std::uint32_t n : {4u, 6u, 8u, 10u}) {
+    const auto r = analyze_symmetry(graph::cycle(n), unlabeled(n), 0);
+    EXPECT_TRUE(r.broadcast_blocked) << "C" << n;
+  }
+  for (const std::uint32_t n : {3u, 5u, 7u, 9u}) {
+    const auto r = analyze_symmetry(graph::cycle(n), unlabeled(n), 0);
+    EXPECT_FALSE(r.broadcast_blocked) << "C" << n;
+  }
+}
+
+TEST(Symmetry, OneBitOnC4Unblocks) {
+  // Giving the two source neighbours different labels breaks the symmetry.
+  std::vector<std::uint32_t> colors = {0, 1, 0, 0};
+  const auto r = analyze_symmetry(graph::cycle(4), colors, 0);
+  EXPECT_FALSE(r.broadcast_blocked);
+}
+
+TEST(Symmetry, LambdaLabelsAlwaysUnblock) {
+  // The paper's scheme must (and does) break every such obstruction — if it
+  // did not, algorithm B could not succeed.
+  Rng rng(91);
+  for (int rep = 0; rep < 15; ++rep) {
+    const auto g = graph::gnp_connected(14, 0.18, rng);
+    const auto lab = core::label_broadcast(g, 0);
+    std::vector<std::uint32_t> colors(g.node_count());
+    for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+      colors[v] = lab.labels[v].value();
+    }
+    const auto r = analyze_symmetry(g, colors, 0);
+    EXPECT_FALSE(r.broadcast_blocked) << "rep " << rep;
+  }
+}
+
+TEST(Symmetry, PathNeverBlocked) {
+  const auto r = analyze_symmetry(graph::path(9), unlabeled(9), 4);
+  EXPECT_FALSE(r.broadcast_blocked);
+}
+
+TEST(Symmetry, CompleteBipartiteBlockedUnlabeled) {
+  // From a side-A source, all of side B is one equitable class with >= 2
+  // neighbours everywhere: K_{2,2} = C4 generalizes.
+  const auto g = graph::complete_bipartite(2, 3);
+  const auto r = analyze_symmetry(g, unlabeled(5), 0);
+  EXPECT_TRUE(r.broadcast_blocked);
+}
+
+TEST(Symmetry, StarNotBlockedFromCenter) {
+  const auto r = analyze_symmetry(graph::star(6), unlabeled(6), 0);
+  EXPECT_FALSE(r.broadcast_blocked);
+}
+
+TEST(Symmetry, HypercubeBlockedUnlabeled) {
+  // Distance classes from the source are equitable with even counts.
+  const auto g = graph::hypercube(3);
+  const auto r = analyze_symmetry(g, unlabeled(8), 0);
+  EXPECT_TRUE(r.broadcast_blocked);
+}
+
+TEST(Symmetry, SourceClassIsSingleton) {
+  Rng rng(92);
+  const auto g = graph::gnp_connected(12, 0.3, rng);
+  const auto r = analyze_symmetry(g, unlabeled(12), 5);
+  for (graph::NodeId v = 0; v < 12; ++v) {
+    if (v != 5) {
+      EXPECT_NE(r.node_class[v], r.node_class[5]);
+    }
+  }
+}
+
+// --- Metrics -----------------------------------------------------------------
+
+TEST(Metrics, ControlBitsChargesFields) {
+  const sim::Message plain{sim::MsgKind::kData, 0, 7, std::nullopt};
+  EXPECT_EQ(control_bits(plain, false), 3u);  // kind only: B's messages are O(1)
+  const sim::Message stamped{sim::MsgKind::kData, 0, 7, 12};
+  EXPECT_EQ(control_bits(stamped, false), 3u + 4u);  // + ⌈log2(13)⌉
+  const sim::Message phased{sim::MsgKind::kAck, 2, 9, 12};
+  EXPECT_EQ(control_bits(phased, true), 3u + 2u + 4u + 4u);
+}
+
+TEST(Metrics, DistinctLabelsAndBits) {
+  std::vector<core::Label> labels(10);
+  EXPECT_EQ(distinct_labels(labels), 1u);
+  EXPECT_EQ(label_bits(labels), 1u);
+  labels[0] = {true, true, false};
+  labels[1] = {true, false, false};
+  labels[2] = {false, true, false};
+  EXPECT_EQ(distinct_labels(labels), 4u);
+  EXPECT_EQ(label_bits(labels), 2u);
+}
+
+// --- Experiment suite ---------------------------------------------------------
+
+TEST(Experiments, StandardSuiteIsConnectedAndNamed) {
+  const auto suite = standard_suite(24, 42);
+  EXPECT_GE(suite.size(), 15u);
+  for (const auto& w : suite) {
+    EXPECT_FALSE(w.family.empty());
+    EXPECT_TRUE(graph::is_connected(w.graph)) << w.family;
+    EXPECT_LT(w.source, w.graph.node_count()) << w.family;
+    EXPECT_GE(w.graph.node_count(), 4u) << w.family;
+  }
+}
+
+TEST(Experiments, SuiteDeterministicPerSeed) {
+  const auto a = standard_suite(24, 42);
+  const auto b = standard_suite(24, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].graph.edge_count(), b[i].graph.edge_count()) << a[i].family;
+  }
+}
+
+TEST(Experiments, SweepPreservesOrder) {
+  par::ThreadPool pool(3);
+  const auto suite = quick_suite(16, 1);
+  const auto rows = sweep(pool, suite,
+                          [](const Workload& w) { return w.family; });
+  ASSERT_EQ(rows.size(), suite.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i], suite[i].family);
+  }
+}
+
+}  // namespace
+}  // namespace radiocast::analysis

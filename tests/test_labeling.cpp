@@ -1,0 +1,197 @@
+// Tests for src/core/labeling.cpp: λ (§2.2), λ_ack (§3.1, Fact 3.1) and
+// λ_arb (§4.1) — bit semantics, label-count guarantees and designator rules.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/experiments.hpp"
+#include "analysis/metrics.hpp"
+#include "core/labeling.hpp"
+#include "graph/generators.hpp"
+#include "support/rng.hpp"
+
+namespace radiocast::core {
+namespace {
+
+TEST(Label, ToStringAndValue) {
+  const Label l{true, false, true};
+  EXPECT_EQ(l.to_string(2), "10");
+  EXPECT_EQ(l.to_string(3), "101");
+  EXPECT_EQ(l.value(), 5);
+  EXPECT_EQ((Label{}).value(), 0);
+  EXPECT_THROW((void)l.to_string(4), ContractViolation);
+}
+
+TEST(LabelBroadcast, X1MarksExactlyDomMembers) {
+  const auto g = graph::figure1();
+  const auto lab = label_broadcast(g, 0);
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_EQ(lab.labels[v].x1, lab.stages.in_any_dom(v)) << v;
+    EXPECT_FALSE(lab.labels[v].x3);
+  }
+}
+
+TEST(LabelBroadcast, Figure1LabelsExact) {
+  const auto lab = label_broadcast(graph::figure1(), 0);
+  const char* expected[] = {"10", "10", "10", "10", "10", "11", "11",
+                            "01", "00", "00", "00", "00", "00"};
+  for (graph::NodeId v = 0; v < 13; ++v) {
+    EXPECT_EQ(lab.labels[v].to_string(), expected[v]) << "node " << v;
+  }
+}
+
+TEST(LabelBroadcast, UsesAtMostFourValues) {
+  Rng rng(31);
+  for (int rep = 0; rep < 20; ++rep) {
+    const auto g = graph::gnp_connected(30, 0.1, rng);
+    const auto lab = label_broadcast(g, 0);
+    for (const auto& l : lab.labels) EXPECT_FALSE(l.x3);
+    EXPECT_LE(analysis::distinct_labels(lab.labels), 4u);
+    EXPECT_LE(analysis::label_bits(lab.labels), 2u);
+  }
+}
+
+TEST(LabelBroadcast, DesignatorsAreFreshWithUniqueDominator) {
+  // Every x2 = 1 node w belongs to exactly one NEW_i, is adjacent to exactly
+  // one DOM_i member v, and v ∈ DOM_{i+1} ∩ DOM_i (the λ definition).
+  Rng rng(32);
+  for (int rep = 0; rep < 15; ++rep) {
+    const auto g = graph::gnp_connected(25, 0.12, rng);
+    const auto lab = label_broadcast(g, 0);
+    const auto& st = lab.stages;
+    for (graph::NodeId w = 0; w < g.node_count(); ++w) {
+      if (!lab.labels[w].x2) continue;
+      const auto i = st.stage_of[w];
+      ASSERT_GE(i, 1u);
+      ASSERT_LE(i + 1, st.dom.size());
+      std::vector<graph::NodeId> doms;
+      for (const auto u : g.neighbors(w)) {
+        if (std::binary_search(st.dom[i - 1].begin(), st.dom[i - 1].end(), u)) {
+          doms.push_back(u);
+        }
+      }
+      ASSERT_EQ(doms.size(), 1u) << "designator " << w;
+      const auto v = doms[0];
+      EXPECT_TRUE(std::binary_search(st.dom[i].begin(), st.dom[i].end(), v))
+          << "designated dominator " << v << " not retained in DOM_{i+1}";
+    }
+  }
+}
+
+TEST(LabelBroadcast, EveryRetainedDominatorHasExactlyOneDesignator) {
+  Rng rng(33);
+  for (int rep = 0; rep < 15; ++rep) {
+    const auto g = graph::gnp_connected(25, 0.12, rng);
+    const auto lab = label_broadcast(g, 0);
+    const auto& st = lab.stages;
+    for (std::size_t i = 0; i + 1 < st.dom.size(); ++i) {
+      for (const auto v : st.dom[i + 1]) {
+        if (!std::binary_search(st.dom[i].begin(), st.dom[i].end(), v)) continue;
+        // v ∈ DOM_{i+2} ∩ DOM_{i+1} (1-based i+1): exactly one x2 neighbour
+        // within NEW_{i+1}, so v's "stay" arrives collision-free.
+        std::uint32_t designators = 0;
+        for (const auto w : g.neighbors(v)) {
+          if (lab.labels[w].x2 &&
+              std::binary_search(st.fresh[i].begin(), st.fresh[i].end(), w)) {
+            ++designators;
+          }
+        }
+        EXPECT_EQ(designators, 1u) << "dominator " << v << " stage " << i + 2;
+      }
+    }
+  }
+}
+
+TEST(LabelAck, Fact31FiveLabelsOnly) {
+  // λ_ack never assigns 101, 111 or 011.
+  Rng rng(34);
+  for (int rep = 0; rep < 25; ++rep) {
+    const auto g = graph::gnp_connected(20, 0.15, rng);
+    const auto lab = label_acknowledged(g, 0);
+    const auto hist = label_histogram(lab.labels);
+    EXPECT_EQ(hist[0b101], 0u);
+    EXPECT_EQ(hist[0b111], 0u);
+    EXPECT_EQ(hist[0b011], 0u);
+    EXPECT_LE(analysis::distinct_labels(lab.labels), 5u);
+  }
+}
+
+TEST(LabelAck, ZIsUniqueAndLastInformed) {
+  const auto g = graph::figure1();
+  const auto lab = label_acknowledged(g, 0);
+  EXPECT_EQ(lab.z, 12u);  // H, informed in round 7
+  std::uint32_t x3_count = 0;
+  for (const auto& l : lab.labels) x3_count += l.x3 ? 1 : 0;
+  EXPECT_EQ(x3_count, 1u);
+  EXPECT_EQ(lab.labels[lab.z].to_string(3), "001");
+}
+
+TEST(LabelAck, SingleVertexDegenerateCase) {
+  const auto lab = label_acknowledged(graph::path(1), 0);
+  EXPECT_EQ(lab.z, 0u);
+}
+
+TEST(LabelArb, CoordinatorIs111AndUnique) {
+  Rng rng(35);
+  const auto g = graph::gnp_connected(25, 0.15, rng);
+  const auto lab = label_arbitrary(g, 4);
+  EXPECT_EQ(lab.coordinator, 4u);
+  EXPECT_EQ(lab.labels[4].to_string(3), "111");
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    if (v != 4) {
+      EXPECT_NE(lab.labels[v].to_string(3), "111");
+    }
+  }
+  EXPECT_LE(analysis::distinct_labels(lab.labels), 6u);
+}
+
+TEST(LabelArb, ZDistinctFromCoordinator) {
+  Rng rng(36);
+  for (int rep = 0; rep < 10; ++rep) {
+    const auto g = graph::gnp_connected(15, 0.2, rng);
+    const auto lab = label_arbitrary(g, 0);
+    EXPECT_NE(lab.z, lab.coordinator);
+    EXPECT_EQ(lab.labels[lab.z].to_string(3), "001");
+  }
+}
+
+TEST(LabelHistogram, CountsByValue) {
+  std::vector<Label> labels = {{false, false, false},
+                               {true, false, false},
+                               {true, false, false},
+                               {true, true, true}};
+  const auto h = label_histogram(labels);
+  EXPECT_EQ(h[0], 1u);
+  EXPECT_EQ(h[0b100], 2u);
+  EXPECT_EQ(h[0b111], 1u);
+  EXPECT_EQ(analysis::distinct_labels(labels), 3u);
+  EXPECT_EQ(analysis::label_bits(labels), 2u);
+}
+
+// Label-count guarantees across the whole family suite (experiment E3's
+// invariant, enforced as a test).
+class LabelSuite : public ::testing::TestWithParam<int> {
+ protected:
+  static const std::vector<analysis::Workload>& suite() {
+    static const auto s = analysis::standard_suite(32, 7);
+    return s;
+  }
+};
+
+TEST_P(LabelSuite, LabelBudgetsHold) {
+  const auto idx = static_cast<std::size_t>(GetParam());
+  if (idx >= suite().size()) GTEST_SKIP();
+  const auto& w = suite()[idx];
+  const auto lam = label_broadcast(w.graph, w.source);
+  EXPECT_LE(analysis::distinct_labels(lam.labels), 4u) << w.family;
+  const auto ack = label_acknowledged(w.graph, w.source);
+  const auto hist = label_histogram(ack.labels);
+  EXPECT_EQ(hist[0b101] + hist[0b111] + hist[0b011], 0u) << w.family;
+  const auto arb = label_arbitrary(w.graph, w.source);
+  EXPECT_LE(analysis::distinct_labels(arb.labels), 6u) << w.family;
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, LabelSuite, ::testing::Range(0, 19));
+
+}  // namespace
+}  // namespace radiocast::core

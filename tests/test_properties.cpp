@@ -1,0 +1,148 @@
+// Tests for src/graph/properties.cpp and the extra generator families —
+// structural predicates that also harden the generator suite (e.g. the
+// series-parallel generator must emit series-parallel graphs).
+#include <gtest/gtest.h>
+
+#include "graph/enumerate.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "graph/traversal.hpp"
+#include "support/rng.hpp"
+
+namespace radiocast::graph {
+namespace {
+
+TEST(Properties, TreesRecognized) {
+  EXPECT_TRUE(is_tree(path(7)));
+  EXPECT_TRUE(is_tree(star(5)));
+  EXPECT_TRUE(is_tree(balanced_tree(2, 3)));
+  EXPECT_FALSE(is_tree(cycle(5)));
+  EXPECT_FALSE(is_tree(complete(4)));
+  Rng rng(1);
+  for (int rep = 0; rep < 10; ++rep) {
+    EXPECT_TRUE(is_tree(random_tree(30, rng)));
+    EXPECT_TRUE(is_tree(caterpillar(6, 2)));
+  }
+}
+
+TEST(Properties, DisconnectedForestIsNotTree) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1).add_edge(2, 3);
+  EXPECT_FALSE(is_tree(std::move(b).build()));
+}
+
+TEST(Properties, BipartiteRecognition) {
+  EXPECT_TRUE(is_bipartite(path(9)));
+  EXPECT_TRUE(is_bipartite(cycle(8)));
+  EXPECT_FALSE(is_bipartite(cycle(7)));
+  EXPECT_TRUE(is_bipartite(complete_bipartite(3, 4)));
+  EXPECT_FALSE(is_bipartite(complete(3)));
+  EXPECT_TRUE(is_bipartite(hypercube(4)));
+  EXPECT_TRUE(is_bipartite(grid(5, 7)));
+  EXPECT_FALSE(is_bipartite(wheel(6)));
+}
+
+TEST(Properties, BipartitePartsAreProper) {
+  std::vector<std::uint8_t> parts;
+  const auto g = grid(4, 5);
+  ASSERT_TRUE(is_bipartite(g, &parts));
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    for (const NodeId w : g.neighbors(v)) {
+      EXPECT_NE(parts[v], parts[w]);
+    }
+  }
+}
+
+TEST(Properties, GirthValues) {
+  EXPECT_EQ(girth(path(10)), 0u);  // acyclic
+  EXPECT_EQ(girth(cycle(9)), 9u);
+  EXPECT_EQ(girth(complete(4)), 3u);
+  EXPECT_EQ(girth(complete_bipartite(2, 3)), 4u);
+  EXPECT_EQ(girth(grid(3, 3)), 4u);
+  EXPECT_EQ(girth(petersen()), 5u);
+  EXPECT_EQ(girth(hypercube(3)), 4u);
+}
+
+TEST(Properties, DegeneracyValues) {
+  EXPECT_EQ(degeneracy(path(10)), 1u);   // forest
+  EXPECT_EQ(degeneracy(cycle(10)), 2u);
+  EXPECT_EQ(degeneracy(complete(5)), 4u);
+  EXPECT_EQ(degeneracy(grid(4, 4)), 2u);
+  EXPECT_EQ(degeneracy(petersen()), 3u);
+  Rng rng(3);
+  EXPECT_LE(degeneracy(series_parallel(40, rng)), 2u);  // SP is 2-degenerate
+}
+
+TEST(Properties, TriangleCounts) {
+  EXPECT_EQ(triangle_count(path(10)), 0u);
+  EXPECT_EQ(triangle_count(complete(4)), 4u);
+  EXPECT_EQ(triangle_count(complete(5)), 10u);
+  EXPECT_EQ(triangle_count(cycle(3)), 1u);
+  EXPECT_EQ(triangle_count(petersen()), 0u);  // girth 5
+  EXPECT_EQ(triangle_count(wheel(5)), 4u);    // hub + each rim edge
+}
+
+TEST(Properties, DegreeHistogram) {
+  const auto h = degree_histogram(star(6));
+  ASSERT_EQ(h.size(), 6u);
+  EXPECT_EQ(h[1], 5u);
+  EXPECT_EQ(h[5], 1u);
+}
+
+TEST(Properties, SeriesParallelRecognition) {
+  EXPECT_TRUE(is_series_parallel(path(6)));
+  EXPECT_TRUE(is_series_parallel(cycle(8)));
+  EXPECT_FALSE(is_series_parallel(complete(4)));   // K4 itself
+  EXPECT_FALSE(is_series_parallel(petersen()));    // K4 minor
+  EXPECT_FALSE(is_series_parallel(grid(3, 3)));    // contains K4 minor
+  EXPECT_TRUE(is_series_parallel(complete_bipartite(2, 3)));
+}
+
+TEST(Properties, SeriesParallelGeneratorEmitsSeriesParallel) {
+  // The generator's whole point: every output must pass the reduction test.
+  Rng rng(77);
+  for (const std::uint32_t edges : {2u, 5u, 12u, 30u, 60u}) {
+    for (int rep = 0; rep < 4; ++rep) {
+      const auto g = series_parallel(edges, rng);
+      EXPECT_TRUE(is_series_parallel(g)) << g.summary() << " m=" << edges;
+    }
+  }
+}
+
+TEST(Generators, WheelStructure) {
+  const auto g = wheel(7);
+  EXPECT_EQ(g.node_count(), 7u);
+  EXPECT_EQ(g.edge_count(), 12u);  // 6 spokes + 6 rim edges
+  EXPECT_EQ(g.degree(0), 6u);
+  for (NodeId v = 1; v < 7; ++v) EXPECT_EQ(g.degree(v), 3u);
+  EXPECT_EQ(diameter(g), 2u);
+}
+
+TEST(Generators, PetersenStructure) {
+  const auto g = petersen();
+  EXPECT_EQ(g.node_count(), 10u);
+  EXPECT_EQ(g.edge_count(), 15u);
+  for (NodeId v = 0; v < 10; ++v) EXPECT_EQ(g.degree(v), 3u);
+  EXPECT_EQ(diameter(g), 2u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Properties, ExhaustiveCrossCheckTreesOn5Nodes) {
+  // Trees among connected 5-node graphs: exactly 5^3 = 125 labeled trees
+  // (Cayley's formula).
+  std::uint32_t trees = 0;
+  for_each_connected_graph(5, [&](const Graph& g) {
+    if (is_tree(g)) ++trees;
+  });
+  EXPECT_EQ(trees, 125u);
+}
+
+TEST(Properties, ExhaustiveGirthConsistency) {
+  // girth == 0 iff acyclic iff m == n-1 for connected graphs.
+  for_each_connected_graph(5, [](const Graph& g) {
+    ASSERT_EQ(girth(g) == 0, g.edge_count() == g.node_count() - 1);
+  });
+}
+
+}  // namespace
+}  // namespace radiocast::graph

@@ -1,0 +1,240 @@
+// Tests for src/core/stages.cpp: the §2.1 sequence construction.  Covers the
+// paper's Facts 2.1/2.2, Lemma 2.3 (disjointness), Lemma 2.4 (progress),
+// Lemma 2.5 (dominability), Lemma 2.6 (ell <= n) and Corollary 2.7
+// (partition), across families × policies.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "analysis/experiments.hpp"
+#include "core/stages.hpp"
+#include "graph/generators.hpp"
+#include "graph/traversal.hpp"
+#include "support/contracts.hpp"
+
+namespace radiocast::core {
+namespace {
+
+TEST(Stages, SingleVertex) {
+  const auto s = build_stage_sets(graph::path(1), 0);
+  EXPECT_EQ(s.ell, 1u);
+  EXPECT_TRUE(s.dom.empty());
+  EXPECT_TRUE(validate_stage_sets(graph::path(1), s).empty());
+}
+
+TEST(Stages, TwoVertices) {
+  const auto s = build_stage_sets(graph::path(2), 0);
+  EXPECT_EQ(s.ell, 2u);
+  ASSERT_EQ(s.dom.size(), 1u);
+  EXPECT_EQ(s.dom[0], std::vector<graph::NodeId>{0});
+  EXPECT_EQ(s.fresh[0], std::vector<graph::NodeId>{1});
+  EXPECT_EQ(s.stage_of[1], 1u);
+}
+
+TEST(Stages, StarCompletesInOneStage) {
+  const auto s = build_stage_sets(graph::star(10), 0);
+  EXPECT_EQ(s.ell, 2u);
+  EXPECT_EQ(s.fresh[0].size(), 9u);
+}
+
+TEST(Stages, StarFromLeaf) {
+  const auto s = build_stage_sets(graph::star(10), 3);
+  // Leaf informs centre (stage 1), centre informs the rest (stage 2).
+  EXPECT_EQ(s.ell, 3u);
+  EXPECT_EQ(s.fresh[0], std::vector<graph::NodeId>{0});
+  EXPECT_EQ(s.dom[1], std::vector<graph::NodeId>{0});
+  EXPECT_EQ(s.fresh[1].size(), 8u);
+}
+
+TEST(Stages, PathHasEllEqualN) {
+  // Paths from an endpoint are the extremal case for Lemma 2.6.
+  for (const std::uint32_t n : {2u, 3u, 7u, 25u}) {
+    const auto s = build_stage_sets(graph::path(n), 0);
+    EXPECT_EQ(s.ell, n) << "n=" << n;
+  }
+}
+
+TEST(Stages, PathFromMiddleHalvesEll) {
+  // Both sides of the path are informed in lockstep: stage i reaches the
+  // distance-i nodes, so ell = ecc + 1 = 11 instead of n = 21.
+  const auto s = build_stage_sets(graph::path(21), 10);
+  EXPECT_EQ(s.ell, 11u);
+}
+
+TEST(Stages, InformedRoundMatchesStage) {
+  const auto s = build_stage_sets(graph::figure1(), 0);
+  EXPECT_EQ(s.ell, 5u);
+  EXPECT_EQ(s.informed_round(1), 1u);   // A
+  EXPECT_EQ(s.informed_round(4), 3u);   // D
+  EXPECT_EQ(s.informed_round(7), 5u);   // G
+  EXPECT_EQ(s.informed_round(12), 7u);  // H
+  EXPECT_THROW(s.informed_round(0), ContractViolation);  // source has no stage
+}
+
+TEST(Stages, Figure1DomChoicesUnderAscendingPolicy) {
+  // The reconstruction argument (DESIGN.md §4) requires these exact sets.
+  const auto s = build_stage_sets(graph::figure1(), 0, DomPolicy::kAscendingId);
+  using V = std::vector<graph::NodeId>;
+  ASSERT_EQ(s.dom.size(), 4u);
+  EXPECT_EQ(s.dom[0], V{0});
+  EXPECT_EQ(s.dom[1], (V{1, 2, 3}));
+  EXPECT_EQ(s.dom[2], (V{2, 3, 4, 5, 6}));
+  EXPECT_EQ(s.dom[3], V{3});
+  EXPECT_EQ(s.fresh[1], (V{4, 5, 6}));
+  EXPECT_EQ(s.fresh[2], (V{7, 8, 9, 10, 11}));
+  EXPECT_EQ(s.fresh[3], V{12});
+}
+
+TEST(Stages, RequiresValidSource) {
+  EXPECT_THROW(build_stage_sets(graph::path(3), 5), ContractViolation);
+}
+
+TEST(Stages, InAnyDomMatchesX1Semantics) {
+  const auto s = build_stage_sets(graph::figure1(), 0);
+  for (const graph::NodeId v : {0u, 1u, 2u, 3u, 4u, 5u, 6u}) {
+    EXPECT_TRUE(s.in_any_dom(v)) << v;
+  }
+  for (const graph::NodeId v : {7u, 8u, 9u, 10u, 11u, 12u}) {
+    EXPECT_FALSE(s.in_any_dom(v)) << v;
+  }
+}
+
+TEST(Stages, ValidatorCatchesCorruptedDom) {
+  auto s = build_stage_sets(graph::figure1(), 0);
+  s.dom[1].pop_back();  // break domination
+  EXPECT_FALSE(validate_stage_sets(graph::figure1(), s).empty());
+}
+
+TEST(Stages, ValidatorCatchesNonMinimalDom) {
+  auto s = build_stage_sets(graph::path(5), 0);
+  // Add a redundant dominator: source back into DOM_2.
+  s.dom[1].insert(s.dom[1].begin(), 0);
+  EXPECT_FALSE(validate_stage_sets(graph::path(5), s).empty());
+}
+
+// --- Family × policy sweep ---------------------------------------------------
+
+using SweepParam = std::tuple<int /*suite index*/, DomPolicy>;
+
+class StageSweep : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  static const std::vector<analysis::Workload>& suite() {
+    static const auto s = analysis::standard_suite(24, 99);
+    return s;
+  }
+};
+
+TEST_P(StageSweep, ConstructionSatisfiesDefinition) {
+  const auto& [idx, policy] = GetParam();
+  if (static_cast<std::size_t>(idx) >= suite().size()) GTEST_SKIP();
+  const auto& w = suite()[static_cast<std::size_t>(idx)];
+  const auto s = build_stage_sets(w.graph, w.source, policy, 5);
+  const auto verdict = validate_stage_sets(w.graph, s);
+  EXPECT_TRUE(verdict.empty()) << w.family << ": " << verdict;
+  // Lemma 2.6.
+  EXPECT_LE(s.ell, w.graph.node_count()) << w.family;
+  // stage_of is consistent with the fresh sets (Cor 2.7 cross-check).
+  for (std::size_t i = 0; i < s.fresh.size(); ++i) {
+    for (const auto v : s.fresh[i]) {
+      EXPECT_EQ(s.stage_of[v], i + 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesXPolicies, StageSweep,
+    ::testing::Combine(::testing::Range(0, 19),
+                       ::testing::ValuesIn(kAllDomPolicies)),
+    [](const ::testing::TestParamInfo<SweepParam>& pinfo) {
+      return "w" + std::to_string(std::get<0>(pinfo.param)) + "_" +
+             std::to_string(static_cast<int>(std::get<1>(pinfo.param)));
+    });
+
+TEST(StagesPolicy, PoliciesProduceDifferentButValidSets) {
+  // On a dense-ish random graph the policies should genuinely diverge.
+  Rng rng(4);
+  const auto g = graph::gnp_connected(30, 0.15, rng);
+  std::set<std::size_t> dom_totals;
+  for (const auto policy : kAllDomPolicies) {
+    const auto s = build_stage_sets(g, 0, policy, 7);
+    EXPECT_TRUE(validate_stage_sets(g, s).empty()) << to_string(policy);
+    std::size_t total = 0;
+    for (const auto& d : s.dom) total += d.size();
+    dom_totals.insert(total * 100 + s.ell);
+  }
+  EXPECT_GE(dom_totals.size(), 2u) << "policies unexpectedly identical";
+}
+
+TEST(StagesPolicy, RandomPolicyDeterministicPerSeed) {
+  Rng rng(8);
+  const auto g = graph::gnp_connected(25, 0.2, rng);
+  const auto a = build_stage_sets(g, 0, DomPolicy::kRandom, 123);
+  const auto b = build_stage_sets(g, 0, DomPolicy::kRandom, 123);
+  EXPECT_EQ(a.dom, b.dom);
+  EXPECT_EQ(a.fresh, b.fresh);
+}
+
+TEST(StagesPolicy, ToStringCoversAllPolicies) {
+  for (const auto p : kAllDomPolicies) {
+    EXPECT_STRNE(to_string(p), "?");
+  }
+}
+
+// Fact 2.1 / Fact 2.2 / Lemma 2.3: NEW_i ⊆ FRONTIER_i and disjointness.
+TEST(StagesFacts, FreshWithinFrontierAndDisjoint) {
+  Rng rng(21);
+  for (int rep = 0; rep < 10; ++rep) {
+    const auto g = graph::gnp_connected(20, 0.12, rng);
+    const auto s = build_stage_sets(g, 0);
+    std::set<graph::NodeId> seen;
+    for (std::size_t i = 0; i < s.fresh.size(); ++i) {
+      for (const auto v : s.fresh[i]) {
+        // Fact 2.1: NEW_i ⊆ FRONTIER_i.
+        EXPECT_TRUE(std::binary_search(s.frontier[i].begin(),
+                                       s.frontier[i].end(), v));
+        // Lemma 2.3: NEW sets pairwise disjoint.
+        EXPECT_TRUE(seen.insert(v).second);
+      }
+    }
+    // Corollary 2.7: they partition V \ {s}.
+    EXPECT_EQ(seen.size(), g.node_count() - 1);
+  }
+}
+
+// The private-witness property behind designator existence (DESIGN.md §3.1):
+// every v ∈ DOM_i has a NEW_i neighbour.
+TEST(StagesFacts, EveryDominatorHasFreshWitness) {
+  Rng rng(22);
+  for (int rep = 0; rep < 10; ++rep) {
+    const auto g = graph::gnp_connected(22, 0.15, rng);
+    const auto s = build_stage_sets(g, 0);
+    for (std::size_t i = 0; i < s.dom.size(); ++i) {
+      for (const auto v : s.dom[i]) {
+        bool has_witness = false;
+        for (const auto w : g.neighbors(v)) {
+          if (std::binary_search(s.fresh[i].begin(), s.fresh[i].end(), w)) {
+            has_witness = true;
+            break;
+          }
+        }
+        EXPECT_TRUE(has_witness) << "stage " << i + 1 << " dominator " << v;
+      }
+    }
+  }
+}
+
+// No node informed in the final stage is ever a dominator (the generalized
+// Fact 3.1 used by λ_ack's z choice).
+TEST(StagesFacts, LastStageNodesNeverDominate) {
+  Rng rng(23);
+  for (int rep = 0; rep < 10; ++rep) {
+    const auto g = graph::gnp_connected(18, 0.12, rng);
+    const auto s = build_stage_sets(g, 0);
+    for (const auto v : s.fresh.back()) {
+      EXPECT_FALSE(s.in_any_dom(v));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace radiocast::core
