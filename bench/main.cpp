@@ -1,0 +1,7 @@
+#include <iostream>
+
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  return radiocast::bench::run_main(argc, argv, std::cout);
+}

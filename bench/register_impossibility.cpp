@@ -1,0 +1,90 @@
+// Experiment E7 — the §1 impossibility claim: without labels, deterministic
+// broadcast is blocked on even cycles, hypercubes and K_{a,b} by the
+// equitable-partition certificate; the paper's λ labeling removes every
+// obstruction.
+#include "harness.hpp"
+
+#include "analysis/symmetry.hpp"
+#include "core/labeling.hpp"
+#include "graph/generators.hpp"
+#include "support/rng.hpp"
+
+namespace radiocast::bench {
+namespace {
+
+void run(Context& ctx) {
+  struct Case {
+    std::string name;
+    graph::Graph g;
+    graph::NodeId source;
+    bool expect_blocked;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"C4", graph::cycle(4), 0, true});
+  for (const std::uint32_t n : {6u, 8u, 12u}) {
+    cases.push_back({"C" + std::to_string(n), graph::cycle(n), 0, true});
+  }
+  for (const std::uint32_t n : {3u, 5u, 9u}) {
+    cases.push_back(
+        {"C" + std::to_string(n) + "-odd", graph::cycle(n), 0, false});
+  }
+  cases.push_back({"K_{2,3}", graph::complete_bipartite(2, 3), 0, true});
+  cases.push_back({"K_{4,4}", graph::complete_bipartite(4, 4), 0, true});
+  cases.push_back({"Q3-hypercube", graph::hypercube(3), 0, true});
+  cases.push_back({"P7-mid-source", graph::path(7), 3, false});
+  cases.push_back({"S9-center", graph::star(9), 0, false});
+
+  for (const auto& c : cases) {
+    Sample s;
+    s.family = c.name;
+    s.n = c.g.node_count();
+    s.m = c.g.edge_count();
+    bool unlabeled_blocked = false, labeled_blocked = false;
+    std::uint32_t classes = 0;
+    s.wall_ns = time_ns([&] {
+      const std::vector<std::uint32_t> plain(c.g.node_count(), 0);
+      const auto unl = analysis::analyze_symmetry(c.g, plain, c.source);
+      unlabeled_blocked = unl.broadcast_blocked;
+      classes = unl.class_count;
+
+      const auto lab = core::label_broadcast(c.g, c.source);
+      std::vector<std::uint32_t> colors(c.g.node_count());
+      for (graph::NodeId v = 0; v < c.g.node_count(); ++v) {
+        colors[v] = lab.labels[v].value();
+      }
+      labeled_blocked =
+          analysis::analyze_symmetry(c.g, colors, c.source).broadcast_blocked;
+    });
+    s.ok = unlabeled_blocked == c.expect_blocked && !labeled_blocked;
+    s.extra = {{"classes", static_cast<double>(classes)},
+               {"unlabeled_blocked", unlabeled_blocked ? 1.0 : 0.0}};
+    ctx.record(std::move(s));
+  }
+
+  // How often does pure symmetry block unlabeled broadcast at random?
+  Sample s;
+  s.family = "gnp-10-obstruction-rate";
+  s.n = 10;
+  constexpr int kTrials = 200;
+  int blocked = 0;
+  s.wall_ns = time_ns([&] {
+    Rng rng(99);
+    for (int i = 0; i < kTrials; ++i) {
+      const auto g = graph::gnp_connected(10, 0.25, rng);
+      const std::vector<std::uint32_t> plain(g.node_count(), 0);
+      if (analysis::analyze_symmetry(g, plain, 0).broadcast_blocked) ++blocked;
+    }
+  });
+  s.extra = {{"blocked", static_cast<double>(blocked)},
+             {"trials", static_cast<double>(kTrials)}};
+  ctx.record(std::move(s));
+}
+
+const bool registered = register_scenario(
+    {"impossibility",
+     "paper 1: equitable-partition certificates block unlabeled broadcast",
+     {"smoke", "experiment"},
+     &run});
+
+}  // namespace
+}  // namespace radiocast::bench

@@ -1,0 +1,76 @@
+// Experiment E3 — label budgets: λ uses at most 4 label values (2 bits),
+// λ_ack at most 5 (Fact 3.1 forbids 101/111/011), λ_arb at most 6.
+// Histograms are aggregated over random graphs plus the standard suite.
+#include "harness.hpp"
+
+#include <algorithm>
+
+#include "analysis/experiments.hpp"
+#include "analysis/metrics.hpp"
+#include "core/labeling.hpp"
+#include "graph/generators.hpp"
+#include "support/rng.hpp"
+
+namespace radiocast::bench {
+namespace {
+
+void run(Context& ctx) {
+  std::vector<std::uint64_t> hist_l(8, 0), hist_ack(8, 0), hist_arb(8, 0);
+  std::uint32_t max_l = 0, max_ack = 0, max_arb = 0;
+  std::uint64_t graphs = 0, nodes = 0, edges = 0;
+
+  const auto feed = [&](const graph::Graph& g, graph::NodeId src) {
+    ++graphs;
+    nodes += g.node_count();
+    edges += g.edge_count();
+    const auto l = core::label_broadcast(g, src);
+    const auto a = core::label_acknowledged(g, src);
+    const auto r = core::label_arbitrary(g, src);
+    for (const auto& lab : l.labels) ++hist_l[lab.value()];
+    for (const auto& lab : a.labels) ++hist_ack[lab.value()];
+    for (const auto& lab : r.labels) ++hist_arb[lab.value()];
+    max_l = std::max(max_l, analysis::distinct_labels(l.labels));
+    max_ack = std::max(max_ack, analysis::distinct_labels(a.labels));
+    max_arb = std::max(max_arb, analysis::distinct_labels(r.labels));
+  };
+
+  Sample s;
+  s.family = "budget-sweep";
+  s.wall_ns = time_ns([&] {
+    Rng rng(2019);
+    const std::uint32_t span = std::max(8u, ctx.sizes().back());
+    for (int rep = 0; rep < 100; ++rep) {
+      const auto n = 8 + static_cast<std::uint32_t>(rng.below(span - 7));
+      const double p = 0.05 + 0.4 * rng.uniform();
+      const auto g = graph::gnp_connected(n, p, rng);
+      feed(g, static_cast<graph::NodeId>(rng.below(n)));
+    }
+    for (const std::uint32_t n : ctx.sizes(64)) {
+      for (const auto& w : analysis::standard_suite(n, 5)) {
+        feed(w.graph, w.source);
+      }
+    }
+  });
+  s.n = static_cast<std::uint32_t>(nodes / std::max<std::uint64_t>(1, graphs));
+  s.m = edges / std::max<std::uint64_t>(1, graphs);
+
+  const bool fact31 =
+      hist_ack[0b101] == 0 && hist_ack[0b111] == 0 && hist_ack[0b011] == 0;
+  const bool budgets = max_l <= 4 && max_ack <= 5 && max_arb <= 6;
+  s.ok = fact31 && budgets;
+  s.extra = {{"graphs", static_cast<double>(graphs)},
+             {"max_distinct_lambda", static_cast<double>(max_l)},
+             {"max_distinct_lambda_ack", static_cast<double>(max_ack)},
+             {"max_distinct_lambda_arb", static_cast<double>(max_arb)},
+             {"fact_3_1", fact31 ? 1.0 : 0.0}};
+  ctx.record(std::move(s));
+}
+
+const bool registered = register_scenario(
+    {"labels",
+     "label-value budgets: lambda<=4, lambda_ack<=5 (Fact 3.1), lambda_arb<=6",
+     {"smoke", "experiment"},
+     &run});
+
+}  // namespace
+}  // namespace radiocast::bench

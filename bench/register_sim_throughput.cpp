@@ -1,0 +1,108 @@
+// Micro-bench P2 — simulator throughput: full B executions on sparse random
+// graphs, worst-case dense engine stepping, and thread-pooled sweep scaling —
+// the HPC-facing measurements of the harness itself.
+#include "harness.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "core/runner.hpp"
+#include "graph/generators.hpp"
+#include "parallel/parallel_for.hpp"
+#include "sim/engine.hpp"
+#include "support/rng.hpp"
+
+namespace radiocast::bench {
+namespace {
+
+class Chatter final : public sim::Protocol {
+ public:
+  std::optional<sim::Message> on_round() override {
+    return sim::Message{sim::MsgKind::kData, 0, 0, std::nullopt};
+  }
+  void on_hear(const sim::Message&) override {}
+  bool informed() const override { return true; }
+};
+
+void run(Context& ctx) {
+  // Full broadcast executions on sparse gnp graphs.
+  for (const std::uint32_t n : ctx.sizes(16384)) {
+    Rng rng(n);
+    const auto g = graph::gnp_connected(n, 6.0 / n, rng);
+    const auto labeling = core::label_broadcast(g, 0);
+    Sample s;
+    s.family = "full_broadcast/gnp";
+    s.n = g.node_count();
+    s.m = g.edge_count();
+    bool informed = false;
+    std::uint64_t rounds = 0;
+    s.wall_ns = time_ns([&] {
+      sim::Engine engine(g, core::make_broadcast_protocols(labeling, 1));
+      engine.run_until([](const sim::Engine& e) { return e.all_informed(); },
+                       4ull * n + 8);
+      rounds = engine.round();
+      informed = engine.all_informed();
+    });
+    s.rounds = rounds;
+    s.ok = informed;
+    ctx.record(std::move(s));
+  }
+
+  // Worst-case per-round cost: everyone transmits every round (all collide).
+  for (const std::uint32_t n : ctx.sizes(512)) {
+    const auto g = graph::complete(n);
+    std::vector<std::unique_ptr<sim::Protocol>> protocols;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      protocols.push_back(std::make_unique<Chatter>());
+    }
+    sim::Engine engine(g, std::move(protocols));
+    constexpr std::uint64_t kSteps = 64;
+    Sample s;
+    s.family = "engine_step/complete";
+    s.n = g.node_count();
+    s.m = g.edge_count();
+    s.wall_ns = time_ns([&] {
+      for (std::uint64_t i = 0; i < kSteps; ++i) engine.step();
+    });
+    s.rounds = kSteps;
+    s.transmissions = kSteps * n;
+    s.ok = true;
+    ctx.record(std::move(s));
+  }
+
+  // End-to-end sweep throughput on the shared pool.
+  {
+    constexpr std::size_t kGraphs = 32;
+    const std::uint32_t n = std::min(256u, ctx.sizes().back());
+    Rng rng(7);
+    std::vector<graph::Graph> graphs;
+    for (std::size_t i = 0; i < kGraphs; ++i) {
+      graphs.push_back(graph::gnp_connected(n, 6.0 / n, rng));
+    }
+    Sample s;
+    s.family = "parallel_sweep/gnp";
+    s.n = n;
+    std::uint64_t total_rounds = 0;
+    s.wall_ns = time_ns([&] {
+      const auto rounds =
+          par::parallel_map(ctx.pool(), graphs.size(), [&](std::size_t i) {
+            return core::run_broadcast(graphs[i], 0).completion_round;
+          });
+      for (const auto r : rounds) total_rounds += r;
+    });
+    s.rounds = total_rounds;
+    s.ok = true;
+    s.extra = {{"graphs", static_cast<double>(kGraphs)},
+               {"threads", static_cast<double>(ctx.pool().thread_count())}};
+    ctx.record(std::move(s));
+  }
+}
+
+const bool registered = register_scenario(
+    {"sim_throughput",
+     "simulator throughput: full runs, dense stepping, pooled sweeps",
+     {"smoke", "micro"},
+     &run});
+
+}  // namespace
+}  // namespace radiocast::bench
