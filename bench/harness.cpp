@@ -62,7 +62,9 @@ bool register_scenario(Scenario s) {
 std::vector<Scenario> registry() {
   auto reg = mutable_registry();
   std::sort(reg.begin(), reg.end(),
-            [](const Scenario& a, const Scenario& b) { return a.name < b.name; });
+            [](const Scenario& a, const Scenario& b) {
+              return a.name < b.name;
+            });
   return reg;
 }
 
@@ -116,6 +118,18 @@ Options parse_args(int argc, const char* const* argv) {
         opt.error = "--repeat must be >= 1";
         return opt;
       }
+    } else if (arg == "--backend") {
+      if (!need_value(i)) {
+        opt.error = "--backend requires auto, scalar, or bit";
+        return opt;
+      }
+      const auto parsed = sim::parse_backend(argv[++i]);
+      if (!parsed) {
+        opt.error = std::string("unknown backend '") + argv[i] +
+                    "' (expected auto, scalar, or bit)";
+        return opt;
+      }
+      opt.backend = *parsed;
     } else if (arg == "--threads") {
       if (!need_value(i)) {
         opt.error = "--threads requires a count";
@@ -137,7 +151,8 @@ Options parse_args(int argc, const char* const* argv) {
         const long long v = std::atoll(tok.c_str());
         // The workload suites (analysis::standard_suite) require n >= 8.
         if (v < 8 || v > 0xFFFFFFFFll) {
-          opt.error = "--sizes entries must be integers >= 8, got '" + tok + "'";
+          opt.error =
+              "--sizes entries must be integers >= 8, got '" + tok + "'";
           return opt;
         }
         opt.sizes.push_back(static_cast<std::uint32_t>(v));
@@ -163,7 +178,7 @@ std::vector<ScenarioResult> run_scenarios(const std::vector<Scenario>& chosen,
     ScenarioResult result;
     result.scenario = s;
     for (int rep = 0; rep < opt.repeat; ++rep) {
-      Context ctx(pool, opt.sizes, opt.repeat, rep);
+      Context ctx(pool, opt.sizes, opt.repeat, rep, opt.backend);
       result.wall_ns += time_ns([&] { s.run(ctx); });
       for (auto& sample : ctx.samples()) {
         result.ok = result.ok && sample.ok;
@@ -232,6 +247,7 @@ std::string to_json(const std::vector<ScenarioResult>& results,
   os << "{\"schema\":\"radiocast-bench/1\","
      << "\"repeat\":" << opt.repeat << ","
      << "\"filter\":\"" << json_escape(opt.filter) << "\","
+     << "\"backend\":\"" << sim::to_string(opt.backend) << "\","
      << "\"sizes\":[";
   for (std::size_t i = 0; i < opt.sizes.size(); ++i) {
     if (i) os << ",";
@@ -268,9 +284,12 @@ constexpr const char* kUsage =
     "  --list            print registered scenarios and exit\n"
     "  --filter TERMS    comma-separated terms; run scenarios whose name\n"
     "                    contains a term or whose tags include it\n"
-    "  --sizes N,N,...   instance-size ladder, entries >= 8 (default 16,64,256)\n"
+    "  --sizes N,N,...   instance-size ladder, entries >= 8\n"
+    "                    (default 16,64,256)\n"
     "  --repeat K        repetitions per scenario (default 1)\n"
     "  --threads T       worker threads (default: hardware concurrency)\n"
+    "  --backend B       engine backend for engine-driving scenarios:\n"
+    "                    auto (density-based), scalar, or bit (default auto)\n"
     "  --json PATH       write the radiocast-bench/1 JSON document to PATH\n";
 
 }  // namespace

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "parallel/thread_pool.hpp"
+#include "sim/backend.hpp"
 
 namespace radiocast::bench {
 
@@ -52,10 +53,17 @@ std::uint64_t time_ns(Fn&& fn) {
 class Context {
  public:
   Context(par::ThreadPool& pool, std::vector<std::uint32_t> sizes, int repeat,
-          int rep)
-      : pool_(pool), sizes_(std::move(sizes)), repeat_(repeat), rep_(rep) {}
+          int rep, sim::BackendKind backend = sim::BackendKind::kAuto)
+      : pool_(pool),
+        sizes_(std::move(sizes)),
+        repeat_(repeat),
+        rep_(rep),
+        backend_(backend) {}
 
   par::ThreadPool& pool() { return pool_; }
+
+  /// The --backend selection for engine-driving scenarios (default kAuto).
+  sim::BackendKind backend() const noexcept { return backend_; }
 
   /// The --sizes ladder (default 16,64,256).  Scenarios with an intrinsic
   /// instance-size cap should clamp via `sizes(cap)`.
@@ -77,6 +85,7 @@ class Context {
   std::vector<std::uint32_t> sizes_;
   int repeat_;
   int rep_;
+  sim::BackendKind backend_;
   std::mutex mu_;
   std::vector<Sample> samples_;
 };
@@ -110,6 +119,7 @@ struct Options {
   std::vector<std::uint32_t> sizes = {16, 64, 256};  ///< --sizes
   std::string json_path;                     ///< --json (empty = no JSON)
   std::size_t threads = 0;                   ///< --threads (0 = hardware)
+  sim::BackendKind backend = sim::BackendKind::kAuto;  ///< --backend
   bool list = false;                         ///< --list
   bool help = false;                         ///< --help
   std::string error;                         ///< non-empty on a parse error

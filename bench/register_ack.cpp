@@ -23,8 +23,10 @@ void run(Context& ctx) {
           s.n = w.graph.node_count();
           s.m = w.graph.edge_count();
           core::AckRun run;
-          s.wall_ns =
-              time_ns([&] { run = core::run_acknowledged(w.graph, w.source); });
+          core::RunOptions opt;
+          opt.backend = ctx.backend();
+          s.wall_ns = time_ns(
+              [&] { run = core::run_acknowledged(w.graph, w.source, opt); });
           s.rounds = run.completion_round;
           const std::uint64_t ell = run.ell;
           const bool in_cor38 =

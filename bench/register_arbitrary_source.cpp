@@ -27,7 +27,10 @@ void run(Context& ctx) {
           const std::uint32_t stride = std::max(1u, s.n / 8);
           s.wall_ns = time_ns([&] {
             for (graph::NodeId src = 0; src < s.n; src += stride) {
-              const auto run = core::run_arbitrary(w.graph, src, /*coordinator=*/0);
+              core::RunOptions opt;
+              opt.backend = ctx.backend();
+              const auto run =
+                  core::run_arbitrary(w.graph, src, /*coordinator=*/0, opt);
               ++sources;
               if (!run.ok) ++failures;
               T = run.T;

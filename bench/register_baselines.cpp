@@ -28,7 +28,10 @@ void run(Context& ctx) {
 
           Sample b = base("B");
           core::BroadcastRun rb;
-          b.wall_ns = time_ns([&] { rb = core::run_broadcast(w.graph, w.source); });
+          core::RunOptions opt;
+          opt.backend = ctx.backend();
+          b.wall_ns = time_ns(
+              [&] { rb = core::run_broadcast(w.graph, w.source, opt); });
           b.rounds = rb.completion_round;
           b.transmissions = rb.data_tx_count + rb.stay_count;
           b.ok = rb.all_informed;
@@ -38,7 +41,8 @@ void run(Context& ctx) {
           Sample rr = base("round_robin");
           baselines::BaselineRun rrr;
           rr.wall_ns =
-              time_ns([&] { rrr = baselines::run_round_robin(w.graph, w.source); });
+              time_ns([&] { rrr = baselines::run_round_robin(w.graph,
+                                                             w.source); });
           rr.rounds = rrr.completion_round;
           rr.ok = rrr.all_informed;
           rr.extra = {{"label_bits", static_cast<double>(rrr.label_bits)}};
@@ -47,7 +51,8 @@ void run(Context& ctx) {
           Sample cr = base("color_robin");
           baselines::BaselineRun crr;
           cr.wall_ns =
-              time_ns([&] { crr = baselines::run_color_robin(w.graph, w.source); });
+              time_ns([&] { crr = baselines::run_color_robin(w.graph,
+                                                             w.source); });
           cr.rounds = crr.completion_round;
           cr.ok = crr.all_informed;
           cr.extra = {{"label_bits", static_cast<double>(crr.label_bits)}};

@@ -21,7 +21,10 @@ void run(Context& ctx) {
           s.n = w.graph.node_count();
           s.m = w.graph.edge_count();
           core::BroadcastRun run;
-          s.wall_ns = time_ns([&] { run = core::run_broadcast(w.graph, w.source); });
+          core::RunOptions opt;
+          opt.backend = ctx.backend();
+          s.wall_ns = time_ns(
+              [&] { run = core::run_broadcast(w.graph, w.source, opt); });
           s.rounds = run.completion_round;
           s.transmissions = run.data_tx_count + run.stay_count;
           s.ok = run.all_informed && run.completion_round <= run.bound;

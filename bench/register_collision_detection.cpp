@@ -42,7 +42,9 @@ void run(Context& ctx) {
       const std::vector<std::uint32_t> plain(c.g.node_count(), 0);
       blocked = analysis::analyze_symmetry(c.g, plain, 0).broadcast_blocked;
       beep = baselines::run_beep(c.g, 0, kMu, kBits);
-      b = core::run_broadcast(c.g, 0);
+      core::RunOptions opt;
+      opt.backend = ctx.backend();
+      b = core::run_broadcast(c.g, 0, opt);
     });
     s.rounds = b.completion_round;
     s.transmissions = b.data_tx_count + b.stay_count;

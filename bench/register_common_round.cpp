@@ -22,7 +22,11 @@ void run(Context& ctx) {
           s.m = w.graph.edge_count();
           core::CommonRoundRun run;
           s.wall_ns =
-              time_ns([&] { run = core::run_common_round(w.graph, w.source); });
+              time_ns([&] {
+                core::RunOptions opt;
+                opt.backend = ctx.backend();
+                run = core::run_common_round(w.graph, w.source, opt);
+              });
           s.rounds = run.common_round;
           s.ok = run.ok && run.last_learned < run.common_round;
           s.extra = {{"ack_m", static_cast<double>(run.m)},

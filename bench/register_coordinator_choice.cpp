@@ -36,9 +36,11 @@ void run(Context& ctx) {
                 peripheral = v;
               }
             }
-            run_c = core::run_arbitrary(w.graph, w.source, central);
-            run_p = core::run_arbitrary(w.graph, w.source, peripheral);
-            run_d = core::run_arbitrary(w.graph, w.source, 0);
+            core::RunOptions opt;
+            opt.backend = ctx.backend();
+            run_c = core::run_arbitrary(w.graph, w.source, central, opt);
+            run_p = core::run_arbitrary(w.graph, w.source, peripheral, opt);
+            run_d = core::run_arbitrary(w.graph, w.source, 0, opt);
           });
           s.rounds = run_d.total_rounds;
           s.ok = run_c.ok && run_p.ok && run_d.ok;

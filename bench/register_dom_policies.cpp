@@ -31,6 +31,7 @@ void run(Context& ctx) {
             opt.policy = policy;
             opt.seed = 31337;
             opt.trace = sim::TraceLevel::kFull;
+            opt.backend = ctx.backend();
             run = core::run_broadcast(w.graph, w.source, opt);
           });
           s.rounds = run.completion_round;

@@ -39,7 +39,9 @@ void run(Context& ctx) {
         }
       }
 
-      ack = core::run_acknowledged(g, 0);
+      core::RunOptions ack_opt;
+      ack_opt.backend = ctx.backend();
+      ack = core::run_acknowledged(g, 0, ack_opt);
       const sim::Message worst{sim::MsgKind::kAck, 0, 0, ack.max_stamp};
       ack_bits = analysis::control_bits(worst, false);
 

@@ -27,7 +27,9 @@ void run(Context& ctx) {
             for (std::size_t k = 0; k < kMessages; ++k) {
               payloads[k] = static_cast<std::uint32_t>(k + 1);
             }
-            run = core::run_multi_broadcast(w.graph, w.source, payloads);
+            run = core::run_multi_broadcast(w.graph, w.source, payloads,
+                                            core::DomPolicy::kAscendingId,
+                                            ctx.backend());
           });
           bool periodic = run.ok;
           for (std::size_t k = 1; k < run.ack_rounds.size(); ++k) {

@@ -9,20 +9,13 @@
 #include "core/runner.hpp"
 #include "graph/generators.hpp"
 #include "parallel/parallel_for.hpp"
+#include "sim/backend.hpp"
 #include "sim/engine.hpp"
 #include "support/rng.hpp"
+#include "workloads.hpp"
 
 namespace radiocast::bench {
 namespace {
-
-class Chatter final : public sim::Protocol {
- public:
-  std::optional<sim::Message> on_round() override {
-    return sim::Message{sim::MsgKind::kData, 0, 0, std::nullopt};
-  }
-  void on_hear(const sim::Message&) override {}
-  bool informed() const override { return true; }
-};
 
 void run(Context& ctx) {
   // Full broadcast executions on sparse gnp graphs.
@@ -37,7 +30,8 @@ void run(Context& ctx) {
     bool informed = false;
     std::uint64_t rounds = 0;
     s.wall_ns = time_ns([&] {
-      sim::Engine engine(g, core::make_broadcast_protocols(labeling, 1));
+      sim::Engine engine(g, core::make_broadcast_protocols(labeling, 1),
+                         {sim::TraceLevel::kCounters, false, ctx.backend()});
       engine.run_until([](const sim::Engine& e) { return e.all_informed(); },
                        4ull * n + 8);
       rounds = engine.round();
@@ -55,7 +49,8 @@ void run(Context& ctx) {
     for (std::uint32_t v = 0; v < n; ++v) {
       protocols.push_back(std::make_unique<Chatter>());
     }
-    sim::Engine engine(g, std::move(protocols));
+    sim::Engine engine(g, std::move(protocols),
+                       {sim::TraceLevel::kCounters, false, ctx.backend()});
     constexpr std::uint64_t kSteps = 64;
     Sample s;
     s.family = "engine_step/complete";
@@ -68,6 +63,43 @@ void run(Context& ctx) {
     s.transmissions = kSteps * n;
     s.ok = true;
     ctx.record(std::move(s));
+  }
+
+  // Regression guard for the sparse-round hot path: resolving a round with a
+  // single degree-1 transmitter must cost O(deg), independent of n.  The seed
+  // engine allocated and zeroed an O(n) std::vector<bool> per round; this
+  // asserts that per-round cost stays flat (generous 32x slack + an absolute
+  // 1µs floor against timer noise) as n grows 16x.
+  {
+    constexpr std::uint64_t kRounds = 1 << 14;
+    const std::uint32_t small_n = 4096, large_n = 65536;
+    double per_round[2] = {0, 0};
+    const std::uint32_t ns[2] = {small_n, large_n};
+    for (int i = 0; i < 2; ++i) {
+      const auto g = graph::path(ns[i]);
+      const auto backend =
+          sim::make_engine_backend(g, sim::BackendKind::kScalar);
+      const graph::NodeId tx[1] = {0};
+      sim::RoundResolution res;
+      const auto wall = time_ns([&] {
+        for (std::uint64_t r = 0; r < kRounds; ++r) {
+          backend->resolve(tx, /*want_collisions=*/true, res);
+        }
+      });
+      per_round[i] = static_cast<double>(wall) / kRounds;
+      Sample s;
+      s.family = "engine_step/sparse_round";
+      s.n = ns[i];
+      s.m = g.edge_count();
+      s.rounds = kRounds;
+      s.transmissions = kRounds;
+      s.wall_ns = wall;
+      s.extra = {{"ns_per_round", per_round[i]}};
+      s.ok = i == 0 ||
+             per_round[1] <
+                 std::max(1000.0, 32.0 * std::max(per_round[0], 1.0));
+      ctx.record(std::move(s));
+    }
   }
 
   // End-to-end sweep throughput on the shared pool.
@@ -84,9 +116,11 @@ void run(Context& ctx) {
     s.n = n;
     std::uint64_t total_rounds = 0;
     s.wall_ns = time_ns([&] {
+      core::RunOptions run_opt;
+      run_opt.backend = ctx.backend();
       const auto rounds =
           par::parallel_map(ctx.pool(), graphs.size(), [&](std::size_t i) {
-            return core::run_broadcast(graphs[i], 0).completion_round;
+            return core::run_broadcast(graphs[i], 0, run_opt).completion_round;
           });
       for (const auto r : rounds) total_rounds += r;
     });

@@ -1,0 +1,23 @@
+/// \file workloads.hpp
+/// \brief Synthetic protocol workloads shared by engine-stepping scenarios.
+#pragma once
+
+#include <optional>
+
+#include "sim/protocol.hpp"
+
+namespace radiocast::bench {
+
+/// Transmits every round — the dense worst case (all-collide on a clique).
+/// Shared by the sim_throughput and engine_backends stepping families so
+/// both measure the same workload.
+class Chatter final : public sim::Protocol {
+ public:
+  std::optional<sim::Message> on_round() override {
+    return sim::Message{sim::MsgKind::kData, 0, 0, std::nullopt};
+  }
+  void on_hear(const sim::Message&) override {}
+  bool informed() const override { return true; }
+};
+
+}  // namespace radiocast::bench

@@ -49,10 +49,12 @@ int main() {
     std::printf(" } -> %zu deliveries\n", rec.deliveries.size());
   }
   std::printf("all informed after round %llu (bound 2n-3 = %u)\n",
-              static_cast<unsigned long long>(engine.last_first_data_reception()),
+              static_cast<unsigned long long>(
+                  engine.last_first_data_reception()),
               2 * g.node_count() - 3);
 
   const std::string verdict = core::verify_lemma_2_8(g, labeling, trace);
-  std::printf("Lemma 2.8 check: %s\n", verdict.empty() ? "OK" : verdict.c_str());
+  std::printf("Lemma 2.8 check: %s\n",
+              verdict.empty() ? "OK" : verdict.c_str());
   return verdict.empty() && engine.all_informed() ? 0 : 1;
 }

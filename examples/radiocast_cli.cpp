@@ -35,13 +35,19 @@ int usage() {
   std::fprintf(stderr,
                "usage: radiocast_cli gen <family> [args...]\n"
                "       radiocast_cli {label|run|verify|dot} [--source N] "
-               "[--scheme b|ack|arb|onebit] < edge-list\n");
+               "[--scheme b|ack|arb|onebit]\n"
+               "                     [--backend auto|scalar|bit|compiled] "
+               "< edge-list\n"
+               "       (--backend compiled replays the Lemma 2.8 schedule; "
+               "run --scheme b only)\n");
   return 2;
 }
 
 struct Options {
   graph::NodeId source = 0;
   std::string scheme = "b";
+  std::string backend = "auto";
+  bool ok = true;
 };
 
 Options parse_options(int argc, char** argv, int first) {
@@ -51,9 +57,22 @@ Options parse_options(int argc, char** argv, int first) {
       opt.source = static_cast<graph::NodeId>(std::stoul(argv[++i]));
     } else if (std::strcmp(argv[i], "--scheme") == 0 && i + 1 < argc) {
       opt.scheme = argv[++i];
+    } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
+      opt.backend = argv[++i];
     }
   }
+  if (opt.backend != "compiled" && !sim::parse_backend(opt.backend)) {
+    std::fprintf(stderr, "unknown backend '%s'\n", opt.backend.c_str());
+    opt.ok = false;
+  }
   return opt;
+}
+
+/// The engine backend for a parsed options block ("compiled" handled by the
+/// caller; any other value was validated in parse_options).
+sim::BackendKind engine_backend(const Options& opt) {
+  const auto parsed = sim::parse_backend(opt.backend);
+  return parsed ? *parsed : sim::BackendKind::kAuto;
 }
 
 int cmd_gen(int argc, char** argv) {
@@ -136,17 +155,28 @@ int cmd_label(const graph::Graph& g, const Options& opt) {
 }
 
 int cmd_run(const graph::Graph& g, const Options& opt) {
+  if (opt.backend == "compiled" && opt.scheme != "b") {
+    std::fprintf(stderr,
+                 "--backend compiled requires --scheme b (the compiled "
+                 "schedule replays algorithm B only)\n");
+    return 2;
+  }
+  core::RunOptions run_opt;
+  run_opt.backend = engine_backend(opt);
   if (opt.scheme == "b") {
-    const auto run = core::run_broadcast(g, opt.source);
-    std::printf("scheme=lambda(2-bit) n=%u informed=%s rounds=%llu bound=%llu "
-                "ell=%u\n",
-                g.node_count(), run.all_informed ? "all" : "NOT-ALL",
+    const auto run = opt.backend == "compiled"
+                         ? core::run_broadcast_compiled(g, opt.source, run_opt)
+                         : core::run_broadcast(g, opt.source, run_opt);
+    std::printf("scheme=lambda(2-bit) backend=%s n=%u informed=%s rounds=%llu "
+                "bound=%llu ell=%u\n",
+                opt.backend.c_str(), g.node_count(),
+                run.all_informed ? "all" : "NOT-ALL",
                 static_cast<unsigned long long>(run.completion_round),
                 static_cast<unsigned long long>(run.bound), run.ell);
     return run.all_informed ? 0 : 1;
   }
   if (opt.scheme == "ack") {
-    const auto run = core::run_acknowledged(g, opt.source);
+    const auto run = core::run_acknowledged(g, opt.source, run_opt);
     std::printf("scheme=lambda_ack(3-bit) informed=%s t=%llu t'=%llu z=%u\n",
                 run.all_informed ? "all" : "NOT-ALL",
                 static_cast<unsigned long long>(run.completion_round),
@@ -154,7 +184,7 @@ int cmd_run(const graph::Graph& g, const Options& opt) {
     return run.all_informed && run.ack_round != 0 ? 0 : 1;
   }
   if (opt.scheme == "arb") {
-    const auto run = core::run_arbitrary(g, opt.source, 0);
+    const auto run = core::run_arbitrary(g, opt.source, 0, run_opt);
     std::printf("scheme=lambda_arb(3-bit) ok=%s total_rounds=%llu "
                 "common_done=%llu T=%llu\n",
                 run.ok ? "yes" : "NO",
@@ -164,7 +194,8 @@ int cmd_run(const graph::Graph& g, const Options& opt) {
     return run.ok ? 0 : 1;
   }
   if (opt.scheme == "onebit") {
-    const auto run = onebit::run_onebit(g, opt.source);
+    const auto run =
+        onebit::run_onebit(g, opt.source, {.engine_backend = run_opt.backend});
     std::printf("scheme=onebit ok=%s rounds=%llu ones=%u attempts=%u\n",
                 run.ok ? "yes" : "NO",
                 static_cast<unsigned long long>(run.completion_round),
@@ -177,13 +208,14 @@ int cmd_run(const graph::Graph& g, const Options& opt) {
 int cmd_verify(const graph::Graph& g, const Options& opt) {
   const auto labeling = core::label_broadcast(g, opt.source);
   sim::Engine engine(g, core::make_broadcast_protocols(labeling, 1),
-                     {sim::TraceLevel::kFull});
+                     {sim::TraceLevel::kFull, false, engine_backend(opt)});
   engine.run_until([](const sim::Engine& e) { return e.all_informed(); },
                    4ull * g.node_count() + 8);
   const auto verdict = core::verify_lemma_2_8(g, labeling, engine.trace());
   std::printf("informed=%s completion=%llu lemma2.8=%s\n",
               engine.all_informed() ? "all" : "NOT-ALL",
-              static_cast<unsigned long long>(engine.last_first_data_reception()),
+              static_cast<unsigned long long>(
+                  engine.last_first_data_reception()),
               verdict.empty() ? "OK" : verdict.c_str());
   return engine.all_informed() && verdict.empty() ? 0 : 1;
 }
@@ -206,6 +238,7 @@ int main(int argc, char** argv) {
   if (cmd == "gen") return cmd_gen(argc, argv);
 
   const Options opt = parse_options(argc, argv, 2);
+  if (!opt.ok) return 2;
   graph::Graph g = graph::read_edge_list(std::cin);
   if (g.node_count() == 0) {
     std::fprintf(stderr, "empty graph on stdin\n");
@@ -220,6 +253,10 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (opt.backend == "compiled" && cmd != "run") {
+    std::fprintf(stderr, "--backend compiled only applies to 'run'\n");
+    return 2;
+  }
   if (cmd == "label") return cmd_label(g, opt);
   if (cmd == "run") return cmd_run(g, opt);
   if (cmd == "verify") return cmd_verify(g, opt);

@@ -19,7 +19,8 @@ int main() {
   std::printf("switch fabric: %s\n", fabric.summary().c_str());
 
   const graph::NodeId controller_choice = 0;  // coordinator r
-  const core::ArbLabeling roles = core::label_arbitrary(fabric, controller_choice);
+  const core::ArbLabeling roles =
+      core::label_arbitrary(fabric, controller_choice);
   std::printf("coordinator r = %u (role 111), chain anchor z = %u (role 001)\n",
               roles.coordinator, roles.z);
 
@@ -27,7 +28,8 @@ int main() {
   for (const auto& l : roles.labels) ++census[l.value()];
   int distinct = 0;
   for (const auto c : census) distinct += c ? 1 : 0;
-  std::printf("forwarding roles in use: %d (paper: 6 labels suffice)\n", distinct);
+  std::printf("forwarding roles in use: %d (paper: 6 labels suffice)\n",
+              distinct);
 
   for (const graph::NodeId alarm_origin : {7u, 19u, controller_choice}) {
     const auto run = core::run_arbitrary(fabric, alarm_origin,

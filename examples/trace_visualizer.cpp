@@ -33,7 +33,8 @@ int main() {
   const auto& trace = engine.trace();
 
   // Per-node timeline, Figure-1 style: {transmit rounds} (reception rounds).
-  std::printf("\n%-5s %-6s %-18s %s\n", "node", "label", "transmits", "receives");
+  std::printf("\n%-5s %-6s %-18s %s\n", "node", "label", "transmits",
+              "receives");
   std::vector<std::string> dot_text(g.node_count());
   for (graph::NodeId v = 0; v < g.node_count(); ++v) {
     std::ostringstream tx, rx;
@@ -47,7 +48,8 @@ int main() {
     rx << "(";
     first = true;
     for (const auto& [t, msg] : trace.deliveries_at(v)) {
-      rx << (first ? "" : ",") << t << (msg.kind == sim::MsgKind::kStay ? "s" : "");
+      rx << (first ? "" : ",") << t
+         << (msg.kind == sim::MsgKind::kStay ? "s" : "");
       first = false;
     }
     rx << ")";
@@ -57,7 +59,8 @@ int main() {
     dot_text[v] = labeling.labels[v].to_string() + "\\n" + tx.str();
   }
   std::printf("\ncompletion: all informed by round %llu\n\n",
-              static_cast<unsigned long long>(engine.last_first_data_reception()));
+              static_cast<unsigned long long>(
+                  engine.last_first_data_reception()));
   std::printf("%s", graph::to_dot(g, dot_text, source).c_str());
   return engine.all_informed() ? 0 : 1;
 }

@@ -19,7 +19,8 @@ std::vector<Workload> standard_suite(std::uint32_t n, std::uint64_t seed) {
   out.push_back({"bipartite", graph::complete_bipartite(n / 2, n - n / 2), 0});
   {
     const auto side = static_cast<std::uint32_t>(std::lround(std::sqrt(n)));
-    out.push_back({"grid", graph::grid(std::max(2u, side), std::max(2u, side)), 0});
+    out.push_back(
+        {"grid", graph::grid(std::max(2u, side), std::max(2u, side)), 0});
     if (side >= 3) out.push_back({"torus", graph::torus(side, side), 0});
   }
   {
@@ -38,14 +39,16 @@ std::vector<Workload> standard_suite(std::uint32_t n, std::uint64_t seed) {
   }
   out.push_back({"tree/random", graph::random_tree(n, rng), 0});
   out.push_back({"caterpillar", graph::caterpillar(std::max(1u, n / 4), 3), 0});
-  out.push_back({"lollipop", graph::lollipop(std::max(2u, n / 2), n - n / 2), 0});
+  out.push_back(
+      {"lollipop", graph::lollipop(std::max(2u, n / 2), n - n / 2), 0});
   out.push_back({"gnp/sparse", graph::gnp_connected(n, 2.0 / n, rng), 0});
   out.push_back({"gnp/dense", graph::gnp_connected(n, 0.3, rng), 0});
   {
     const double radius = 1.8 / std::sqrt(static_cast<double>(n));
     out.push_back({"unit-disk", graph::random_geometric(n, radius, rng), 0});
   }
-  out.push_back({"series-parallel", graph::series_parallel(std::max(2u, n), rng), 0});
+  out.push_back(
+      {"series-parallel", graph::series_parallel(std::max(2u, n), rng), 0});
   out.push_back(
       {"clustered", graph::clustered(std::max(2u, n / 8), 8, 0.5, rng), 0});
   return out;
@@ -59,7 +62,8 @@ std::vector<Workload> quick_suite(std::uint32_t n, std::uint64_t seed) {
   out.push_back({"star", graph::star(n), 0});
   {
     const auto side = static_cast<std::uint32_t>(std::lround(std::sqrt(n)));
-    out.push_back({"grid", graph::grid(std::max(2u, side), std::max(2u, side)), 0});
+    out.push_back(
+        {"grid", graph::grid(std::max(2u, side), std::max(2u, side)), 0});
   }
   out.push_back({"tree/random", graph::random_tree(n, rng), 0});
   out.push_back({"gnp/sparse", graph::gnp_connected(n, 2.0 / n, rng), 0});
@@ -70,9 +74,9 @@ std::vector<Workload> quick_suite(std::uint32_t n, std::uint64_t seed) {
   return out;
 }
 
-std::vector<std::string> sweep(par::ThreadPool& pool,
-                               const std::vector<Workload>& suite,
-                               const std::function<std::string(const Workload&)>& fn) {
+std::vector<std::string> sweep(
+    par::ThreadPool& pool, const std::vector<Workload>& suite,
+    const std::function<std::string(const Workload&)>& fn) {
   return par::parallel_map(pool, suite.size(),
                            [&](std::size_t i) { return fn(suite[i]); });
 }

@@ -39,8 +39,8 @@ std::vector<Workload> quick_suite(std::uint32_t n, std::uint64_t seed);
 /// Runs `fn(workload)` over a suite on a shared thread pool and returns the
 /// result strings in suite order (deterministic output regardless of the
 /// thread count).
-std::vector<std::string> sweep(par::ThreadPool& pool,
-                               const std::vector<Workload>& suite,
-                               const std::function<std::string(const Workload&)>& fn);
+std::vector<std::string> sweep(
+    par::ThreadPool& pool, const std::vector<Workload>& suite,
+    const std::function<std::string(const Workload&)>& fn);
 
 }  // namespace radiocast::analysis

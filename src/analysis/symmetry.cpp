@@ -8,7 +8,8 @@
 namespace radiocast::analysis {
 
 SymmetryResult analyze_symmetry(const Graph& g,
-                                const std::vector<std::uint32_t>& initial_colors,
+                                const std::vector<std::uint32_t>&
+                                    initial_colors,
                                 NodeId source) {
   const std::uint32_t n = g.node_count();
   RC_EXPECTS(initial_colors.size() == n);
@@ -26,7 +27,8 @@ SymmetryResult analyze_symmetry(const Graph& g,
     std::map<std::uint64_t, std::uint32_t> remap;
     for (NodeId v = 0; v < n; ++v) {
       auto [it, inserted] = remap.try_emplace(sig64[v],
-                                              static_cast<std::uint32_t>(remap.size()));
+                                              static_cast<std::uint32_t>(
+                                                  remap.size()));
       color[v] = it->second;
     }
     out.class_count = static_cast<std::uint32_t>(remap.size());
@@ -44,7 +46,8 @@ SymmetryResult analyze_symmetry(const Graph& g,
       for (const NodeId w : g.neighbors(v)) sig.push_back(color[w]);
       std::sort(sig.begin() + 1, sig.end());
       auto [it, inserted] =
-          remap.try_emplace(std::move(sig), static_cast<std::uint32_t>(remap.size()));
+          remap.try_emplace(std::move(sig),
+                            static_cast<std::uint32_t>(remap.size()));
       next[v] = it->second;
     }
     const auto new_count = static_cast<std::uint32_t>(remap.size());

@@ -41,7 +41,8 @@ struct SymmetryResult {
 /// the source is distinguished automatically).  Pass all-zero for an
 /// unlabeled network.
 SymmetryResult analyze_symmetry(const Graph& g,
-                                const std::vector<std::uint32_t>& initial_colors,
+                                const std::vector<std::uint32_t>&
+                                    initial_colors,
                                 NodeId source);
 
 }  // namespace radiocast::analysis

@@ -23,8 +23,9 @@ std::uint32_t bits_for(std::uint32_t values) {
 // RoundRobinProtocol
 // ---------------------------------------------------------------------------
 
-RoundRobinProtocol::RoundRobinProtocol(std::uint32_t id, std::uint32_t modulus,
-                                       std::optional<std::uint32_t> source_message)
+RoundRobinProtocol::RoundRobinProtocol(
+    std::uint32_t id, std::uint32_t modulus,
+    std::optional<std::uint32_t> source_message)
     : id_(id), modulus_(modulus), payload_(source_message) {
   RC_EXPECTS(modulus_ >= 1 && id_ < modulus_);
 }
@@ -45,9 +46,9 @@ void RoundRobinProtocol::on_hear(const Message& m) {
 // ColorRobinProtocol
 // ---------------------------------------------------------------------------
 
-ColorRobinProtocol::ColorRobinProtocol(std::uint32_t color,
-                                       std::uint32_t color_count,
-                                       std::optional<std::uint32_t> source_message)
+ColorRobinProtocol::ColorRobinProtocol(
+    std::uint32_t color, std::uint32_t color_count,
+    std::optional<std::uint32_t> source_message)
     : color_(color), count_(color_count), payload_(source_message) {
   RC_EXPECTS(count_ >= 1 && color_ < count_);
 }

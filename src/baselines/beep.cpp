@@ -24,7 +24,8 @@ BeepBroadcastProtocol::BeepBroadcastProtocol(
   }
 }
 
-bool BeepBroadcastProtocol::frame_bit(std::uint32_t value, std::uint32_t k) const {
+bool BeepBroadcastProtocol::frame_bit(std::uint32_t value,
+                                      std::uint32_t k) const {
   // k = 1..bits_, MSB first.
   return ((value >> (bits_ - k)) & 1u) != 0;
 }
@@ -75,7 +76,9 @@ std::optional<Message> BeepBroadcastProtocol::on_round() {
   return std::nullopt;
 }
 
-void BeepBroadcastProtocol::on_hear(const Message&) { energy_this_round_ = true; }
+void BeepBroadcastProtocol::on_hear(const Message&) {
+  energy_this_round_ = true;
+}
 void BeepBroadcastProtocol::on_collision() { energy_this_round_ = true; }
 
 BeepRun run_beep(const graph::Graph& g, graph::NodeId source, std::uint32_t mu,

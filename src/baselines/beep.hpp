@@ -56,7 +56,8 @@ class BeepBroadcastProtocol final : public sim::Protocol {
   std::optional<std::uint32_t> decoded_;
   std::uint64_t round_ = 0;
   std::uint64_t frame_start_ = 0;  ///< local round of the sensed start beep
-  std::uint64_t relay_anchor_ = 0; ///< relay frame = rounds anchor+1 .. anchor+bits+1
+  /// Relay frame = rounds anchor+1 .. anchor+bits+1.
+  std::uint64_t relay_anchor_ = 0;
   std::uint32_t accum_ = 0;        ///< bits decoded so far (MSB first)
   std::uint32_t decoded_count_ = 0;
   bool energy_this_round_ = false;

@@ -7,7 +7,8 @@ namespace radiocast::core {
 using sim::Message;
 using sim::MsgKind;
 
-ArbProtocol::ArbProtocol(Label label, std::optional<std::uint32_t> source_message)
+ArbProtocol::ArbProtocol(Label label,
+                         std::optional<std::uint32_t> source_message)
     : label_(label),
       is_coordinator_(label.x1 && label.x2 && label.x3),
       is_z_(label.x3 && !label.x1 && !label.x2),

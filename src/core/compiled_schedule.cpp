@@ -1,0 +1,95 @@
+#include "core/compiled_schedule.hpp"
+
+#include <algorithm>
+
+namespace radiocast::core {
+
+CompiledSchedule compile_schedule(const BroadcastSchedule& schedule) {
+  CompiledSchedule out;
+  out.completion_round = schedule.completion_round;
+  out.rounds = schedule.completion_round;
+  out.offsets.assign(out.rounds + 1, 0);
+
+  std::size_t total = 0;
+  for (const auto& r : schedule.rounds) {
+    if (r.round <= out.rounds) total += r.transmitters.size();
+  }
+  out.transmitters.reserve(total);
+
+  // schedule.rounds is ordered by round number with silent rounds omitted;
+  // walk it once, filling cumulative offsets for every round in between.
+  std::size_t next = 0;
+  for (std::uint64_t round = 1; round <= out.rounds; ++round) {
+    out.offsets[round - 1] =
+        static_cast<std::uint32_t>(out.transmitters.size());
+    if (next < schedule.rounds.size() && schedule.rounds[next].round == round) {
+      const auto& tx = schedule.rounds[next].transmitters;
+      out.transmitters.insert(out.transmitters.end(), tx.begin(), tx.end());
+      ++next;
+    }
+  }
+  out.offsets[out.rounds] = static_cast<std::uint32_t>(out.transmitters.size());
+  return out;
+}
+
+CompiledScheduleRunner::CompiledScheduleRunner(const Graph& g,
+                                               const Labeling& labeling,
+                                               std::uint32_t mu,
+                                               sim::BackendKind backend)
+    : graph_(g),
+      source_(labeling.source),
+      mu_(mu),
+      compiled_(compile_schedule(predict_schedule(g, labeling))),
+      backend_(sim::make_engine_backend(g, backend)) {}
+
+ReplayResult CompiledScheduleRunner::run(sim::TraceLevel level) {
+  const auto n = graph_.node_count();
+  ReplayResult out;
+  out.first_data.assign(n, 0);
+  out.tx_count.assign(n, 0);
+  out.rx_count.assign(n, 0);
+
+  const bool record_full = level == sim::TraceLevel::kFull;
+  const sim::Message data{sim::MsgKind::kData, 0, mu_, std::nullopt};
+  const sim::Message stay{sim::MsgKind::kStay, 0, 0, std::nullopt};
+
+  for (std::uint64_t round = 1; round <= compiled_.rounds; ++round) {
+    const auto tx = compiled_.round_transmitters(round);
+    const bool is_data = CompiledSchedule::is_data_round(round);
+    const sim::Message& m = is_data ? data : stay;
+
+    backend_->resolve(tx, record_full, resolution_);
+
+    sim::RoundRecord record;
+    if (record_full) {
+      record.transmissions.reserve(tx.size());
+      for (const NodeId t : tx) record.transmissions.emplace_back(t, m);
+    }
+    for (const auto& [w, tx_index] : resolution_.deliveries) {
+      (void)tx_index;  // the round's message is uniform for algorithm B
+      ++out.rx_count[w];
+      if (is_data && out.first_data[w] == 0) out.first_data[w] = round;
+      if (record_full) record.deliveries.emplace_back(w, m);
+    }
+    if (record_full) {
+      record.collisions = resolution_.collisions;
+      out.trace.push(std::move(record));
+    }
+
+    out.tx_total += tx.size();
+    for (const NodeId t : tx) ++out.tx_count[t];
+  }
+
+  out.rounds = compiled_.rounds;
+  out.completion_round =
+      out.first_data.empty()
+          ? 0
+          : *std::max_element(out.first_data.begin(), out.first_data.end());
+  out.all_informed = true;
+  for (NodeId v = 0; v < n; ++v) {
+    if (v != source_ && out.first_data[v] == 0) out.all_informed = false;
+  }
+  return out;
+}
+
+}  // namespace radiocast::core

@@ -1,0 +1,92 @@
+/// \file compiled_schedule.hpp
+/// \brief Lemma 2.8 as an execution engine: lower a predicted
+///        `BroadcastSchedule` into flat per-round transmitter arrays and
+///        replay it against the radio semantics with zero virtual dispatch.
+///
+/// Algorithm B's execution is fully determined by the labels (Lemma 2.8), so
+/// running it does not require per-node protocol objects at all: the compiled
+/// schedule stores every round's transmitter set contiguously, and `run()`
+/// resolves each round through an `EngineBackend` directly.  The replay is
+/// bit-exact with `Engine` + `BroadcastProtocol` over the same rounds — the
+/// differential test asserts trace-for-trace equality — but skips the O(n)
+/// per-round protocol dispatch, making it the label-faithful fast path for
+/// algorithm B itself.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/labeling.hpp"
+#include "core/schedule.hpp"
+#include "sim/backend.hpp"
+#include "sim/engine.hpp"  // TraceLevel
+#include "sim/trace.hpp"
+
+namespace radiocast::core {
+
+/// A `BroadcastSchedule` lowered to flat arrays.  Rounds are 1-based and
+/// contiguous up to `rounds` (= the completion round, where the engine's
+/// all-informed predicate first holds); silent rounds are empty spans.
+struct CompiledSchedule {
+  std::uint64_t rounds = 0;
+  std::uint64_t completion_round = 0;
+  std::vector<std::uint32_t> offsets;  ///< size rounds + 1
+  std::vector<NodeId> transmitters;    ///< flat, sorted within each round
+
+  std::span<const NodeId> round_transmitters(std::uint64_t round) const {
+    RC_EXPECTS(round >= 1 && round <= rounds);
+    return {transmitters.data() + offsets[round - 1],
+            transmitters.data() + offsets[round]};
+  }
+
+  /// Odd rounds carry µ, even rounds carry "stay" (Lemma 2.8).
+  static bool is_data_round(std::uint64_t round) noexcept {
+    return (round % 2) == 1;
+  }
+};
+
+/// Lowers the predicted schedule, truncated at its completion round (the
+/// point where `Engine::run_until(all_informed)` stops).
+CompiledSchedule compile_schedule(const BroadcastSchedule& schedule);
+
+/// Replay observables, mirroring the `Engine` accessors field for field.
+struct ReplayResult {
+  bool all_informed = false;
+  std::uint64_t rounds = 0;             ///< rounds replayed
+  std::uint64_t completion_round = 0;   ///< last first-µ reception
+  std::uint64_t tx_total = 0;
+  std::uint64_t max_stamp = 0;          ///< B is unstamped: always 0
+  std::vector<std::uint64_t> first_data;  ///< per node (0 = never / source)
+  std::vector<std::uint64_t> tx_count;
+  std::vector<std::uint64_t> rx_count;
+  sim::Trace trace;  ///< populated at TraceLevel::kFull only
+};
+
+/// Compiles a labeling once, replays on demand.
+class CompiledScheduleRunner {
+ public:
+  /// `labeling` must be a λ / λ_ack-style labeling for `g` (the schedule is
+  /// predicted via `predict_schedule`).  `mu` is the payload of data rounds.
+  CompiledScheduleRunner(const Graph& g, const Labeling& labeling,
+                         std::uint32_t mu,
+                         sim::BackendKind backend = sim::BackendKind::kAuto);
+
+  const CompiledSchedule& schedule() const noexcept { return compiled_; }
+  sim::BackendKind backend_kind() const noexcept { return backend_->kind(); }
+
+  /// Replays rounds 1..schedule().rounds.  Reusable; each call is an
+  /// independent execution.
+  ReplayResult run(sim::TraceLevel level = sim::TraceLevel::kCounters);
+
+ private:
+  const Graph& graph_;
+  NodeId source_;
+  std::uint32_t mu_;
+  CompiledSchedule compiled_;
+  std::unique_ptr<sim::EngineBackend> backend_;
+  sim::RoundResolution resolution_;
+};
+
+}  // namespace radiocast::core

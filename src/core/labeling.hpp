@@ -33,7 +33,8 @@ struct Label {
 
   /// Encodes to an integer 0..7 (x1 is the most significant bit).
   std::uint8_t value() const noexcept {
-    return static_cast<std::uint8_t>((x1 ? 4 : 0) | (x2 ? 2 : 0) | (x3 ? 1 : 0));
+    return static_cast<std::uint8_t>((x1 ? 4 : 0) | (x2 ? 2 : 0) |
+                                     (x3 ? 1 : 0));
   }
 };
 

@@ -50,7 +50,8 @@ std::optional<Message> MultiMessageProtocol::on_round() {
     if (auto m = core_->maybe_x2(r)) return m;
   }
   if (auto m = core_->maybe_stay_trigger(r)) return m;
-  if (ack_heard_local_ == r - 1 && core_->has_transmit_stamp(ack_heard_stamp_)) {
+  if (ack_heard_local_ == r - 1 &&
+      core_->has_transmit_stamp(ack_heard_stamp_)) {
     return Message{MsgKind::kAck, core_->phase(), 0, core_->informed_stamp()};
   }
   return std::nullopt;
@@ -95,7 +96,7 @@ void MultiMessageProtocol::on_hear(const Message& m) {
 
 MultiRun run_multi_broadcast(const Graph& g, NodeId source,
                              const std::vector<std::uint32_t>& payloads,
-                             DomPolicy policy) {
+                             DomPolicy policy, sim::BackendKind backend) {
   RC_EXPECTS(g.node_count() >= 2);
   RC_EXPECTS(!payloads.empty());
   MultiRun out;
@@ -108,7 +109,7 @@ MultiRun run_multi_broadcast(const Graph& g, NodeId source,
         labeling.labels[v],
         v == source ? payloads : std::vector<std::uint32_t>{}));
   }
-  sim::Engine engine(g, std::move(protocols));
+  sim::Engine engine(g, std::move(protocols), {.backend = backend});
   const auto& src =
       dynamic_cast<const MultiMessageProtocol&>(engine.protocol(source));
   const std::uint64_t max_rounds =
@@ -123,7 +124,8 @@ MultiRun run_multi_broadcast(const Graph& g, NodeId source,
 
   bool ok = out.ack_rounds.size() == payloads.size();
   for (NodeId v = 0; v < g.node_count() && ok; ++v) {
-    const auto& p = dynamic_cast<const MultiMessageProtocol&>(engine.protocol(v));
+    const auto& p =
+        dynamic_cast<const MultiMessageProtocol&>(engine.protocol(v));
     ok = p.received() == payloads;
   }
   out.ok = ok;

@@ -24,6 +24,7 @@
 
 #include "core/protocols.hpp"
 #include "graph/graph.hpp"
+#include "sim/backend.hpp"
 
 namespace radiocast::core {
 
@@ -40,7 +41,9 @@ class MultiMessageProtocol final : public sim::Protocol {
   bool informed() const override { return !received_.empty() || is_source_; }
 
   /// Observer: payloads received so far, in order.
-  const std::vector<std::uint32_t>& received() const noexcept { return received_; }
+  const std::vector<std::uint32_t>& received() const noexcept {
+    return received_;
+  }
   /// Observer (source only): round of the ack for each completed instance.
   const std::vector<std::uint64_t>& ack_rounds() const noexcept {
     return ack_rounds_;
@@ -78,8 +81,9 @@ struct MultiRun {
   std::uint64_t rounds_per_message = 0;
 };
 
-MultiRun run_multi_broadcast(const Graph& g, NodeId source,
-                             const std::vector<std::uint32_t>& payloads,
-                             DomPolicy policy = DomPolicy::kAscendingId);
+MultiRun run_multi_broadcast(
+    const Graph& g, NodeId source, const std::vector<std::uint32_t>& payloads,
+    DomPolicy policy = DomPolicy::kAscendingId,
+    sim::BackendKind backend = sim::BackendKind::kAuto);
 
 }  // namespace radiocast::core

@@ -13,8 +13,8 @@ using sim::MsgKind;
 // BroadcastProtocol (Algorithm 1)
 // ---------------------------------------------------------------------------
 
-BroadcastProtocol::BroadcastProtocol(Label label,
-                                     std::optional<std::uint32_t> source_message)
+BroadcastProtocol::BroadcastProtocol(
+    Label label, std::optional<std::uint32_t> source_message)
     : label_(label), payload_(source_message) {}
 
 std::optional<Message> BroadcastProtocol::on_round() {
@@ -64,7 +64,8 @@ void BroadcastProtocol::on_hear(const Message& m) {
 StampedCore::StampedCore(Label label, MsgKind data_kind, std::uint8_t phase)
     : label_(label), data_kind_(data_kind), phase_(phase) {}
 
-void StampedCore::make_origin(std::uint32_t payload, std::uint64_t first_stamp) {
+void StampedCore::make_origin(std::uint32_t payload,
+                              std::uint64_t first_stamp) {
   RC_EXPECTS_MSG(!origin_ && !payload_, "phase origin set twice");
   origin_ = true;
   payload_ = payload;
@@ -204,7 +205,8 @@ std::optional<Message> CommonRoundProtocol::on_round() {
     if (auto m = phase1_.maybe_x2(r)) return m;
   }
   if (auto m = phase1_.maybe_stay_trigger(r)) return m;
-  if (ack_heard_local_ == r - 1 && phase1_.has_transmit_stamp(ack_heard_stamp_)) {
+  if (ack_heard_local_ == r - 1 &&
+      phase1_.has_transmit_stamp(ack_heard_stamp_)) {
     return Message{MsgKind::kAck, 1, 0, phase1_.informed_stamp()};
   }
   // Phase 2: the source broadcasts m with global stamps (the source's local

@@ -104,16 +104,21 @@ class StampedCore {
 /// Algorithm 2 (B_ack): 3-bit labels, stamped messages, acknowledgement chain.
 class AckBroadcastProtocol final : public sim::Protocol {
  public:
-  AckBroadcastProtocol(Label label, std::optional<std::uint32_t> source_message);
+  AckBroadcastProtocol(Label label,
+                       std::optional<std::uint32_t> source_message);
 
   std::optional<sim::Message> on_round() override;
   void on_hear(const sim::Message& m) override;
-  bool informed() const override { return core_.informed() || core_.is_origin(); }
+  bool informed() const override {
+    return core_.informed() || core_.is_origin();
+  }
 
   /// Observer: local round at which the source first received an "ack"
   /// (0 = not yet / not the source).
   std::uint64_t ack_round() const noexcept { return ack_received_round_; }
-  std::uint64_t informed_stamp() const noexcept { return core_.informed_stamp(); }
+  std::uint64_t informed_stamp() const noexcept {
+    return core_.informed_stamp();
+  }
 
  private:
   Label label_;
@@ -133,7 +138,9 @@ class CommonRoundProtocol final : public sim::Protocol {
 
   std::optional<sim::Message> on_round() override;
   void on_hear(const sim::Message& m) override;
-  bool informed() const override { return phase1_.informed() || phase1_.is_origin(); }
+  bool informed() const override {
+    return phase1_.informed() || phase1_.is_origin();
+  }
 
   /// Observer: the common round 2m once known to this node (0 = not yet).
   std::uint64_t knows_done_at() const noexcept;

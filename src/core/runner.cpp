@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/compiled_schedule.hpp"
+
 namespace radiocast::core {
 
 namespace {
@@ -23,7 +25,8 @@ std::vector<std::unique_ptr<sim::Protocol>> make_broadcast_protocols(
   for (NodeId v = 0; v < labeling.labels.size(); ++v) {
     out.push_back(std::make_unique<BroadcastProtocol>(
         labeling.labels[v],
-        v == labeling.source ? std::optional<std::uint32_t>(mu) : std::nullopt));
+        v == labeling.source ? std::optional<std::uint32_t>(mu)
+                             : std::nullopt));
   }
   return out;
 }
@@ -35,7 +38,8 @@ std::vector<std::unique_ptr<sim::Protocol>> make_ack_protocols(
   for (NodeId v = 0; v < labeling.labels.size(); ++v) {
     out.push_back(std::make_unique<AckBroadcastProtocol>(
         labeling.labels[v],
-        v == labeling.source ? std::optional<std::uint32_t>(mu) : std::nullopt));
+        v == labeling.source ? std::optional<std::uint32_t>(mu)
+                             : std::nullopt));
   }
   return out;
 }
@@ -47,7 +51,8 @@ std::vector<std::unique_ptr<sim::Protocol>> make_common_round_protocols(
   for (NodeId v = 0; v < labeling.labels.size(); ++v) {
     out.push_back(std::make_unique<CommonRoundProtocol>(
         labeling.labels[v],
-        v == labeling.source ? std::optional<std::uint32_t>(mu) : std::nullopt));
+        v == labeling.source ? std::optional<std::uint32_t>(mu)
+                             : std::nullopt));
   }
   return out;
 }
@@ -64,7 +69,8 @@ std::vector<std::unique_ptr<sim::Protocol>> make_arb_protocols(
   return out;
 }
 
-BroadcastRun run_broadcast(const Graph& g, NodeId source, const RunOptions& opt) {
+BroadcastRun run_broadcast(const Graph& g, NodeId source,
+                           const RunOptions& opt) {
   BroadcastRun out;
   out.bound = theorem_bound(g.node_count());
   Labeling labeling = label_broadcast(g, source, {opt.policy, opt.seed});
@@ -74,7 +80,7 @@ BroadcastRun run_broadcast(const Graph& g, NodeId source, const RunOptions& opt)
     return out;
   }
   sim::Engine engine(g, make_broadcast_protocols(labeling, opt.mu),
-                     {opt.trace});
+                     {opt.trace, false, opt.backend});
   const auto max_rounds =
       opt.max_rounds ? opt.max_rounds : auto_rounds(g.node_count(), 4);
   engine.run_until([](const sim::Engine& e) { return e.all_informed(); },
@@ -89,6 +95,35 @@ BroadcastRun run_broadcast(const Graph& g, NodeId source, const RunOptions& opt)
   return out;
 }
 
+BroadcastRun run_broadcast_compiled(const Graph& g, NodeId source,
+                                    const RunOptions& opt) {
+  BroadcastRun out;
+  out.bound = theorem_bound(g.node_count());
+  Labeling labeling = label_broadcast(g, source, {opt.policy, opt.seed});
+  out.ell = labeling.stages.ell;
+  if (g.node_count() == 1) {
+    out.all_informed = true;
+    return out;
+  }
+  CompiledScheduleRunner runner(g, labeling, opt.mu, opt.backend);
+  const auto replay = runner.run();
+  out.all_informed = replay.all_informed;
+  out.completion_round = replay.completion_round;
+  out.max_node_tx =
+      *std::max_element(replay.tx_count.begin(), replay.tx_count.end());
+  // Stay/data splits are exact from the schedule shape (odd rounds carry µ).
+  const auto& compiled = runner.schedule();
+  for (std::uint64_t round = 1; round <= compiled.rounds; ++round) {
+    const auto tx = compiled.round_transmitters(round).size();
+    if (CompiledSchedule::is_data_round(round)) {
+      out.data_tx_count += tx;
+    } else {
+      out.stay_count += tx;
+    }
+  }
+  return out;
+}
+
 AckRun run_acknowledged(const Graph& g, NodeId source, const RunOptions& opt) {
   AckRun out;
   out.bound = theorem_bound(g.node_count());
@@ -99,7 +134,8 @@ AckRun run_acknowledged(const Graph& g, NodeId source, const RunOptions& opt) {
     out.all_informed = true;
     return out;
   }
-  sim::Engine engine(g, make_ack_protocols(labeling, opt.mu), {opt.trace});
+  sim::Engine engine(g, make_ack_protocols(labeling, opt.mu),
+                     {opt.trace, false, opt.backend});
   auto& src = dynamic_cast<AckBroadcastProtocol&>(engine.protocol(source));
   const auto max_rounds =
       opt.max_rounds ? opt.max_rounds : auto_rounds(g.node_count(), 6);
@@ -118,26 +154,29 @@ CommonRoundRun run_common_round(const Graph& g, NodeId source,
   RC_EXPECTS_MSG(g.node_count() >= 2, "common-round needs at least two nodes");
   Labeling labeling = label_acknowledged(g, source, {opt.policy, opt.seed});
   sim::Engine engine(g, make_common_round_protocols(labeling, opt.mu),
-                     {opt.trace});
+                     {opt.trace, false, opt.backend});
   const auto max_rounds =
       opt.max_rounds ? opt.max_rounds : auto_rounds(g.node_count(), 10);
   // Run until every node knows m (and therefore the common round 2m).
   engine.run_until(
       [](const sim::Engine& e) {
         for (NodeId v = 0; v < e.graph().node_count(); ++v) {
-          const auto& p = dynamic_cast<const CommonRoundProtocol&>(e.protocol(v));
+          const auto& p =
+              dynamic_cast<const CommonRoundProtocol&>(e.protocol(v));
           if (p.knows_done_at() == 0) return false;
         }
         return true;
       },
       max_rounds);
 
-  const auto& src = dynamic_cast<const CommonRoundProtocol&>(engine.protocol(source));
+  const auto& src =
+      dynamic_cast<const CommonRoundProtocol&>(engine.protocol(source));
   out.common_round = src.knows_done_at();
   out.m = out.common_round / 2;
   bool ok = out.common_round != 0;
   for (NodeId v = 0; v < g.node_count() && ok; ++v) {
-    const auto& p = dynamic_cast<const CommonRoundProtocol&>(engine.protocol(v));
+    const auto& p =
+        dynamic_cast<const CommonRoundProtocol&>(engine.protocol(v));
     ok = p.knows_done_at() == out.common_round &&
          p.learned_m_stamp() < out.common_round;
     out.last_learned = std::max(out.last_learned, p.learned_m_stamp());
@@ -151,9 +190,10 @@ ArbRun run_arbitrary(const Graph& g, NodeId source, NodeId coordinator,
   ArbRun out;
   out.coordinator = coordinator;
   RC_EXPECTS_MSG(g.node_count() >= 2, "B_arb needs at least two nodes");
-  ArbLabeling labeling = label_arbitrary(g, coordinator, {opt.policy, opt.seed});
+  ArbLabeling labeling =
+      label_arbitrary(g, coordinator, {opt.policy, opt.seed});
   sim::Engine engine(g, make_arb_protocols(labeling, source, opt.mu),
-                     {opt.trace});
+                     {opt.trace, false, opt.backend});
   const auto max_rounds =
       opt.max_rounds ? opt.max_rounds : auto_rounds(g.node_count(), 16);
   engine.run_until(

@@ -20,6 +20,8 @@ struct RunOptions {
   sim::TraceLevel trace = sim::TraceLevel::kCounters;
   std::uint64_t max_rounds = 0;  ///< 0 = automatic (linear in n with slack)
   std::uint32_t mu = 42;         ///< the source message µ
+  /// Engine round-resolution backend (kAuto picks by graph density).
+  sim::BackendKind backend = sim::BackendKind::kAuto;
 };
 
 /// Protocol vectors for tests that drive an Engine manually.
@@ -35,7 +37,7 @@ std::vector<std::unique_ptr<sim::Protocol>> make_arb_protocols(
 /// Theorem 2.9 quantities for one (graph, source) execution of B.
 struct BroadcastRun {
   bool all_informed = false;
-  std::uint64_t completion_round = 0;  ///< max over v of first-µ-reception round
+  std::uint64_t completion_round = 0;  ///< max first-µ-reception round
   std::uint64_t bound = 0;             ///< 2n - 3 (0 for n = 1)
   std::uint32_t ell = 0;               ///< stage count (Lemma 2.6: ell <= n)
   std::uint64_t stay_count = 0;        ///< total "stay" transmissions
@@ -45,6 +47,13 @@ struct BroadcastRun {
 
 BroadcastRun run_broadcast(const Graph& g, NodeId source,
                            const RunOptions& opt = {});
+
+/// Same quantities as `run_broadcast`, but executed through the
+/// `CompiledScheduleRunner` fast path (Lemma 2.8 lowering, no protocol
+/// dispatch).  Bit-exact with the engine; `opt.trace`/`opt.max_rounds` are
+/// ignored (the schedule fixes the horizon, stay/data counts are exact).
+BroadcastRun run_broadcast_compiled(const Graph& g, NodeId source,
+                                    const RunOptions& opt = {});
 
 /// Theorem 3.9 quantities for one execution of B_ack.
 struct AckRun {
@@ -57,7 +66,8 @@ struct AckRun {
   std::uint64_t max_stamp = 0;  ///< message-size accounting (O(log n) claim)
 };
 
-AckRun run_acknowledged(const Graph& g, NodeId source, const RunOptions& opt = {});
+AckRun run_acknowledged(const Graph& g, NodeId source,
+                        const RunOptions& opt = {});
 
 /// §3 closing construction quantities.
 struct CommonRoundRun {
@@ -72,7 +82,7 @@ CommonRoundRun run_common_round(const Graph& g, NodeId source,
 
 /// §4 (B_arb) quantities.
 struct ArbRun {
-  bool ok = false;                ///< all nodes learned µ and agree on done_round
+  bool ok = false;  ///< all nodes learned µ and agree on done_round
   std::uint64_t total_rounds = 0; ///< engine rounds until global quiescence
   std::uint64_t done_round = 0;   ///< the common completion round
   std::uint64_t T = 0;            ///< phase-1 duration learned by r

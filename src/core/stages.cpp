@@ -155,7 +155,8 @@ StageSets build_stage_sets(const Graph& g, NodeId source, DomPolicy policy,
       }
     }
     for (const NodeId y : frontier) {
-      RC_ASSERT_MSG(cover[y] >= 1, "Lemma 2.5 violated: undominated frontier node");
+      RC_ASSERT_MSG(cover[y] >= 1,
+                    "Lemma 2.5 violated: undominated frontier node");
     }
 
     std::vector<NodeId> dom_cur;
@@ -245,7 +246,8 @@ StageSets build_stage_sets(const Graph& g, NodeId source, DomPolicy policy,
           }
           if (gain0 == 0) continue;  // no covering progress
           const auto score =
-              static_cast<std::int64_t>(gain0) - static_cast<std::int64_t>(lose1);
+              static_cast<std::int64_t>(gain0) -
+              static_cast<std::int64_t>(lose1);
           if (score > best_score ||
               (score == best_score && gain0 > best_gain)) {
             best_score = score;
@@ -320,7 +322,8 @@ StageSets build_stage_sets(const Graph& g, NodeId source, DomPolicy policy,
       return out;
     }
 
-    // FRONTIER_{stage+1} = (FRONTIER_stage \ NEW_stage) ∪ (Γ(NEW_stage) ∩ UNINF).
+    // FRONTIER_{stage+1} = (FRONTIER_stage \ NEW_stage) ∪ (Γ(NEW_stage) ∩
+    // UNINF).
     std::vector<NodeId> next_frontier;
     std::vector<bool> seen(n, false);
     for (const NodeId v : frontier) {
@@ -348,7 +351,9 @@ std::string validate_stage_sets(const Graph& g, const StageSets& s) {
   auto fail = [](const std::string& msg) { return msg; };
 
   if (n == 1) {
-    if (s.ell != 1 || !s.dom.empty()) return fail("n=1 must have ell=1, no stages");
+    if (s.ell != 1 || !s.dom.empty()) {
+      return fail("n=1 must have ell=1, no stages");
+    }
     return {};
   }
   if (s.ell < 2 || s.dom.size() != s.ell - 1 || s.fresh.size() != s.ell - 1 ||
@@ -370,7 +375,9 @@ std::string validate_stage_sets(const Graph& g, const StageSets& s) {
       if (seen[v] != 0) return fail("source counted");
       continue;
     }
-    if (seen[v] != 1) return fail("NEW sets do not partition V \\ {s} (Cor 2.7)");
+    if (seen[v] != 1) {
+      return fail("NEW sets do not partition V \\ {s} (Cor 2.7)");
+    }
   }
 
   // Per-stage structural checks.
@@ -394,7 +401,10 @@ std::string validate_stage_sets(const Graph& g, const StageSets& s) {
     for (NodeId v = 0; v < n; ++v) {
       if (!informed[v] && !in_frontier[v]) {
         for (const NodeId w : g.neighbors(v)) {
-          if (informed[w]) return fail("uninformed node adjacent to informed missing from frontier");
+          if (informed[w]) {
+            return fail(
+                "uninformed node adjacent to informed missing from frontier");
+          }
         }
       }
     }
@@ -404,8 +414,10 @@ std::string validate_stage_sets(const Graph& g, const StageSets& s) {
       if (idx == 0) {
         allowed = (v == s.source);
       } else {
-        allowed = std::binary_search(s.dom[idx - 1].begin(), s.dom[idx - 1].end(), v) ||
-                  std::binary_search(s.fresh[idx - 1].begin(), s.fresh[idx - 1].end(), v);
+        allowed = std::binary_search(s.dom[idx - 1].begin(),
+                                     s.dom[idx - 1].end(), v) ||
+                  std::binary_search(s.fresh[idx - 1].begin(),
+                                     s.fresh[idx - 1].end(), v);
       }
       if (!allowed) return fail("DOM_i not within DOM_{i-1} ∪ NEW_{i-1}");
     }
@@ -430,7 +442,9 @@ std::string validate_stage_sets(const Graph& g, const StageSets& s) {
     for (const NodeId y : frontier) {
       if (cover[y] == 1) expect_fresh.push_back(y);
     }
-    if (expect_fresh != fresh) return fail("NEW_i mismatch with unique-dominator rule");
+    if (expect_fresh != fresh) {
+      return fail("NEW_i mismatch with unique-dominator rule");
+    }
 
     for (const NodeId v : fresh) informed[v] = true;
   }

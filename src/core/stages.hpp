@@ -5,7 +5,7 @@
 ///   INF_i      nodes informed before round 2i-1,
 ///   UNINF_i    the complement,
 ///   FRONTIER_i uninformed nodes adjacent to an informed node,
-///   DOM_i      a *minimal* subset of DOM_{i-1} ∪ NEW_{i-1} dominating FRONTIER_i,
+/// DOM_i a *minimal* subset of DOM_{i-1} ∪ NEW_{i-1} dominating FRONTIER_i,
 ///   NEW_i      frontier nodes with exactly one neighbour in DOM_i,
 /// with INF_1 = {s}, NEW_1 = FRONTIER_1 = Γ(s), DOM_1 = {s}; it stops at the
 /// first ℓ with INF_ℓ = V.
@@ -58,7 +58,8 @@ inline constexpr DomPolicy kAllDomPolicies[] = {
 struct StageSets {
   std::vector<std::vector<NodeId>> dom;       ///< dom[i-1] = DOM_i, sorted
   std::vector<std::vector<NodeId>> fresh;     ///< fresh[i-1] = NEW_i, sorted
-  std::vector<std::vector<NodeId>> frontier;  ///< frontier[i-1] = FRONTIER_i, sorted
+  /// frontier[i-1] = FRONTIER_i, sorted.
+  std::vector<std::vector<NodeId>> frontier;
   std::uint32_t ell = 0;                      ///< smallest i with INF_i = V
   /// stage_of[v] = the unique i with v ∈ NEW_i (Corollary 2.7); 0 for source.
   std::vector<std::uint32_t> stage_of;

@@ -1,0 +1,16 @@
+#include "graph/bit_adjacency.hpp"
+
+namespace radiocast::graph {
+
+BitAdjacency::BitAdjacency(const Graph& g)
+    : n_(g.node_count()), words_(words_for(g.node_count())) {
+  bits_.assign(static_cast<std::size_t>(n_) * words_, 0);
+  for (NodeId v = 0; v < n_; ++v) {
+    const auto base = static_cast<std::size_t>(v) * words_;
+    for (const NodeId w : g.neighbors(v)) {
+      bits_[base + (w >> 6)] |= std::uint64_t{1} << (w & 63);
+    }
+  }
+}
+
+}  // namespace radiocast::graph

@@ -1,0 +1,58 @@
+/// \file bit_adjacency.hpp
+/// \brief Dense adjacency bitmaps for bit-parallel round resolution.
+///
+/// A `BitAdjacency` packs each vertex neighbourhood into ceil(n/64) 64-bit
+/// words, so "which listeners have a transmitting neighbour" becomes word-wide
+/// OR/AND over rows instead of a per-edge scalar walk.  The n^2/8-byte cost
+/// only pays off on dense graphs; `sim::choose_backend` owns that decision.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace radiocast::graph {
+
+/// Immutable n x n adjacency bitmap built from a CSR `Graph`.
+class BitAdjacency {
+ public:
+  BitAdjacency() = default;
+  explicit BitAdjacency(const Graph& g);
+
+  std::uint32_t node_count() const noexcept { return n_; }
+
+  /// 64-bit words per row (= words_for(node_count())).
+  std::size_t words_per_row() const noexcept { return words_; }
+
+  /// Neighbourhood mask of `v`: bit w is set iff {v, w} is an edge.
+  std::span<const std::uint64_t> row(NodeId v) const {
+    RC_EXPECTS(v < n_);
+    return {bits_.data() + static_cast<std::size_t>(v) * words_, words_};
+  }
+
+  /// Edge test in O(1).
+  bool test(NodeId u, NodeId v) const {
+    RC_EXPECTS(u < n_ && v < n_);
+    const auto word = bits_[static_cast<std::size_t>(u) * words_ + (v >> 6)];
+    return ((word >> (v & 63)) & 1u) != 0;
+  }
+
+  /// Total bitmap footprint in bytes.
+  std::size_t memory_bytes() const noexcept {
+    return bits_.size() * sizeof(std::uint64_t);
+  }
+
+  /// Words needed to hold one n-bit row.
+  static std::size_t words_for(std::uint32_t n) noexcept {
+    return (static_cast<std::size_t>(n) + 63) / 64;
+  }
+
+ private:
+  std::uint32_t n_ = 0;
+  std::size_t words_ = 0;
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace radiocast::graph

@@ -13,12 +13,16 @@ Coloring square_coloring(const Graph& g) {
   for (NodeId v = 0; v < n; ++v) {
     for (const NodeId u : g.neighbors(v)) {
       if (out.color[u] != kNoNode) {
-        if (out.color[u] >= forbidden.size()) forbidden.resize(out.color[u] + 1, kNoNode);
+        if (out.color[u] >= forbidden.size()) {
+          forbidden.resize(out.color[u] + 1, kNoNode);
+        }
         forbidden[out.color[u]] = v;
       }
       for (const NodeId w : g.neighbors(u)) {
         if (w != v && out.color[w] != kNoNode) {
-          if (out.color[w] >= forbidden.size()) forbidden.resize(out.color[w] + 1, kNoNode);
+          if (out.color[w] >= forbidden.size()) {
+            forbidden.resize(out.color[w] + 1, kNoNode);
+          }
           forbidden[out.color[w]] = v;
         }
       }

@@ -150,7 +150,9 @@ Graph lollipop(std::uint32_t clique, std::uint32_t tail) {
   GraphBuilder b(n);
   for (NodeId u = 0; u < clique; ++u)
     for (NodeId v = u + 1; v < clique; ++v) b.add_edge(u, v);
-  for (NodeId v = clique; v < n; ++v) b.add_edge(v - 1 == clique - 1 ? clique - 1 : v - 1, v);
+  for (NodeId v = clique; v < n; ++v) {
+    b.add_edge(v - 1 == clique - 1 ? clique - 1 : v - 1, v);
+  }
   return std::move(b).build();
 }
 
@@ -266,7 +268,8 @@ void sp_build(GraphBuilder& b, std::uint32_t& next_node, NodeId s, NodeId t,
     b.add_edge(s, t);
     return;
   }
-  const std::uint32_t left = 1 + static_cast<std::uint32_t>(rng.below(budget - 1));
+  const std::uint32_t left =
+      1 + static_cast<std::uint32_t>(rng.below(budget - 1));
   const std::uint32_t right = budget - left;
   if (rng.bernoulli(0.5) && next_node < b.node_count()) {
     // Series: s — w — t.
@@ -349,16 +352,16 @@ Graph figure1() {
   //   12 = H (label 00, informed in round 7 after a round-5 collision via B,C)
   GraphBuilder b(13);
   b.add_edge(0, 1).add_edge(0, 2).add_edge(0, 3);  // Γ(s) = {A, C, B}
-  b.add_edge(1, 2);                                 // A–C (collision cover for A in round 5)
-  b.add_edge(4, 1);                                 // D–A (D's unique round-3 informer)
+  b.add_edge(1, 2);                 // A–C (collision cover for A in round 5)
+  b.add_edge(4, 1);                 // D–A (D's unique round-3 informer)
   b.add_edge(5, 3);                                 // E–B
   b.add_edge(6, 2);                                 // F–C
-  b.add_edge(7, 1).add_edge(7, 3);                  // G–A, G–B (round-3 collision at G)
-  b.add_edge(8, 1).add_edge(8, 2);                  // P_C–A, P_C–C (round-3 collision at P_C)
+  b.add_edge(7, 1).add_edge(7, 3);  // G–A, G–B (round-3 collision at G)
+  b.add_edge(8, 1).add_edge(8, 2);  // P_C–A, P_C–C (round-3 collision)
   b.add_edge(9, 4);                                 // P_D–D
   b.add_edge(10, 5);                                // P_E–E
   b.add_edge(11, 6);                                // P_F–F
-  b.add_edge(12, 3).add_edge(12, 2);                // H–B, H–C (round-5 collision at H)
+  b.add_edge(12, 3).add_edge(12, 2);  // H–B, H–C (round-5 collision at H)
   return std::move(b).build();
 }
 

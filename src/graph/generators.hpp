@@ -47,7 +47,8 @@ Graph wheel(std::uint32_t n);
 /// The Petersen graph (10 vertices, 3-regular, girth 5).
 Graph petersen();
 
-/// Complete `arity`-ary tree of the given depth (root = 0, depth 0 = root only).
+/// Complete `arity`-ary tree of the given depth (root = 0, depth 0 = root
+/// only).
 Graph balanced_tree(std::uint32_t arity, std::uint32_t depth);
 
 /// Uniform random recursive tree: vertex i >= 1 attaches to a uniform j < i.

@@ -55,7 +55,8 @@ Graph GraphBuilder::build() && {
   // Edges were inserted in sorted (u,v) order, but each vertex's list mixes
   // lower and higher endpoints; sort per vertex for binary-search lookups.
   for (NodeId v = 0; v < n_; ++v) {
-    std::sort(g.adj_.begin() + g.offsets_[v], g.adj_.begin() + g.offsets_[v + 1]);
+    std::sort(g.adj_.begin() + g.offsets_[v],
+              g.adj_.begin() + g.offsets_[v + 1]);
   }
   return g;
 }

@@ -19,7 +19,8 @@ void write_edge_list(const Graph& g, std::ostream& out);
 
 /// Graphviz rendering; `node_text` (optional, size n) annotates vertices,
 /// `highlight` (optional) draws one vertex double-circled (the source).
-std::string to_dot(const Graph& g, const std::vector<std::string>& node_text = {},
+std::string to_dot(const Graph& g,
+                   const std::vector<std::string>& node_text = {},
                    NodeId highlight = kNoNode);
 
 }  // namespace radiocast::graph

@@ -100,7 +100,8 @@ std::uint64_t triangle_count(const Graph& g) {
 }
 
 std::vector<std::uint32_t> degree_histogram(const Graph& g) {
-  std::vector<std::uint32_t> hist(static_cast<std::size_t>(g.max_degree()) + 1, 0);
+  std::vector<std::uint32_t> hist(static_cast<std::size_t>(g.max_degree()) + 1,
+                                  0);
   for (NodeId v = 0; v < g.node_count(); ++v) ++hist[g.degree(v)];
   return hist;
 }

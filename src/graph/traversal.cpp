@@ -34,7 +34,8 @@ std::uint32_t eccentricity(const Graph& g, NodeId source) {
   const auto dist = bfs_distances(g, source);
   std::uint32_t ecc = 0;
   for (const auto d : dist) {
-    RC_EXPECTS_MSG(d != kUnreachable, "eccentricity requires a connected graph");
+    RC_EXPECTS_MSG(d != kUnreachable,
+                   "eccentricity requires a connected graph");
     ecc = std::max(ecc, d);
   }
   return ecc;

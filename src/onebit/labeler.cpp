@@ -11,7 +11,9 @@ namespace {
 /// Shared dynamics state for one stage-by-stage replay / construction.
 struct Wave {
   explicit Wave(const Graph& g, NodeId source)
-      : graph(g), informed(g.node_count(), false), in_set(g.node_count(), false) {
+      : graph(g),
+        informed(g.node_count(), false),
+        in_set(g.node_count(), false) {
     informed[source] = true;
     tx = {source};
     fresh = unique_hearers(tx);
@@ -246,7 +248,8 @@ OneBitResult find_onebit_labeling(const Graph& g, NodeId source,
 
     // Authoritative re-check of the closed-form dynamics (paranoia: the
     // construction and the replay must agree bit-for-bit).
-    const auto completion = onebit_completion_round(g, source, bits, max_stages);
+    const auto completion =
+        onebit_completion_round(g, source, bits, max_stages);
     if (completion == 0) continue;
 
     out.ok = true;

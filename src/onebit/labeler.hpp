@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "sim/backend.hpp"
 #include "support/rng.hpp"
 
 namespace radiocast::onebit {
@@ -40,6 +41,9 @@ struct OneBitOptions {
   std::uint32_t max_attempts = 64;  ///< randomized restarts
   std::uint64_t seed = 0;
   std::uint64_t max_stages = 0;  ///< 0 = 4n + 8 (stall safety net)
+  /// Engine backend for the runners' validation executions (the labeling
+  /// search itself replays closed-form dynamics and ignores this).
+  sim::BackendKind engine_backend = sim::BackendKind::kAuto;
 };
 
 struct OneBitResult {

@@ -85,7 +85,8 @@ OneBitRun run_onebit(const Graph& g, graph::NodeId source,
     protocols.push_back(std::make_unique<core::BroadcastProtocol>(
         label, v == source ? std::optional<std::uint32_t>(kMu) : std::nullopt));
   }
-  sim::Engine engine(g, std::move(protocols));
+  sim::Engine engine(g, std::move(protocols),
+                     {.backend = opt.engine_backend});
   engine.run_until([](const sim::Engine& e) { return e.all_informed(); },
                    4ull * g.node_count() + 16);
   out.ok = engine.all_informed();
@@ -116,8 +117,10 @@ OneBitRun run_onebit_acknowledged(const Graph& g, graph::NodeId source,
     protocols.push_back(std::make_unique<core::AckBroadcastProtocol>(
         label, v == source ? std::optional<std::uint32_t>(kMu) : std::nullopt));
   }
-  sim::Engine engine(g, std::move(protocols));
-  auto& src = dynamic_cast<core::AckBroadcastProtocol&>(engine.protocol(source));
+  sim::Engine engine(g, std::move(protocols),
+                     {.backend = opt.engine_backend});
+  auto& src =
+      dynamic_cast<core::AckBroadcastProtocol&>(engine.protocol(source));
   engine.run_until([&src](const sim::Engine&) { return src.ack_round() != 0; },
                    6ull * g.node_count() + 16);
   out.ok = engine.all_informed() && src.ack_round() != 0;

@@ -10,6 +10,7 @@
 
 #include "graph/graph.hpp"
 #include "onebit/labeler.hpp"
+#include "sim/backend.hpp"
 
 namespace radiocast::onebit {
 
@@ -22,7 +23,8 @@ struct OneBitRun {
   std::uint32_t ones = 0;              ///< number of 1-labeled nodes
 };
 
-/// Finds a 1-bit labeling and validates broadcast through the real engine.
+/// Finds a 1-bit labeling and validates broadcast through the real engine
+/// (`opt.engine_backend` selects its round-resolution backend).
 OneBitRun run_onebit(const Graph& g, graph::NodeId source,
                      const OneBitOptions& opt = {});
 

@@ -1,0 +1,166 @@
+#include "sim/backend.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace radiocast::sim {
+
+const char* to_string(BackendKind k) {
+  switch (k) {
+    case BackendKind::kAuto: return "auto";
+    case BackendKind::kScalar: return "scalar";
+    case BackendKind::kBit: return "bit";
+  }
+  return "?";
+}
+
+std::optional<BackendKind> parse_backend(std::string_view name) {
+  if (name == "auto") return BackendKind::kAuto;
+  if (name == "scalar") return BackendKind::kScalar;
+  if (name == "bit") return BackendKind::kBit;
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// ScalarEngine
+
+ScalarEngine::ScalarEngine(const graph::Graph& g) : graph_(g) {
+  const auto n = g.node_count();
+  tx_neighbor_count_.assign(n, 0);
+  unique_tx_index_.assign(n, 0);
+  transmitting_.assign(n, 0);
+}
+
+void ScalarEngine::resolve(std::span<const NodeId> transmitters,
+                           bool want_collisions, RoundResolution& out) {
+  out.clear();
+  if (transmitters.empty()) return;
+
+  for (const NodeId t : transmitters) transmitting_[t] = 1;
+
+  touched_.clear();
+  for (std::uint32_t i = 0; i < transmitters.size(); ++i) {
+    for (const NodeId w : graph_.neighbors(transmitters[i])) {
+      if (tx_neighbor_count_[w] == 0) {
+        touched_.push_back(w);
+        unique_tx_index_[w] = i;
+      }
+      ++tx_neighbor_count_[w];
+    }
+  }
+
+  // Canonical listener order, so traces are identical across backends.
+  std::sort(touched_.begin(), touched_.end());
+  for (const NodeId w : touched_) {
+    if (transmitting_[w]) continue;  // a transmitting node never hears
+    if (tx_neighbor_count_[w] == 1) {
+      out.deliveries.emplace_back(w, unique_tx_index_[w]);
+    } else if (want_collisions) {
+      out.collisions.push_back(w);
+    }
+  }
+
+  // Reset scratch for this round's touched nodes only.
+  for (const NodeId w : touched_) tx_neighbor_count_[w] = 0;
+  for (const NodeId t : transmitters) transmitting_[t] = 0;
+}
+
+// ---------------------------------------------------------------------------
+// BitEngine
+
+BitEngine::BitEngine(const graph::Graph& g) : adj_(g) {
+  words_ = adj_.words_per_row();
+  once_.assign(words_, 0);
+  twice_.assign(words_, 0);
+  tx_mask_.assign(words_, 0);
+  heard_.assign(words_, 0);
+  unique_tx_index_.assign(g.node_count(), 0);
+}
+
+void BitEngine::resolve(std::span<const NodeId> transmitters,
+                        bool want_collisions, RoundResolution& out) {
+  out.clear();
+  if (transmitters.empty()) return;
+
+  std::fill(once_.begin(), once_.end(), 0);
+  std::fill(twice_.begin(), twice_.end(), 0);
+  std::fill(tx_mask_.begin(), tx_mask_.end(), 0);
+
+  // Saturating two-counter accumulation: after all rows are folded in,
+  // once = ">= 1 transmitting neighbour", twice = ">= 2".
+  for (const NodeId t : transmitters) {
+    const auto row = adj_.row(t);
+    for (std::size_t w = 0; w < words_; ++w) {
+      const std::uint64_t r = row[w];
+      twice_[w] |= once_[w] & r;
+      once_[w] |= r;
+    }
+    tx_mask_[t >> 6] |= std::uint64_t{1} << (t & 63);
+  }
+
+  for (std::size_t w = 0; w < words_; ++w) {
+    heard_[w] = once_[w] & ~twice_[w] & ~tx_mask_[w];
+  }
+
+  // Attribute each heard listener to its unique transmitter.  Every heard
+  // bit lies in exactly one transmitter's row, so this writes each slot once.
+  for (std::uint32_t i = 0; i < transmitters.size(); ++i) {
+    const auto row = adj_.row(transmitters[i]);
+    for (std::size_t w = 0; w < words_; ++w) {
+      std::uint64_t hits = row[w] & heard_[w];
+      while (hits) {
+        const auto b = static_cast<std::uint32_t>(std::countr_zero(hits));
+        hits &= hits - 1;
+        unique_tx_index_[(w << 6) + b] = i;
+      }
+    }
+  }
+
+  for (std::size_t w = 0; w < words_; ++w) {
+    std::uint64_t h = heard_[w];
+    while (h) {
+      const auto b = static_cast<std::uint32_t>(std::countr_zero(h));
+      h &= h - 1;
+      const auto listener = static_cast<NodeId>((w << 6) + b);
+      out.deliveries.emplace_back(listener, unique_tx_index_[listener]);
+    }
+  }
+
+  if (want_collisions) {
+    for (std::size_t w = 0; w < words_; ++w) {
+      std::uint64_t c = twice_[w] & ~tx_mask_[w];
+      while (c) {
+        const auto b = static_cast<std::uint32_t>(std::countr_zero(c));
+        c &= c - 1;
+        out.collisions.push_back(static_cast<NodeId>((w << 6) + b));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Selection
+
+BackendKind choose_backend(const graph::Graph& g, BackendKind requested) {
+  if (requested != BackendKind::kAuto) return requested;
+  const auto n = g.node_count();
+  if (n < 64) return BackendKind::kScalar;
+  const std::size_t words = graph::BitAdjacency::words_for(n);
+  const std::size_t bytes = static_cast<std::size_t>(n) * words * 8;
+  if (bytes > kBitBackendMemoryCap) return BackendKind::kScalar;
+  // Scalar costs deg(t) edge visits per transmitter; bit costs ~words word
+  // ops.  Prefer bit when the average degree exceeds the word cost.
+  const double avg_degree = 2.0 * static_cast<double>(g.edge_count()) / n;
+  return avg_degree >= static_cast<double>(words) ? BackendKind::kBit
+                                                  : BackendKind::kScalar;
+}
+
+std::unique_ptr<EngineBackend> make_engine_backend(const graph::Graph& g,
+                                                   BackendKind kind) {
+  switch (choose_backend(g, kind)) {
+    case BackendKind::kBit: return std::make_unique<BitEngine>(g);
+    default: return std::make_unique<ScalarEngine>(g);
+  }
+}
+
+}  // namespace radiocast::sim

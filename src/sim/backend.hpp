@@ -1,0 +1,142 @@
+/// \file backend.hpp
+/// \brief Pluggable round-resolution backends for the radio engine.
+///
+/// Resolving a round means: given the set of transmitters, find every
+/// listening node with exactly one transmitting neighbour (it hears that
+/// neighbour's message) and every listening node with two or more (a
+/// collision).  Transmitters themselves never hear (paper §1.1).  Protocol
+/// dispatch and bookkeeping live in `Engine` and are backend-independent;
+/// only this resolution step is specialized:
+///
+///  - `ScalarEngine` walks transmitter adjacency lists in the CSR graph:
+///    O(sum of deg(t)) per round — optimal for sparse graphs.
+///  - `BitEngine` uses dense `graph::BitAdjacency` rows and the once/twice
+///    saturating accumulator (`twice |= once & row; once |= row`):
+///    O(T * n/64) word operations per round regardless of edge count,
+///    including the collision set (`twice` is exactly ">= 2 transmitting
+///    neighbours").
+///
+/// Both backends produce listener-sorted results, so every `Engine`
+/// observable (traces, counters, delivery order) is bit-exact across them.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "graph/bit_adjacency.hpp"
+#include "graph/graph.hpp"
+
+namespace radiocast::sim {
+
+using graph::NodeId;
+
+/// Which round-resolution backend an `Engine` uses.
+enum class BackendKind : std::uint8_t {
+  kAuto,    ///< pick kBit iff the bitmap is affordable and profitable
+  kScalar,  ///< CSR adjacency walk (sparse-friendly seed implementation)
+  kBit,     ///< dense bit-parallel stepping over adjacency bitmaps
+};
+
+const char* to_string(BackendKind k);
+
+/// Parses "auto" / "scalar" / "bit"; nullopt for anything else.
+std::optional<BackendKind> parse_backend(std::string_view name);
+
+/// Outcome of resolving one round.  Both lists are sorted by listener id and
+/// exclude transmitters.  `deliveries` pairs each hearing listener with the
+/// index of its unique transmitter within the round's transmitter array.
+struct RoundResolution {
+  std::vector<std::pair<NodeId, std::uint32_t>> deliveries;
+  std::vector<NodeId> collisions;
+
+  void clear() {
+    deliveries.clear();
+    collisions.clear();
+  }
+};
+
+/// Round-resolution strategy bound to one graph.  Implementations keep
+/// per-instance scratch sized once at construction; a backend object is not
+/// safe for concurrent resolve() calls.
+class EngineBackend {
+ public:
+  virtual ~EngineBackend() = default;
+
+  EngineBackend() = default;
+  EngineBackend(const EngineBackend&) = delete;
+  EngineBackend& operator=(const EngineBackend&) = delete;
+
+  virtual BackendKind kind() const noexcept = 0;
+  virtual const char* name() const noexcept = 0;
+
+  /// Resolves one round.  `transmitters` must be strictly increasing node
+  /// ids.  When `want_collisions` is false the backend may leave
+  /// `out.collisions` empty (the engine only needs the collision set for
+  /// collision-detection mode or full traces).
+  virtual void resolve(std::span<const NodeId> transmitters,
+                       bool want_collisions, RoundResolution& out) = 0;
+};
+
+/// Sparse backend: the seed engine's per-transmitter adjacency walk, with
+/// all scratch (including the transmitter membership bitmap) hoisted into
+/// reused buffers cleared via touched-node bookkeeping — no per-round O(n)
+/// allocation or zeroing.
+class ScalarEngine final : public EngineBackend {
+ public:
+  explicit ScalarEngine(const graph::Graph& g);
+
+  BackendKind kind() const noexcept override { return BackendKind::kScalar; }
+  const char* name() const noexcept override { return "scalar"; }
+  void resolve(std::span<const NodeId> transmitters, bool want_collisions,
+               RoundResolution& out) override;
+
+ private:
+  const graph::Graph& graph_;
+  std::vector<std::uint32_t> tx_neighbor_count_;
+  std::vector<std::uint32_t> unique_tx_index_;
+  std::vector<std::uint8_t> transmitting_;
+  std::vector<NodeId> touched_;
+};
+
+/// Dense backend: once/twice saturating bit accumulation over adjacency
+/// bitmap rows.  Resolution costs O(T * n/64 + n/64) words per round.
+class BitEngine final : public EngineBackend {
+ public:
+  explicit BitEngine(const graph::Graph& g);
+
+  BackendKind kind() const noexcept override { return BackendKind::kBit; }
+  const char* name() const noexcept override { return "bit"; }
+  void resolve(std::span<const NodeId> transmitters, bool want_collisions,
+               RoundResolution& out) override;
+
+  const graph::BitAdjacency& adjacency() const noexcept { return adj_; }
+
+ private:
+  graph::BitAdjacency adj_;
+  std::size_t words_ = 0;
+  std::vector<std::uint64_t> once_;     ///< >= 1 transmitting neighbour
+  std::vector<std::uint64_t> twice_;    ///< >= 2 transmitting neighbours
+  std::vector<std::uint64_t> tx_mask_;  ///< transmitter membership
+  std::vector<std::uint64_t> heard_;    ///< once & ~twice & ~tx_mask
+  std::vector<std::uint32_t> unique_tx_index_;
+};
+
+/// Upper bound on the adjacency bitmap a kAuto selection may allocate.
+inline constexpr std::size_t kBitBackendMemoryCap = 64u << 20;  // 64 MiB
+
+/// Resolves kAuto against the graph: kBit iff the bitmap fits under
+/// `kBitBackendMemoryCap` and the average degree exceeds the n/64 words a
+/// BitEngine touches per transmitter (the break-even density).  Explicit
+/// requests are honored unchanged.
+BackendKind choose_backend(const graph::Graph& g, BackendKind requested);
+
+/// Constructs the chosen backend, resolving kAuto via `choose_backend`.
+std::unique_ptr<EngineBackend> make_engine_backend(const graph::Graph& g,
+                                                   BackendKind kind);
+
+}  // namespace radiocast::sim

@@ -4,9 +4,13 @@
 
 namespace radiocast::sim {
 
-Engine::Engine(const graph::Graph& g, std::vector<std::unique_ptr<Protocol>> protocols,
+Engine::Engine(const graph::Graph& g,
+               std::vector<std::unique_ptr<Protocol>> protocols,
                EngineOptions options)
-    : graph_(g), protocols_(std::move(protocols)), options_(options) {
+    : graph_(g),
+      protocols_(std::move(protocols)),
+      options_(options),
+      backend_(make_engine_backend(g, options.backend)) {
   RC_EXPECTS_MSG(protocols_.size() == g.node_count(),
                  "one protocol per vertex required");
   for (const auto& p : protocols_) RC_EXPECTS(p != nullptr);
@@ -14,8 +18,6 @@ Engine::Engine(const graph::Graph& g, std::vector<std::unique_ptr<Protocol>> pro
   first_data_.assign(n, 0);
   tx_count_.assign(n, 0);
   rx_count_.assign(n, 0);
-  tx_neighbor_count_.assign(n, 0);
-  unique_transmitter_.assign(n, graph::kNoNode);
 }
 
 std::uint64_t Engine::max_tx_count() const {
@@ -31,63 +33,39 @@ bool Engine::step() {
   // Phase 1: collect decisions in lockstep.  No delivery happens until every
   // node has decided, so protocols cannot observe same-round transmissions.
   decisions_.clear();
+  tx_ids_.clear();
   for (NodeId v = 0; v < n; ++v) {
     if (auto msg = protocols_[v]->on_round()) {
       decisions_.emplace_back(v, *msg);
+      tx_ids_.push_back(v);
       if (msg->stamp) max_stamp_ = std::max(max_stamp_, *msg->stamp);
     }
   }
 
-  // Phase 2: per-listener transmitting-neighbour counts.
-  touched_.clear();
-  for (const auto& [t, msg] : decisions_) {
-    for (const NodeId w : graph_.neighbors(t)) {
-      if (tx_neighbor_count_[w] == 0) {
-        touched_.push_back(w);
-        unique_transmitter_[w] = t;
-      }
-      ++tx_neighbor_count_[w];
-    }
-  }
-
-  // Phase 3: deliver to listeners with exactly one transmitting neighbour.
-  RoundRecord record;
+  // Phase 2: backend-resolved outcome — who hears which transmitter, who
+  // sits under a collision.  Collision lists are only materialized when an
+  // observer (trace or the CD signal) will consume them.
   const bool record_full = options_.trace == TraceLevel::kFull;
+  backend_->resolve(tx_ids_, record_full || options_.collision_detection,
+                    resolution_);
+
+  // Phase 3: deliver.
+  RoundRecord record;
   if (record_full) record.transmissions = decisions_;
 
-  // A transmitting node never hears (paper §1.1); mark transmitters.
-  // tx_neighbor_count_ is only defined for touched nodes this round.
-  std::vector<bool> transmitting;
-  if (!decisions_.empty()) {
-    transmitting.assign(n, false);
-    for (const auto& [t, msg] : decisions_) transmitting[t] = true;
-  }
-
-  for (const NodeId w : touched_) {
-    const auto count = tx_neighbor_count_[w];
-    if (count == 1 && !transmitting[w]) {
-      const NodeId t = unique_transmitter_[w];
-      // Find t's message (decisions_ is sorted by id by construction).
-      const auto it = std::lower_bound(
-          decisions_.begin(), decisions_.end(), t,
-          [](const auto& d, NodeId id) { return d.first < id; });
-      RC_ASSERT(it != decisions_.end() && it->first == t);
-      const Message& m = it->second;
-      protocols_[w]->on_hear(m);
-      ++rx_count_[w];
-      if (m.kind == MsgKind::kData && first_data_[w] == 0) first_data_[w] = round_;
-      if (record_full) record.deliveries.emplace_back(w, m);
-    } else if (count >= 2 && !transmitting[w]) {
-      if (options_.collision_detection) protocols_[w]->on_collision();
-      if (record_full) record.collisions.push_back(w);
+  for (const auto& [w, tx_index] : resolution_.deliveries) {
+    const Message& m = decisions_[tx_index].second;
+    protocols_[w]->on_hear(m);
+    ++rx_count_[w];
+    if (m.kind == MsgKind::kData && first_data_[w] == 0) {
+      first_data_[w] = round_;
     }
+    if (record_full) record.deliveries.emplace_back(w, m);
   }
-
-  // Reset scratch for touched nodes only.
-  for (const NodeId w : touched_) {
-    tx_neighbor_count_[w] = 0;
-    unique_transmitter_[w] = graph::kNoNode;
+  if (options_.collision_detection) {
+    for (const NodeId w : resolution_.collisions) protocols_[w]->on_collision();
   }
+  if (record_full) record.collisions = resolution_.collisions;
 
   tx_total_ += decisions_.size();
   for (const auto& [t, msg] : decisions_) ++tx_count_[t];

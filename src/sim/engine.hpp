@@ -9,9 +9,12 @@
 ///    simply not invoked — there is no collision-detection signal);
 ///  - a transmitting node hears nothing in that round.
 ///
-/// Per-round cost is O(sum of transmitter degrees), so a full execution of
-/// algorithm B costs O(sum over stages of deg(DOM_i)) — in practice far less
-/// than rounds × m.
+/// The engine is a thin facade: it dispatches protocols and keeps counters,
+/// and delegates the per-round "who hears what" computation to a pluggable
+/// `EngineBackend` (see sim/backend.hpp).  The scalar backend costs O(sum of
+/// transmitter degrees) per round; the bit-parallel backend costs
+/// O(T * n/64) words and wins on dense graphs.  `EngineOptions::backend`
+/// selects one (kAuto picks by density); every backend is bit-exact.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +22,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "sim/backend.hpp"
 #include "sim/protocol.hpp"
 #include "sim/trace.hpp"
 
@@ -37,12 +41,15 @@ struct EngineOptions {
   /// paper's model sets this to false; §1.1's "trivially feasible with
   /// collision detection" remark is reproduced with it on.
   bool collision_detection = false;
+  /// Round-resolution backend; kAuto selects by graph density.
+  BackendKind backend = BackendKind::kAuto;
 };
 
 class Engine {
  public:
   /// One protocol instance per vertex; `protocols[v]` runs at vertex v.
-  Engine(const graph::Graph& g, std::vector<std::unique_ptr<Protocol>> protocols,
+  Engine(const graph::Graph& g,
+         std::vector<std::unique_ptr<Protocol>> protocols,
          EngineOptions options = {});
 
   /// Executes one round.  Returns true iff at least one node transmitted.
@@ -115,10 +122,15 @@ class Engine {
 
   const graph::Graph& graph() const noexcept { return graph_; }
 
+  /// The backend actually in use (kAuto is resolved at construction).
+  BackendKind backend_kind() const noexcept { return backend_->kind(); }
+  const char* backend_name() const noexcept { return backend_->name(); }
+
  private:
   const graph::Graph& graph_;
   std::vector<std::unique_ptr<Protocol>> protocols_;
   EngineOptions options_;
+  std::unique_ptr<EngineBackend> backend_;
   Trace trace_;
 
   std::uint64_t round_ = 0;
@@ -130,10 +142,9 @@ class Engine {
   std::vector<std::uint64_t> rx_count_;
 
   // Scratch reused across rounds.
-  std::vector<std::uint32_t> tx_neighbor_count_;
-  std::vector<NodeId> unique_transmitter_;
-  std::vector<NodeId> touched_;
   std::vector<std::pair<NodeId, Message>> decisions_;
+  std::vector<NodeId> tx_ids_;
+  RoundResolution resolution_;
 };
 
 }  // namespace radiocast::sim

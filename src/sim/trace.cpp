@@ -40,7 +40,8 @@ std::vector<std::uint64_t> Trace::reception_rounds(NodeId v) const {
   return out;
 }
 
-std::optional<std::uint64_t> Trace::first_reception(NodeId v, MsgKind kind) const {
+std::optional<std::uint64_t> Trace::first_reception(NodeId v,
+                                                    MsgKind kind) const {
   for (std::size_t t = 0; t < rounds_.size(); ++t) {
     for (const auto& [node, msg] : rounds_[t].deliveries) {
       if (node == v && msg.kind == kind) return t + 1;
@@ -49,7 +50,8 @@ std::optional<std::uint64_t> Trace::first_reception(NodeId v, MsgKind kind) cons
   return std::nullopt;
 }
 
-std::vector<std::pair<std::uint64_t, Message>> Trace::deliveries_at(NodeId v) const {
+std::vector<std::pair<std::uint64_t, Message>> Trace::deliveries_at(
+    NodeId v) const {
   std::vector<std::pair<std::uint64_t, Message>> out;
   for (std::size_t t = 0; t < rounds_.size(); ++t) {
     for (const auto& [node, msg] : rounds_[t].deliveries) {

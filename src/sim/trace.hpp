@@ -19,8 +19,8 @@ using graph::NodeId;
 /// Everything that happened in one round.
 struct RoundRecord {
   std::vector<std::pair<NodeId, Message>> transmissions;  ///< sorted by id
-  std::vector<std::pair<NodeId, Message>> deliveries;     ///< successful receptions
-  std::vector<NodeId> collisions;  ///< listeners with >= 2 transmitting neighbours
+  std::vector<std::pair<NodeId, Message>> deliveries;  ///< successful rx
+  std::vector<NodeId> collisions;  ///< listeners with >= 2 tx neighbours
 };
 
 /// Full per-round record of an execution.  Round t is `rounds()[t-1]`

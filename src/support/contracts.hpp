@@ -16,7 +16,8 @@ namespace radiocast {
 /// Thrown when a precondition, postcondition or internal invariant is violated.
 class ContractViolation : public std::logic_error {
  public:
-  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+  explicit ContractViolation(const std::string& what)
+      : std::logic_error(what) {}
 };
 
 namespace detail {
@@ -42,40 +43,40 @@ namespace detail {
 }  // namespace radiocast
 
 /// Precondition check.  `msg` is optional context, evaluated lazily.
-#define RC_EXPECTS(cond)                                                        \
-  do {                                                                          \
-    if (!(cond))                                                                \
-      ::radiocast::detail::contract_fail("precondition", #cond, __FILE__,       \
+#define RC_EXPECTS(cond)                                                       \
+  do {                                                                         \
+    if (!(cond))                                                               \
+      ::radiocast::detail::contract_fail("precondition", #cond, __FILE__,      \
                                          __LINE__, {});                        \
   } while (false)
 
-#define RC_EXPECTS_MSG(cond, msg)                                               \
-  do {                                                                          \
-    if (!(cond))                                                                \
-      ::radiocast::detail::contract_fail("precondition", #cond, __FILE__,       \
+#define RC_EXPECTS_MSG(cond, msg)                                              \
+  do {                                                                         \
+    if (!(cond))                                                               \
+      ::radiocast::detail::contract_fail("precondition", #cond, __FILE__,      \
                                          __LINE__, (msg));                     \
   } while (false)
 
 /// Postcondition check.
-#define RC_ENSURES(cond)                                                        \
-  do {                                                                          \
-    if (!(cond))                                                                \
-      ::radiocast::detail::contract_fail("postcondition", #cond, __FILE__,      \
+#define RC_ENSURES(cond)                                                       \
+  do {                                                                         \
+    if (!(cond))                                                               \
+      ::radiocast::detail::contract_fail("postcondition", #cond, __FILE__,     \
                                          __LINE__, {});                        \
   } while (false)
 
 /// Internal invariant check (always on: the library is about correctness
 /// claims, so we do not compile these out in release builds).
-#define RC_ASSERT(cond)                                                         \
-  do {                                                                          \
-    if (!(cond))                                                                \
-      ::radiocast::detail::contract_fail("invariant", #cond, __FILE__,          \
+#define RC_ASSERT(cond)                                                        \
+  do {                                                                         \
+    if (!(cond))                                                               \
+      ::radiocast::detail::contract_fail("invariant", #cond, __FILE__,         \
                                          __LINE__, {});                        \
   } while (false)
 
-#define RC_ASSERT_MSG(cond, msg)                                                \
-  do {                                                                          \
-    if (!(cond))                                                                \
-      ::radiocast::detail::contract_fail("invariant", #cond, __FILE__,          \
+#define RC_ASSERT_MSG(cond, msg)                                               \
+  do {                                                                         \
+    if (!(cond))                                                               \
+      ::radiocast::detail::contract_fail("invariant", #cond, __FILE__,         \
                                          __LINE__, (msg));                     \
   } while (false)

@@ -53,7 +53,9 @@ class TextTable {
   /// Renders the table with a separator line under the header.
   std::string str() const {
     std::vector<std::size_t> width(header_.size());
-    for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      width[c] = header_[c].size();
+    }
     for (const auto& r : rows_) {
       RC_ASSERT_MSG(r.size() == header_.size(), "row arity mismatch");
       for (std::size_t c = 0; c < r.size(); ++c)
@@ -62,7 +64,8 @@ class TextTable {
     std::ostringstream os;
     auto emit = [&](const std::vector<std::string>& cells) {
       for (std::size_t c = 0; c < cells.size(); ++c) {
-        os << "| " << cells[c] << std::string(width[c] - cells[c].size() + 1, ' ');
+        os << "| " << cells[c]
+           << std::string(width[c] - cells[c].size() + 1, ' ');
       }
       os << "|\n";
     };

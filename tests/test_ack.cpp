@@ -77,13 +77,15 @@ TEST(Ack, StampsEqualTrueRoundNumbers) {
     sim::Engine engine(g, make_ack_protocols(labeling, 9),
                        {sim::TraceLevel::kFull});
     auto& src = dynamic_cast<AckBroadcastProtocol&>(engine.protocol(0));
-    engine.run_until([&src](const sim::Engine&) { return src.ack_round() != 0; },
+    engine.run_until(
+        [&src](const sim::Engine&) { return src.ack_round() != 0; },
                      128);
     ASSERT_NE(src.ack_round(), 0u);
     const auto& rounds = engine.trace().rounds();
     for (std::size_t t0 = 0; t0 < rounds.size(); ++t0) {
       for (const auto& [v, msg] : rounds[t0].transmissions) {
-        if (msg.kind == sim::MsgKind::kData || msg.kind == sim::MsgKind::kStay) {
+        if (msg.kind == sim::MsgKind::kData ||
+            msg.kind == sim::MsgKind::kStay) {
           ASSERT_TRUE(msg.stamp.has_value());
           EXPECT_EQ(*msg.stamp, t0 + 1)
               << "node " << v << " kind " << sim::to_string(msg.kind);
@@ -102,7 +104,8 @@ TEST(Ack, LoneTransmitterAfterBroadcast) {
     sim::Engine engine(g, make_ack_protocols(labeling, 9),
                        {sim::TraceLevel::kFull});
     auto& src = dynamic_cast<AckBroadcastProtocol&>(engine.protocol(0));
-    engine.run_until([&src](const sim::Engine&) { return src.ack_round() != 0; },
+    engine.run_until(
+        [&src](const sim::Engine&) { return src.ack_round() != 0; },
                      128);
     const std::uint64_t last_bcast = 2ull * labeling.stages.ell - 3;
     const auto& rounds = engine.trace().rounds();
@@ -177,7 +180,8 @@ TEST(Ack, AllSourcesFuzz) {
   }
 }
 
-// --- Common-round wrapper -----------------------------------------------------
+// --- Common-round wrapper
+// -----------------------------------------------------
 
 TEST(CommonRound, AllNodesAgreeOn2m) {
   const auto run = run_common_round(graph::figure1(), 0);

@@ -104,7 +104,8 @@ TEST(Symmetry, SourceClassIsSingleton) {
 
 TEST(Metrics, ControlBitsChargesFields) {
   const sim::Message plain{sim::MsgKind::kData, 0, 7, std::nullopt};
-  EXPECT_EQ(control_bits(plain, false), 3u);  // kind only: B's messages are O(1)
+  // kind only: B's messages are O(1)
+  EXPECT_EQ(control_bits(plain, false), 3u);
   const sim::Message stamped{sim::MsgKind::kData, 0, 7, 12};
   EXPECT_EQ(control_bits(stamped, false), 3u + 4u);  // + ⌈log2(13)⌉
   const sim::Message phased{sim::MsgKind::kAck, 2, 9, 12};
@@ -122,7 +123,8 @@ TEST(Metrics, DistinctLabelsAndBits) {
   EXPECT_EQ(label_bits(labels), 2u);
 }
 
-// --- Experiment suite ---------------------------------------------------------
+// --- Experiment suite
+// ---------------------------------------------------------
 
 TEST(Experiments, StandardSuiteIsConnectedAndNamed) {
   const auto suite = standard_suite(24, 42);

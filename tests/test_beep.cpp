@@ -91,7 +91,8 @@ TEST(Beep, RandomGraphsRandomPayloads) {
     const auto n = 5 + static_cast<std::uint32_t>(rng.below(40));
     const auto g = graph::gnp_connected(n, 0.15, rng);
     const auto mu = static_cast<std::uint32_t>(rng.below(1u << 16));
-    const auto run = run_beep(g, static_cast<graph::NodeId>(rng.below(n)), mu, 16);
+    const auto run =
+        run_beep(g, static_cast<graph::NodeId>(rng.below(n)), mu, 16);
     EXPECT_TRUE(run.ok) << "rep " << rep;
   }
 }

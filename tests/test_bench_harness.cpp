@@ -204,11 +204,11 @@ const std::set<std::string> kExpectedScenarios = {
     "ack",           "arbitrary_source",    "baselines",
     "broadcast_time", "collision_detection", "common_round",
     "construction",  "coordinator_choice",  "dom_policies",
-    "fig1",          "impossibility",       "labels",
-    "message_size",  "multi_message",       "onebit",
-    "sim_throughput"};
+    "engine_backends", "fig1",              "impossibility",
+    "labels",        "message_size",        "multi_message",
+    "onebit",        "sim_throughput"};
 
-TEST(BenchRegistry, ListsAllSixteenScenarios) {
+TEST(BenchRegistry, ListsAllSeventeenScenarios) {
   std::set<std::string> names;
   for (const auto& s : registry()) names.insert(s.name);
   EXPECT_EQ(names, kExpectedScenarios);
@@ -245,7 +245,8 @@ TEST(BenchFilter, NameSubstringSelects) {
 TEST(BenchFilter, ExactTagSelects) {
   std::set<std::string> names;
   for (const auto& s : select("micro")) names.insert(s.name);
-  EXPECT_EQ(names, (std::set<std::string>{"construction", "sim_throughput"}));
+  EXPECT_EQ(names, (std::set<std::string>{"construction", "engine_backends",
+                                          "sim_throughput"}));
   // Tags match exactly: a tag prefix selects nothing by itself.
   EXPECT_TRUE(select("micr").empty());
 }
@@ -296,6 +297,21 @@ TEST(BenchCli, DefaultsAndErrors) {
   EXPECT_FALSE(parse_args(3, huge).error.empty());
   const char* bad_threads[] = {"radiocast_bench", "--threads", "-1"};
   EXPECT_FALSE(parse_args(3, bad_threads).error.empty());
+}
+
+TEST(BenchCli, ParsesBackendFlag) {
+  const char* none[] = {"radiocast_bench"};
+  EXPECT_EQ(parse_args(1, none).backend, sim::BackendKind::kAuto);
+
+  const char* bit[] = {"radiocast_bench", "--backend", "bit"};
+  EXPECT_EQ(parse_args(3, bit).backend, sim::BackendKind::kBit);
+  const char* scalar[] = {"radiocast_bench", "--backend", "scalar"};
+  EXPECT_EQ(parse_args(3, scalar).backend, sim::BackendKind::kScalar);
+
+  const char* bogus[] = {"radiocast_bench", "--backend", "simd"};
+  EXPECT_FALSE(parse_args(3, bogus).error.empty());
+  const char* missing[] = {"radiocast_bench", "--backend"};
+  EXPECT_FALSE(parse_args(2, missing).error.empty());
 }
 
 TEST(BenchJson, EscapesControlAndQuoteCharacters) {

@@ -76,7 +76,8 @@ TEST(Broadcast, SourceNeverRetransmitsWithoutStay) {
     const auto labeling = label_broadcast(g, 0);
     sim::Engine engine(g, make_broadcast_protocols(labeling, 1),
                        {sim::TraceLevel::kFull});
-    engine.run_until([](const sim::Engine& e) { return e.all_informed(); }, 100);
+    engine.run_until([](const sim::Engine& e) { return e.all_informed(); },
+                     100);
     EXPECT_EQ(engine.trace().transmit_rounds(0).size(), 1u);
   }
 }

@@ -100,7 +100,8 @@ TEST(EdgeCases, TwoCliquesBridgedByOneEdge) {
                        {sim::TraceLevel::kFull});
     engine.run_until([](const sim::Engine& e) { return e.all_informed(); }, 80);
     ASSERT_TRUE(engine.all_informed()) << s;
-    ASSERT_TRUE(core::verify_lemma_2_8(g, labeling, engine.trace()).empty()) << s;
+    ASSERT_TRUE(core::verify_lemma_2_8(g, labeling, engine.trace()).empty())
+        << s;
   }
 }
 

@@ -86,7 +86,9 @@ TEST(LabelBroadcast, EveryRetainedDominatorHasExactlyOneDesignator) {
     const auto& st = lab.stages;
     for (std::size_t i = 0; i + 1 < st.dom.size(); ++i) {
       for (const auto v : st.dom[i + 1]) {
-        if (!std::binary_search(st.dom[i].begin(), st.dom[i].end(), v)) continue;
+        if (!std::binary_search(st.dom[i].begin(), st.dom[i].end(), v)) {
+          continue;
+        }
         // v ∈ DOM_{i+2} ∩ DOM_{i+1} (1-based i+1): exactly one x2 neighbour
         // within NEW_{i+1}, so v's "stay" arrives collision-free.
         std::uint32_t designators = 0;

@@ -114,7 +114,8 @@ INSTANTIATE_TEST_SUITE_P(Sizes, OneBitGrid,
 
 TEST(OneBitGrid, InteriorSource) {
   const auto g = graph::grid(5, 6);
-  const auto run = run_onebit(g, /*source=(2,2)=*/2 * 6 + 2, {.max_attempts = 256});
+  const auto run =
+      run_onebit(g, /*source=(2,2)=*/2 * 6 + 2, {.max_attempts = 256});
   EXPECT_TRUE(run.ok);
 }
 

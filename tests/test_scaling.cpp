@@ -98,7 +98,8 @@ class OneBitScaling : public ::testing::TestWithParam<int> {};
 
 TEST_P(OneBitScaling, SearchSucceedsOnTrees) {
   Rng rng(static_cast<std::uint64_t>(GetParam()) * 13 + 1);
-  const auto g = graph::random_tree(20 + 10 * static_cast<std::uint32_t>(GetParam()), rng);
+  const auto g = graph::random_tree(
+      20 + 10 * static_cast<std::uint32_t>(GetParam()), rng);
   EXPECT_TRUE(onebit::run_onebit(g, 0, {.max_attempts = 256}).ok)
       << g.summary();
 }

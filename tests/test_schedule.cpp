@@ -43,7 +43,8 @@ void expect_schedule_matches(const Graph& g, NodeId source) {
     }
     EXPECT_EQ(tx, planned.transmitters) << "round " << t0 + 1;
   }
-  EXPECT_EQ(plan_idx, plan.rounds.size()) << "planned rounds missing from trace";
+  EXPECT_EQ(plan_idx, plan.rounds.size())
+      << "planned rounds missing from trace";
 
   // Per-node predictions match engine counters.  The source is excluded from
   // the informed-round comparison: the engine records its first µ *reception*
@@ -103,7 +104,8 @@ TEST(Schedule, DutyCycleBoundedByStages) {
   }
 }
 
-// --- Summary statistics -------------------------------------------------------
+// --- Summary statistics
+// -------------------------------------------------------
 
 TEST(Stats, MeanVarianceMinMax) {
   analysis::Summary s;

@@ -285,9 +285,11 @@ class CollisionCounter final : public Protocol {
 TEST(CollisionDetection, DefaultEngineNeverSignalsCollisions) {
   const Graph g = graph::path(3);
   std::vector<std::unique_ptr<Protocol>> p;
-  p.push_back(std::make_unique<ScriptedProtocol>(0, std::set<std::uint64_t>{1}));
+  p.push_back(
+      std::make_unique<ScriptedProtocol>(0, std::set<std::uint64_t>{1}));
   p.push_back(std::make_unique<CollisionCounter>());
-  p.push_back(std::make_unique<ScriptedProtocol>(2, std::set<std::uint64_t>{1}));
+  p.push_back(
+      std::make_unique<ScriptedProtocol>(2, std::set<std::uint64_t>{1}));
   Engine e(g, std::move(p));  // collision_detection = false (paper's model)
   e.step();
   const auto& mid = dynamic_cast<const CollisionCounter&>(e.protocol(1));
@@ -298,9 +300,11 @@ TEST(CollisionDetection, DefaultEngineNeverSignalsCollisions) {
 TEST(CollisionDetection, CdEngineSignalsNoiseOnlyOnRealCollisions) {
   const Graph g = graph::path(3);
   std::vector<std::unique_ptr<Protocol>> p;
-  p.push_back(std::make_unique<ScriptedProtocol>(0, std::set<std::uint64_t>{1, 2}));
+  p.push_back(
+      std::make_unique<ScriptedProtocol>(0, std::set<std::uint64_t>{1, 2}));
   p.push_back(std::make_unique<CollisionCounter>());
-  p.push_back(std::make_unique<ScriptedProtocol>(2, std::set<std::uint64_t>{1}));
+  p.push_back(
+      std::make_unique<ScriptedProtocol>(2, std::set<std::uint64_t>{1}));
   Engine e(g, std::move(p),
            EngineOptions{TraceLevel::kCounters, /*collision_detection=*/true});
   e.step();  // round 1: both ends transmit -> collision at the middle
@@ -313,8 +317,10 @@ TEST(CollisionDetection, CdEngineSignalsNoiseOnlyOnRealCollisions) {
 TEST(CollisionDetection, TransmitterGetsNoCollisionSignal) {
   const Graph g = graph::complete(3);
   std::vector<std::unique_ptr<Protocol>> p;
-  p.push_back(std::make_unique<ScriptedProtocol>(0, std::set<std::uint64_t>{1}));
-  p.push_back(std::make_unique<ScriptedProtocol>(1, std::set<std::uint64_t>{1}));
+  p.push_back(
+      std::make_unique<ScriptedProtocol>(0, std::set<std::uint64_t>{1}));
+  p.push_back(
+      std::make_unique<ScriptedProtocol>(1, std::set<std::uint64_t>{1}));
   p.push_back(std::make_unique<CollisionCounter>());
   Engine e(g, std::move(p),
            EngineOptions{TraceLevel::kCounters, /*collision_detection=*/true});
@@ -329,9 +335,11 @@ TEST(Engine, LargeFanoutDelivery) {
   // Complete graph: one transmitter, everyone else hears in the same round.
   const Graph g = graph::complete(50);
   std::vector<std::unique_ptr<Protocol>> p;
-  p.push_back(std::make_unique<ScriptedProtocol>(0, std::set<std::uint64_t>{1}));
+  p.push_back(
+      std::make_unique<ScriptedProtocol>(0, std::set<std::uint64_t>{1}));
   for (std::uint32_t v = 1; v < 50; ++v) {
-    p.push_back(std::make_unique<ScriptedProtocol>(v, std::set<std::uint64_t>{}));
+    p.push_back(
+        std::make_unique<ScriptedProtocol>(v, std::set<std::uint64_t>{}));
   }
   Engine e(g, std::move(p));
   e.step();

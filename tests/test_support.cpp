@@ -167,7 +167,8 @@ TEST(ParallelFor, CoversEveryIndexOnce) {
 
 TEST(ParallelMap, ResultsInIndexOrder) {
   par::ThreadPool pool(4);
-  const auto out = par::parallel_map(pool, 257, [](std::size_t i) { return i * i; });
+  const auto out =
+      par::parallel_map(pool, 257, [](std::size_t i) { return i * i; });
   ASSERT_EQ(out.size(), 257u);
   for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
 }

@@ -56,7 +56,8 @@ TEST(Verifier, RejectsExtraTransmitter) {
   for (std::size_t i = 0; i < bad.rounds().size(); ++i) {
     RoundRecord r = bad.rounds()[i];
     if (i == 2) {
-      r.transmissions.emplace_back(4u, Message{MsgKind::kData, 0, 1, std::nullopt});
+      r.transmissions.emplace_back(
+          4u, Message{MsgKind::kData, 0, 1, std::nullopt});
       std::sort(r.transmissions.begin(), r.transmissions.end(),
                 [](const auto& a, const auto& b) { return a.first < b.first; });
     }
@@ -83,7 +84,8 @@ TEST(Verifier, RejectsStayInOddRound) {
   for (std::size_t i = 0; i < 7; ++i) {
     RoundRecord r = trace.rounds()[i];
     if (i == 4) {
-      r.transmissions.emplace_back(12u, Message{MsgKind::kStay, 0, 0, std::nullopt});
+      r.transmissions.emplace_back(
+          12u, Message{MsgKind::kStay, 0, 0, std::nullopt});
     }
     tampered.push(r);
   }
@@ -97,7 +99,8 @@ TEST(Verifier, RejectsForgedFirstReception) {
     RoundRecord r = trace.rounds()[i];
     if (i == 2) {
       // Node 12 (H ∈ NEW_4) pretending to be informed in round 3.
-      r.deliveries.emplace_back(12u, Message{MsgKind::kData, 0, 1, std::nullopt});
+      r.deliveries.emplace_back(
+          12u, Message{MsgKind::kData, 0, 1, std::nullopt});
     }
     tampered.push(r);
   }
@@ -109,7 +112,8 @@ TEST(Verifier, RejectsActivityAfterCompletion) {
   const auto [labeling, trace] = honest_run();
   Trace tampered = truncate(trace, 8);
   RoundRecord late;  // round 9: a µ transmission after 2ℓ-3 = 7
-  late.transmissions.emplace_back(3u, Message{MsgKind::kData, 0, 1, std::nullopt});
+  late.transmissions.emplace_back(
+      3u, Message{MsgKind::kData, 0, 1, std::nullopt});
   tampered.push(late);
   EXPECT_FALSE(verify_lemma_2_8(graph::figure1(), labeling, tampered).empty());
 }
