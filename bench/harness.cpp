@@ -120,13 +120,13 @@ Options parse_args(int argc, const char* const* argv) {
       }
     } else if (arg == "--backend") {
       if (!need_value(i)) {
-        opt.error = "--backend requires auto, scalar, or bit";
+        opt.error = "--backend requires auto, scalar, bit, or sharded";
         return opt;
       }
       const auto parsed = sim::parse_backend(argv[++i]);
       if (!parsed) {
         opt.error = std::string("unknown backend '") + argv[i] +
-                    "' (expected auto, scalar, or bit)";
+                    "' (expected auto, scalar, bit, or sharded)";
         return opt;
       }
       opt.backend = *parsed;
@@ -178,7 +178,7 @@ std::vector<ScenarioResult> run_scenarios(const std::vector<Scenario>& chosen,
     ScenarioResult result;
     result.scenario = s;
     for (int rep = 0; rep < opt.repeat; ++rep) {
-      Context ctx(pool, opt.sizes, opt.repeat, rep, opt.backend);
+      Context ctx(pool, opt.sizes, opt.repeat, rep, opt.backend, opt.threads);
       result.wall_ns += time_ns([&] { s.run(ctx); });
       for (auto& sample : ctx.samples()) {
         result.ok = result.ok && sample.ok;
@@ -287,9 +287,11 @@ constexpr const char* kUsage =
     "  --sizes N,N,...   instance-size ladder, entries >= 8\n"
     "                    (default 16,64,256)\n"
     "  --repeat K        repetitions per scenario (default 1)\n"
-    "  --threads T       worker threads (default: hardware concurrency)\n"
+    "  --threads T       worker threads for sweeps and sharded engines\n"
+    "                    (default: hardware concurrency)\n"
     "  --backend B       engine backend for engine-driving scenarios:\n"
-    "                    auto (density-based), scalar, or bit (default auto)\n"
+    "                    auto (density/size-based), scalar, bit, or sharded\n"
+    "                    (default auto)\n"
     "  --json PATH       write the radiocast-bench/1 JSON document to PATH\n";
 
 }  // namespace

@@ -53,17 +53,23 @@ std::uint64_t time_ns(Fn&& fn) {
 class Context {
  public:
   Context(par::ThreadPool& pool, std::vector<std::uint32_t> sizes, int repeat,
-          int rep, sim::BackendKind backend = sim::BackendKind::kAuto)
+          int rep, sim::BackendKind backend = sim::BackendKind::kAuto,
+          std::size_t threads = 0)
       : pool_(pool),
         sizes_(std::move(sizes)),
         repeat_(repeat),
         rep_(rep),
-        backend_(backend) {}
+        backend_(backend),
+        threads_(threads) {}
 
   par::ThreadPool& pool() { return pool_; }
 
   /// The --backend selection for engine-driving scenarios (default kAuto).
   sim::BackendKind backend() const noexcept { return backend_; }
+
+  /// The --threads request, for scenarios that construct sharded engines
+  /// (0 = hardware concurrency).  The sweep pool uses the same value.
+  std::size_t threads() const noexcept { return threads_; }
 
   /// The --sizes ladder (default 16,64,256).  Scenarios with an intrinsic
   /// instance-size cap should clamp via `sizes(cap)`.
@@ -86,6 +92,7 @@ class Context {
   int repeat_;
   int rep_;
   sim::BackendKind backend_;
+  std::size_t threads_ = 0;
   std::mutex mu_;
   std::vector<Sample> samples_;
 };

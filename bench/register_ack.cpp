@@ -25,6 +25,7 @@ void run(Context& ctx) {
           core::AckRun run;
           core::RunOptions opt;
           opt.backend = ctx.backend();
+          opt.threads = ctx.threads();
           s.wall_ns = time_ns(
               [&] { run = core::run_acknowledged(w.graph, w.source, opt); });
           s.rounds = run.completion_round;
@@ -36,10 +37,23 @@ void run(Context& ctx) {
           const bool in_fixed_window =
               run.ack_round >= run.completion_round + 1 &&
               run.ack_round <= run.completion_round + s.n - 1;
-          s.ok = in_cor38 && in_fixed_window;
+          // The compiled Theorem 3.9 replay must agree with the engine on
+          // every observable it predicts.
+          core::AckRun compiled;
+          const auto compiled_ns = time_ns([&] {
+            compiled = core::run_acknowledged_compiled(w.graph, w.source, opt);
+          });
+          const bool compiled_agrees =
+              compiled.all_informed == run.all_informed &&
+              compiled.completion_round == run.completion_round &&
+              compiled.ack_round == run.ack_round &&
+              compiled.max_stamp == run.max_stamp;
+          s.ok = in_cor38 && in_fixed_window && compiled_agrees;
           s.extra = {{"ack_round", static_cast<double>(run.ack_round)},
                      {"ell", static_cast<double>(run.ell)},
-                     {"max_stamp", static_cast<double>(run.max_stamp)}};
+                     {"max_stamp", static_cast<double>(run.max_stamp)},
+                     {"compiled_wall_ns", static_cast<double>(compiled_ns)},
+                     {"compiled_agrees", compiled_agrees ? 1.0 : 0.0}};
           return s;
         });
     for (auto& s : samples) ctx.record(std::move(s));

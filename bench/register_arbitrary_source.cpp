@@ -22,13 +22,15 @@ void run(Context& ctx) {
           s.family = w.family;
           s.n = w.graph.node_count();
           s.m = w.graph.edge_count();
-          std::uint32_t sources = 0, failures = 0;
+          std::uint32_t sources = 0, failures = 0, compiled_mismatch = 0;
           std::uint64_t t_min = ~0ull, t_max = 0, T = 0;
+          std::uint64_t compiled_ns = 0;
           const std::uint32_t stride = std::max(1u, s.n / 8);
           s.wall_ns = time_ns([&] {
             for (graph::NodeId src = 0; src < s.n; src += stride) {
               core::RunOptions opt;
               opt.backend = ctx.backend();
+              opt.threads = ctx.threads();
               const auto run =
                   core::run_arbitrary(w.graph, src, /*coordinator=*/0, opt);
               ++sources;
@@ -36,14 +38,30 @@ void run(Context& ctx) {
               T = run.T;
               t_min = std::min(t_min, run.total_rounds);
               t_max = std::max(t_max, run.total_rounds);
+              // The compiled §4 prediction must reproduce the engine run.
+              core::ArbRun compiled;
+              compiled_ns += time_ns([&] {
+                compiled =
+                    core::run_arb_compiled(w.graph, src, /*coordinator=*/0,
+                                           opt);
+              });
+              if (compiled.ok != run.ok ||
+                  compiled.total_rounds != run.total_rounds ||
+                  compiled.done_round != run.done_round ||
+                  compiled.T != run.T) {
+                ++compiled_mismatch;
+              }
             }
           });
           s.rounds = t_max;
-          s.ok = failures == 0;
+          s.ok = failures == 0 && compiled_mismatch == 0;
           s.extra = {{"sources", static_cast<double>(sources)},
                      {"failures", static_cast<double>(failures)},
                      {"T", static_cast<double>(T)},
-                     {"rounds_min", static_cast<double>(t_min)}};
+                     {"rounds_min", static_cast<double>(t_min)},
+                     {"compiled_wall_ns", static_cast<double>(compiled_ns)},
+                     {"compiled_mismatches",
+                      static_cast<double>(compiled_mismatch)}};
           return s;
         });
     for (auto& s : samples) ctx.record(std::move(s));

@@ -25,64 +25,14 @@
 namespace radiocast::bench {
 namespace {
 
-/// Transmits on a rotating 1/8 slice of the id space: rounds mix deliveries
-/// and collisions, so both resolution paths are exercised.
-class SliceTalker final : public sim::Protocol {
- public:
-  explicit SliceTalker(std::uint32_t id) : id_(id) {}
-  std::optional<sim::Message> on_round() override {
-    ++round_;
-    if ((id_ + round_) % 8 == 0) {
-      return sim::Message{sim::MsgKind::kData, 0, id_, std::nullopt};
-    }
-    return std::nullopt;
-  }
-  void on_hear(const sim::Message&) override { ++heard_; }
-  bool informed() const override { return true; }
-  std::uint64_t heard() const { return heard_; }
-
- private:
-  std::uint32_t id_ = 0;
-  std::uint64_t round_ = 0;
-  std::uint64_t heard_ = 0;
-};
-
-struct StepResult {
-  std::uint64_t wall_ns = 0;
-  std::uint64_t tx_total = 0;
-  std::uint64_t rx_total = 0;
-};
-
-StepResult run_steps(const graph::Graph& g, sim::BackendKind backend,
-                     bool all_transmit, std::uint64_t steps) {
-  const auto n = g.node_count();
-  std::vector<std::unique_ptr<sim::Protocol>> protocols;
-  protocols.reserve(n);
-  for (std::uint32_t v = 0; v < n; ++v) {
-    if (all_transmit) {
-      protocols.push_back(std::make_unique<Chatter>());
-    } else {
-      protocols.push_back(std::make_unique<SliceTalker>(v));
-    }
-  }
-  sim::Engine engine(g, std::move(protocols),
-                     {sim::TraceLevel::kCounters, false, backend});
-  StepResult out;
-  out.wall_ns = time_ns([&] {
-    for (std::uint64_t i = 0; i < steps; ++i) engine.step();
-  });
-  out.tx_total = engine.transmissions_total();
-  for (std::uint32_t v = 0; v < n; ++v) out.rx_total += engine.rx_count(v);
-  return out;
-}
-
 void step_family(Context& ctx, const std::string& family,
                  const graph::Graph& g, bool all_transmit,
                  bool assert_speedup) {
   constexpr std::uint64_t kSteps = 16;
   const auto scalar =
-      run_steps(g, sim::BackendKind::kScalar, all_transmit, kSteps);
-  const auto bit = run_steps(g, sim::BackendKind::kBit, all_transmit, kSteps);
+      run_dense_steps(g, sim::BackendKind::kScalar, 0, all_transmit, kSteps);
+  const auto bit =
+      run_dense_steps(g, sim::BackendKind::kBit, 0, all_transmit, kSteps);
   const bool agree =
       scalar.tx_total == bit.tx_total && scalar.rx_total == bit.rx_total;
   const double speedup = bit.wall_ns
@@ -124,6 +74,7 @@ void broadcast_family(Context& ctx, const std::string& family,
       {"scalar", {}, 0}, {"bit", {}, 0}, {"compiled", {}, 0}};
 
   core::RunOptions opt;
+  opt.threads = ctx.threads();
   opt.backend = sim::BackendKind::kScalar;
   variants[0].wall_ns =
       time_ns([&] { variants[0].run = core::run_broadcast(g, 0, opt); });

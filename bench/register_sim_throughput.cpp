@@ -31,7 +31,8 @@ void run(Context& ctx) {
     std::uint64_t rounds = 0;
     s.wall_ns = time_ns([&] {
       sim::Engine engine(g, core::make_broadcast_protocols(labeling, 1),
-                         {sim::TraceLevel::kCounters, false, ctx.backend()});
+                         {sim::TraceLevel::kCounters, false, ctx.backend(),
+                          ctx.threads()});
       engine.run_until([](const sim::Engine& e) { return e.all_informed(); },
                        4ull * n + 8);
       rounds = engine.round();
@@ -50,7 +51,8 @@ void run(Context& ctx) {
       protocols.push_back(std::make_unique<Chatter>());
     }
     sim::Engine engine(g, std::move(protocols),
-                       {sim::TraceLevel::kCounters, false, ctx.backend()});
+                       {sim::TraceLevel::kCounters, false, ctx.backend(),
+                        ctx.threads()});
     constexpr std::uint64_t kSteps = 64;
     Sample s;
     s.family = "engine_step/complete";
@@ -102,6 +104,43 @@ void run(Context& ctx) {
     }
   }
 
+  // Regression guard for the bit backend's sparse-round cost: the once /
+  // twice accumulators are engine-owned scratch initialized by the first
+  // transmitter row, so a single-transmitter round must stay O(n/64) words
+  // — per-word cost flat as rows grow 4x (generous 16x slack + a 1µs
+  // absolute floor against timer noise).  A reintroduced per-round O(n)
+  // allocation or superlinear pass trips this.
+  {
+    constexpr std::uint64_t kRounds = 1 << 13;
+    const std::uint32_t ns[2] = {4096, 16384};
+    double per_word[2] = {0, 0};
+    for (int i = 0; i < 2; ++i) {
+      const auto g = graph::path(ns[i]);
+      const auto backend = sim::make_engine_backend(g, sim::BackendKind::kBit);
+      const graph::NodeId tx[1] = {0};
+      sim::RoundResolution res;
+      const auto wall = time_ns([&] {
+        for (std::uint64_t r = 0; r < kRounds; ++r) {
+          backend->resolve(tx, /*want_collisions=*/true, res);
+        }
+      });
+      const double words = static_cast<double>(ns[i]) / 64.0;
+      per_word[i] = static_cast<double>(wall) / kRounds / words;
+      Sample s;
+      s.family = "engine_step/bit_sparse_round";
+      s.n = ns[i];
+      s.m = g.edge_count();
+      s.rounds = kRounds;
+      s.transmissions = kRounds;
+      s.wall_ns = wall;
+      s.extra = {{"ns_per_round", static_cast<double>(wall) / kRounds},
+                 {"ns_per_word", per_word[i]}};
+      s.ok = i == 0 || static_cast<double>(wall) / kRounds < 1000.0 ||
+             per_word[1] < 16.0 * std::max(per_word[0], 0.01);
+      ctx.record(std::move(s));
+    }
+  }
+
   // End-to-end sweep throughput on the shared pool.
   {
     constexpr std::size_t kGraphs = 32;
@@ -118,6 +157,7 @@ void run(Context& ctx) {
     s.wall_ns = time_ns([&] {
       core::RunOptions run_opt;
       run_opt.backend = ctx.backend();
+      run_opt.threads = ctx.threads();
       const auto rounds =
           par::parallel_map(ctx.pool(), graphs.size(), [&](std::size_t i) {
             return core::run_broadcast(graphs[i], 0, run_opt).completion_round;

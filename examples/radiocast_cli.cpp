@@ -14,6 +14,7 @@
 //   radiocast_cli gen grid 4 6 | radiocast_cli run --scheme ack
 //   radiocast_cli gen gnp 30 0.15 7 | radiocast_cli verify
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -36,10 +37,13 @@ int usage() {
                "usage: radiocast_cli gen <family> [args...]\n"
                "       radiocast_cli {label|run|verify|dot} [--source N] "
                "[--scheme b|ack|arb|onebit]\n"
-               "                     [--backend auto|scalar|bit|compiled] "
-               "< edge-list\n"
-               "       (--backend compiled replays the Lemma 2.8 schedule; "
-               "run --scheme b only)\n");
+               "                     [--backend "
+               "auto|scalar|bit|sharded|compiled]\n"
+               "                     [--threads N] < edge-list\n"
+               "       (--backend compiled replays the label-determined "
+               "schedule; run --scheme b|ack|arb;\n"
+               "        --threads sets the sharded backend's worker count, "
+               "0 = hardware)\n");
   return 2;
 }
 
@@ -47,6 +51,7 @@ struct Options {
   graph::NodeId source = 0;
   std::string scheme = "b";
   std::string backend = "auto";
+  std::size_t threads = 0;
   bool ok = true;
 };
 
@@ -59,6 +64,16 @@ Options parse_options(int argc, char** argv, int first) {
       opt.scheme = argv[++i];
     } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
       opt.backend = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      const char* value = argv[++i];
+      const unsigned long long t = std::strtoull(value, &end, 10);
+      if (end == value || *end != '\0' || value[0] == '-' || t > 4096) {
+        std::fprintf(stderr, "--threads must be an integer in [0, 4096]\n");
+        opt.ok = false;
+        return opt;
+      }
+      opt.threads = static_cast<std::size_t>(t);
     }
   }
   if (opt.backend != "compiled" && !sim::parse_backend(opt.backend)) {
@@ -155,14 +170,16 @@ int cmd_label(const graph::Graph& g, const Options& opt) {
 }
 
 int cmd_run(const graph::Graph& g, const Options& opt) {
-  if (opt.backend == "compiled" && opt.scheme != "b") {
+  if (opt.backend == "compiled" && opt.scheme == "onebit") {
     std::fprintf(stderr,
-                 "--backend compiled requires --scheme b (the compiled "
-                 "schedule replays algorithm B only)\n");
+                 "--backend compiled requires --scheme b, ack, or arb (the "
+                 "compiled schedules replay the label-determined "
+                 "algorithms)\n");
     return 2;
   }
   core::RunOptions run_opt;
   run_opt.backend = engine_backend(opt);
+  run_opt.threads = opt.threads;
   if (opt.scheme == "b") {
     const auto run = opt.backend == "compiled"
                          ? core::run_broadcast_compiled(g, opt.source, run_opt)
@@ -176,7 +193,10 @@ int cmd_run(const graph::Graph& g, const Options& opt) {
     return run.all_informed ? 0 : 1;
   }
   if (opt.scheme == "ack") {
-    const auto run = core::run_acknowledged(g, opt.source, run_opt);
+    const auto run =
+        opt.backend == "compiled"
+            ? core::run_acknowledged_compiled(g, opt.source, run_opt)
+            : core::run_acknowledged(g, opt.source, run_opt);
     std::printf("scheme=lambda_ack(3-bit) informed=%s t=%llu t'=%llu z=%u\n",
                 run.all_informed ? "all" : "NOT-ALL",
                 static_cast<unsigned long long>(run.completion_round),
@@ -184,7 +204,9 @@ int cmd_run(const graph::Graph& g, const Options& opt) {
     return run.all_informed && run.ack_round != 0 ? 0 : 1;
   }
   if (opt.scheme == "arb") {
-    const auto run = core::run_arbitrary(g, opt.source, 0, run_opt);
+    const auto run = opt.backend == "compiled"
+                         ? core::run_arb_compiled(g, opt.source, 0, run_opt)
+                         : core::run_arbitrary(g, opt.source, 0, run_opt);
     std::printf("scheme=lambda_arb(3-bit) ok=%s total_rounds=%llu "
                 "common_done=%llu T=%llu\n",
                 run.ok ? "yes" : "NO",
@@ -194,8 +216,9 @@ int cmd_run(const graph::Graph& g, const Options& opt) {
     return run.ok ? 0 : 1;
   }
   if (opt.scheme == "onebit") {
-    const auto run =
-        onebit::run_onebit(g, opt.source, {.engine_backend = run_opt.backend});
+    const auto run = onebit::run_onebit(g, opt.source,
+                                        {.engine_backend = run_opt.backend,
+                                         .engine_threads = opt.threads});
     std::printf("scheme=onebit ok=%s rounds=%llu ones=%u attempts=%u\n",
                 run.ok ? "yes" : "NO",
                 static_cast<unsigned long long>(run.completion_round),
@@ -208,7 +231,8 @@ int cmd_run(const graph::Graph& g, const Options& opt) {
 int cmd_verify(const graph::Graph& g, const Options& opt) {
   const auto labeling = core::label_broadcast(g, opt.source);
   sim::Engine engine(g, core::make_broadcast_protocols(labeling, 1),
-                     {sim::TraceLevel::kFull, false, engine_backend(opt)});
+                     {sim::TraceLevel::kFull, false, engine_backend(opt),
+                      opt.threads});
   engine.run_until([](const sim::Engine& e) { return e.all_informed(); },
                    4ull * g.node_count() + 8);
   const auto verdict = core::verify_lemma_2_8(g, labeling, engine.trace());

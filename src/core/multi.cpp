@@ -96,7 +96,8 @@ void MultiMessageProtocol::on_hear(const Message& m) {
 
 MultiRun run_multi_broadcast(const Graph& g, NodeId source,
                              const std::vector<std::uint32_t>& payloads,
-                             DomPolicy policy, sim::BackendKind backend) {
+                             DomPolicy policy, sim::BackendKind backend,
+                             std::size_t threads) {
   RC_EXPECTS(g.node_count() >= 2);
   RC_EXPECTS(!payloads.empty());
   MultiRun out;
@@ -109,7 +110,8 @@ MultiRun run_multi_broadcast(const Graph& g, NodeId source,
         labeling.labels[v],
         v == source ? payloads : std::vector<std::uint32_t>{}));
   }
-  sim::Engine engine(g, std::move(protocols), {.backend = backend});
+  sim::Engine engine(g, std::move(protocols),
+                     {.backend = backend, .threads = threads});
   const auto& src =
       dynamic_cast<const MultiMessageProtocol&>(engine.protocol(source));
   const std::uint64_t max_rounds =

@@ -84,6 +84,7 @@ struct MultiRun {
 MultiRun run_multi_broadcast(
     const Graph& g, NodeId source, const std::vector<std::uint32_t>& payloads,
     DomPolicy policy = DomPolicy::kAscendingId,
-    sim::BackendKind backend = sim::BackendKind::kAuto);
+    sim::BackendKind backend = sim::BackendKind::kAuto,
+    std::size_t threads = 0);
 
 }  // namespace radiocast::core

@@ -8,10 +8,6 @@ namespace radiocast::core {
 
 namespace {
 
-std::uint64_t auto_rounds(std::uint32_t n, std::uint64_t factor) {
-  return factor * std::max<std::uint64_t>(n, 2) + 16;
-}
-
 std::uint64_t theorem_bound(std::uint32_t n) {
   return n >= 2 ? 2ull * n - 3 : 0;
 }
@@ -80,9 +76,9 @@ BroadcastRun run_broadcast(const Graph& g, NodeId source,
     return out;
   }
   sim::Engine engine(g, make_broadcast_protocols(labeling, opt.mu),
-                     {opt.trace, false, opt.backend});
+                     {opt.trace, false, opt.backend, opt.threads});
   const auto max_rounds =
-      opt.max_rounds ? opt.max_rounds : auto_rounds(g.node_count(), 4);
+      opt.max_rounds ? opt.max_rounds : default_round_budget(g.node_count(), 4);
   engine.run_until([](const sim::Engine& e) { return e.all_informed(); },
                    max_rounds);
   out.all_informed = engine.all_informed();
@@ -105,7 +101,8 @@ BroadcastRun run_broadcast_compiled(const Graph& g, NodeId source,
     out.all_informed = true;
     return out;
   }
-  CompiledScheduleRunner runner(g, labeling, opt.mu, opt.backend);
+  CompiledScheduleRunner runner(g, labeling, opt.mu, opt.backend,
+                                opt.threads);
   const auto replay = runner.run();
   out.all_informed = replay.all_informed;
   out.completion_round = replay.completion_round;
@@ -135,10 +132,10 @@ AckRun run_acknowledged(const Graph& g, NodeId source, const RunOptions& opt) {
     return out;
   }
   sim::Engine engine(g, make_ack_protocols(labeling, opt.mu),
-                     {opt.trace, false, opt.backend});
+                     {opt.trace, false, opt.backend, opt.threads});
   auto& src = dynamic_cast<AckBroadcastProtocol&>(engine.protocol(source));
   const auto max_rounds =
-      opt.max_rounds ? opt.max_rounds : auto_rounds(g.node_count(), 6);
+      opt.max_rounds ? opt.max_rounds : default_round_budget(g.node_count(), 6);
   engine.run_until([&src](const sim::Engine&) { return src.ack_round() != 0; },
                    max_rounds);
   out.all_informed = engine.all_informed();
@@ -148,15 +145,40 @@ AckRun run_acknowledged(const Graph& g, NodeId source, const RunOptions& opt) {
   return out;
 }
 
+AckRun run_acknowledged_compiled(const Graph& g, NodeId source,
+                                 const RunOptions& opt) {
+  AckRun out;
+  out.bound = theorem_bound(g.node_count());
+  Labeling labeling = label_acknowledged(g, source, {opt.policy, opt.seed});
+  out.ell = labeling.stages.ell;
+  out.z = labeling.z;
+  if (g.node_count() == 1) {
+    out.all_informed = true;
+    return out;
+  }
+  const auto max_rounds =
+      opt.max_rounds ? opt.max_rounds
+                     : default_round_budget(g.node_count(), 6);
+  CompiledAckRunner runner(g, labeling, opt.mu, opt.backend, opt.threads,
+                           max_rounds);
+  const auto& prediction = runner.prediction();
+  out.all_informed = prediction.all_informed;
+  out.completion_round = prediction.completion_round;
+  out.ack_round = prediction.ack_round;
+  out.max_stamp = prediction.max_stamp;
+  return out;
+}
+
 CommonRoundRun run_common_round(const Graph& g, NodeId source,
                                 const RunOptions& opt) {
   CommonRoundRun out;
   RC_EXPECTS_MSG(g.node_count() >= 2, "common-round needs at least two nodes");
   Labeling labeling = label_acknowledged(g, source, {opt.policy, opt.seed});
   sim::Engine engine(g, make_common_round_protocols(labeling, opt.mu),
-                     {opt.trace, false, opt.backend});
-  const auto max_rounds =
-      opt.max_rounds ? opt.max_rounds : auto_rounds(g.node_count(), 10);
+                     {opt.trace, false, opt.backend, opt.threads});
+  const auto max_rounds = opt.max_rounds
+                              ? opt.max_rounds
+                              : default_round_budget(g.node_count(), 10);
   // Run until every node knows m (and therefore the common round 2m).
   engine.run_until(
       [](const sim::Engine& e) {
@@ -193,9 +215,10 @@ ArbRun run_arbitrary(const Graph& g, NodeId source, NodeId coordinator,
   ArbLabeling labeling =
       label_arbitrary(g, coordinator, {opt.policy, opt.seed});
   sim::Engine engine(g, make_arb_protocols(labeling, source, opt.mu),
-                     {opt.trace, false, opt.backend});
-  const auto max_rounds =
-      opt.max_rounds ? opt.max_rounds : auto_rounds(g.node_count(), 16);
+                     {opt.trace, false, opt.backend, opt.threads});
+  const auto max_rounds = opt.max_rounds
+                              ? opt.max_rounds
+                              : default_round_budget(g.node_count(), 16);
   engine.run_until(
       [](const sim::Engine& e) {
         for (NodeId v = 0; v < e.graph().node_count(); ++v) {
@@ -224,6 +247,26 @@ ArbRun run_arbitrary(const Graph& g, NodeId source, NodeId coordinator,
   }
   out.ok = ok;
   out.done_round = done;
+  return out;
+}
+
+ArbRun run_arb_compiled(const Graph& g, NodeId source, NodeId coordinator,
+                        const RunOptions& opt) {
+  ArbRun out;
+  out.coordinator = coordinator;
+  RC_EXPECTS_MSG(g.node_count() >= 2, "B_arb needs at least two nodes");
+  ArbLabeling labeling =
+      label_arbitrary(g, coordinator, {opt.policy, opt.seed});
+  const auto max_rounds =
+      opt.max_rounds ? opt.max_rounds
+                     : default_round_budget(g.node_count(), 16);
+  CompiledArbRunner runner(g, labeling, source, opt.mu, opt.backend,
+                           opt.threads, max_rounds);
+  const auto& prediction = runner.prediction();
+  out.ok = prediction.ok;
+  out.total_rounds = prediction.total_rounds;
+  out.done_round = prediction.done_round;
+  out.T = prediction.T;
   return out;
 }
 

@@ -3,6 +3,7 @@
 ///        engine, and report the quantities the paper's theorems bound.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -20,9 +21,18 @@ struct RunOptions {
   sim::TraceLevel trace = sim::TraceLevel::kCounters;
   std::uint64_t max_rounds = 0;  ///< 0 = automatic (linear in n with slack)
   std::uint32_t mu = 42;         ///< the source message µ
-  /// Engine round-resolution backend (kAuto picks by graph density).
+  /// Engine round-resolution backend (kAuto picks by density and size).
   sim::BackendKind backend = sim::BackendKind::kAuto;
+  /// Worker threads for the sharded backend (0 = hardware concurrency).
+  std::size_t threads = 0;
 };
+
+/// The default engine round budget shared by the runners and the compiled
+/// fast paths (linear in n with slack; `factor` is per-algorithm).
+inline std::uint64_t default_round_budget(std::uint32_t n,
+                                          std::uint64_t factor) {
+  return factor * std::max<std::uint64_t>(n, 2) + 16;
+}
 
 /// Protocol vectors for tests that drive an Engine manually.
 std::vector<std::unique_ptr<sim::Protocol>> make_broadcast_protocols(
@@ -69,6 +79,12 @@ struct AckRun {
 AckRun run_acknowledged(const Graph& g, NodeId source,
                         const RunOptions& opt = {});
 
+/// Same quantities as `run_acknowledged`, but predicted and replayed through
+/// `CompiledAckRunner` (flat label-determined execution, no protocol
+/// dispatch).  Bit-exact with the engine; `opt.trace` is ignored.
+AckRun run_acknowledged_compiled(const Graph& g, NodeId source,
+                                 const RunOptions& opt = {});
+
 /// §3 closing construction quantities.
 struct CommonRoundRun {
   bool ok = false;                 ///< all nodes agree on the common round 2m
@@ -91,5 +107,11 @@ struct ArbRun {
 
 ArbRun run_arbitrary(const Graph& g, NodeId source, NodeId coordinator = 0,
                      const RunOptions& opt = {});
+
+/// Same quantities as `run_arbitrary`, but predicted through
+/// `CompiledArbRunner` (flat label-determined three-phase execution, no
+/// protocol dispatch).  Bit-exact with the engine; `opt.trace` is ignored.
+ArbRun run_arb_compiled(const Graph& g, NodeId source, NodeId coordinator = 0,
+                        const RunOptions& opt = {});
 
 }  // namespace radiocast::core

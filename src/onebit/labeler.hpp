@@ -44,6 +44,8 @@ struct OneBitOptions {
   /// Engine backend for the runners' validation executions (the labeling
   /// search itself replays closed-form dynamics and ignores this).
   sim::BackendKind engine_backend = sim::BackendKind::kAuto;
+  /// Worker threads for the sharded backend (0 = hardware concurrency).
+  std::size_t engine_threads = 0;
 };
 
 struct OneBitResult {

@@ -86,7 +86,8 @@ OneBitRun run_onebit(const Graph& g, graph::NodeId source,
         label, v == source ? std::optional<std::uint32_t>(kMu) : std::nullopt));
   }
   sim::Engine engine(g, std::move(protocols),
-                     {.backend = opt.engine_backend});
+                     {.backend = opt.engine_backend,
+                      .threads = opt.engine_threads});
   engine.run_until([](const sim::Engine& e) { return e.all_informed(); },
                    4ull * g.node_count() + 16);
   out.ok = engine.all_informed();
@@ -118,7 +119,8 @@ OneBitRun run_onebit_acknowledged(const Graph& g, graph::NodeId source,
         label, v == source ? std::optional<std::uint32_t>(kMu) : std::nullopt));
   }
   sim::Engine engine(g, std::move(protocols),
-                     {.backend = opt.engine_backend});
+                     {.backend = opt.engine_backend,
+                      .threads = opt.engine_threads});
   auto& src =
       dynamic_cast<core::AckBroadcastProtocol&>(engine.protocol(source));
   engine.run_until([&src](const sim::Engine&) { return src.ack_round() != 0; },

@@ -10,7 +10,7 @@ Engine::Engine(const graph::Graph& g,
     : graph_(g),
       protocols_(std::move(protocols)),
       options_(options),
-      backend_(make_engine_backend(g, options.backend)) {
+      backend_(make_engine_backend(g, options.backend, options.threads)) {
   RC_EXPECTS_MSG(protocols_.size() == g.node_count(),
                  "one protocol per vertex required");
   for (const auto& p : protocols_) RC_EXPECTS(p != nullptr);

@@ -41,8 +41,11 @@ struct EngineOptions {
   /// paper's model sets this to false; §1.1's "trivially feasible with
   /// collision detection" remark is reproduced with it on.
   bool collision_detection = false;
-  /// Round-resolution backend; kAuto selects by graph density.
+  /// Round-resolution backend; kAuto selects by graph density and size.
   BackendKind backend = BackendKind::kAuto;
+  /// Worker threads for the sharded backend (0 = hardware concurrency).
+  /// Other backends ignore it; kAuto uses it to decide the sharded upgrade.
+  std::size_t threads = 0;
 };
 
 class Engine {

@@ -206,9 +206,9 @@ const std::set<std::string> kExpectedScenarios = {
     "construction",  "coordinator_choice",  "dom_policies",
     "engine_backends", "fig1",              "impossibility",
     "labels",        "message_size",        "multi_message",
-    "onebit",        "sim_throughput"};
+    "onebit",        "sharded_scaling",     "sim_throughput"};
 
-TEST(BenchRegistry, ListsAllSeventeenScenarios) {
+TEST(BenchRegistry, ListsAllEighteenScenarios) {
   std::set<std::string> names;
   for (const auto& s : registry()) names.insert(s.name);
   EXPECT_EQ(names, kExpectedScenarios);
@@ -246,6 +246,7 @@ TEST(BenchFilter, ExactTagSelects) {
   std::set<std::string> names;
   for (const auto& s : select("micro")) names.insert(s.name);
   EXPECT_EQ(names, (std::set<std::string>{"construction", "engine_backends",
+                                          "sharded_scaling",
                                           "sim_throughput"}));
   // Tags match exactly: a tag prefix selects nothing by itself.
   EXPECT_TRUE(select("micr").empty());
@@ -258,8 +259,14 @@ TEST(BenchFilter, CommaSeparatedTermsUnion) {
                                           "fig1"}));
 }
 
-TEST(BenchFilter, SmokeTagCoversAllScenarios) {
-  EXPECT_EQ(select("smoke").size(), kExpectedScenarios.size());
+TEST(BenchFilter, SmokeTagCoversAllScenariosExceptScaling) {
+  // sharded_scaling steps n >= 8192 dense graphs at four thread counts —
+  // deliberately excluded from the smoke tier (CI runs it explicitly).
+  std::set<std::string> names;
+  for (const auto& s : select("smoke")) names.insert(s.name);
+  auto expected = kExpectedScenarios;
+  expected.erase("sharded_scaling");
+  EXPECT_EQ(names, expected);
 }
 
 TEST(BenchCli, ParsesTheDocumentedFlags) {

@@ -1,10 +1,11 @@
 // Differential tests for the pluggable engine backends: the scalar CSR walk,
-// the bit-parallel dense stepper, and the compiled Lemma 2.8 schedule replay
-// must be bit-exact — identical per-round traces (transmissions, deliveries,
-// collisions), identical first-data receptions, tx/rx counters, and stamp
-// accounting — on randomized graphs, with and without collision detection
-// (paper §1.1: hear iff exactly one neighbour transmits; transmitters hear
-// nothing).
+// the bit-parallel dense stepper, the sharded multi-core stepper, and the
+// compiled schedule replays (Lemma 2.8 for B, the stamped-chain predictions
+// for B_ack and B_arb) must be bit-exact — identical per-round traces
+// (transmissions, deliveries, collisions), identical first-data receptions,
+// ack rounds, tx/rx counters, and stamp accounting — on randomized graphs,
+// with and without collision detection (paper §1.1: hear iff exactly one
+// neighbour transmits; transmitters hear nothing).
 #include <gtest/gtest.h>
 
 #include <bit>
@@ -188,8 +189,45 @@ TEST(BackendSelection, ExplicitRequestsAreHonored) {
             sim::BackendKind::kScalar);
   EXPECT_EQ(sim::choose_backend(g, sim::BackendKind::kBit),
             sim::BackendKind::kBit);
+  EXPECT_EQ(sim::choose_backend(g, sim::BackendKind::kSharded, 2),
+            sim::BackendKind::kSharded);
   EXPECT_EQ(sim::make_engine_backend(g, sim::BackendKind::kBit)->kind(),
             sim::BackendKind::kBit);
+  EXPECT_EQ(sim::make_engine_backend(g, sim::BackendKind::kSharded, 3)->kind(),
+            sim::BackendKind::kSharded);
+}
+
+TEST(BackendSelection, ShardedNameRoundTrips) {
+  EXPECT_STREQ(sim::to_string(sim::BackendKind::kSharded), "sharded");
+  ASSERT_TRUE(sim::parse_backend("sharded").has_value());
+  EXPECT_EQ(*sim::parse_backend("sharded"), sim::BackendKind::kSharded);
+  EXPECT_FALSE(sim::parse_backend("shard").has_value());
+}
+
+TEST(BackendSelection, AutoUpgradesToShardedOnBigDenseGraphsWithThreads) {
+  // Dense enough for bit (avg degree >= n/64 words) and n >= the sharded
+  // threshold: kAuto upgrades iff at least two workers are available.
+  Rng rng(42);
+  const Graph big = graph::gnp_connected(8192, 0.05, rng);
+  EXPECT_EQ(sim::choose_backend(big, sim::BackendKind::kAuto, 4),
+            sim::BackendKind::kSharded);
+  EXPECT_EQ(sim::choose_backend(big, sim::BackendKind::kAuto, 1),
+            sim::BackendKind::kBit);
+  // Below the size threshold the upgrade never happens, threads or not.
+  const Graph small = graph::complete(256);
+  EXPECT_EQ(sim::choose_backend(small, sim::BackendKind::kAuto, 8),
+            sim::BackendKind::kBit);
+}
+
+TEST(BackendSelection, ShardsAreCacheAlignedAndCoverAllWords) {
+  Rng rng(9);
+  const Graph g = graph::gnp_connected(300, 0.4, rng);  // 5 words per row
+  for (const std::size_t threads : {1u, 2u, 3u, 8u}) {
+    sim::ShardedBitEngine engine(g, threads);
+    EXPECT_EQ(engine.thread_count(), threads);
+    EXPECT_GE(engine.shard_count(), 1u);
+    EXPECT_LE(engine.shard_count(), threads);
+  }
 }
 
 TEST(BackendSelection, AutoPicksByDensity) {
@@ -213,11 +251,13 @@ TEST(BackendSelection, EngineReportsResolvedKind) {
 }
 
 // ---------------------------------------------------------------------------
-// Scalar vs bit: randomized protocol traffic, with and without collision
-// detection.  120 randomized graphs (60 per mode).
+// Scalar vs bit vs sharded: randomized protocol traffic, with and without
+// collision detection.  60 randomized graphs per (mode, challenger).
 
 void run_random_traffic_differential(bool collision_detection,
-                                     std::uint64_t seed) {
+                                     std::uint64_t seed,
+                                     sim::BackendKind challenger,
+                                     std::size_t threads = 0) {
   const auto graphs = random_graphs(60, seed);
   for (std::size_t i = 0; i < graphs.size(); ++i) {
     const Graph& g = graphs[i];
@@ -226,33 +266,47 @@ void run_random_traffic_differential(bool collision_detection,
     sim::Engine scalar(g, hash_talkers(n, seed + i, period),
                        {sim::TraceLevel::kFull, collision_detection,
                         sim::BackendKind::kScalar});
-    sim::Engine bit(g, hash_talkers(n, seed + i, period),
-                    {sim::TraceLevel::kFull, collision_detection,
-                     sim::BackendKind::kBit});
+    sim::Engine other(g, hash_talkers(n, seed + i, period),
+                      {sim::TraceLevel::kFull, collision_detection, challenger,
+                       threads});
     const std::uint64_t rounds = 24;
     for (std::uint64_t r = 0; r < rounds; ++r) {
-      EXPECT_EQ(scalar.step(), bit.step());
+      EXPECT_EQ(scalar.step(), other.step());
     }
     const std::string what =
         "graph " + std::to_string(i) + " " + g.summary() +
-        (collision_detection ? " (cd)" : "");
-    expect_engines_equal(scalar, bit, what);
+        (collision_detection ? " (cd)" : "") + " vs " + other.backend_name();
+    expect_engines_equal(scalar, other, what);
     for (NodeId v = 0; v < n; ++v) {
       const auto& ps = dynamic_cast<const HashTalker&>(scalar.protocol(v));
-      const auto& pb = dynamic_cast<const HashTalker&>(bit.protocol(v));
+      const auto& pb = dynamic_cast<const HashTalker&>(other.protocol(v));
       EXPECT_EQ(ps.heard(), pb.heard()) << what << " node " << v;
       EXPECT_EQ(ps.collisions(), pb.collisions()) << what << " node " << v;
-      if (!collision_detection) EXPECT_EQ(ps.collisions(), 0u) << what;
+      if (!collision_detection) {
+        EXPECT_EQ(ps.collisions(), 0u) << what;
+      }
     }
   }
 }
 
 TEST(BackendDifferential, RandomTrafficScalarVsBit) {
-  run_random_traffic_differential(/*collision_detection=*/false, 0xC0FFEE);
+  run_random_traffic_differential(/*collision_detection=*/false, 0xC0FFEE,
+                                  sim::BackendKind::kBit);
 }
 
 TEST(BackendDifferential, RandomTrafficScalarVsBitWithCollisionDetection) {
-  run_random_traffic_differential(/*collision_detection=*/true, 0xBEEF);
+  run_random_traffic_differential(/*collision_detection=*/true, 0xBEEF,
+                                  sim::BackendKind::kBit);
+}
+
+TEST(BackendDifferential, RandomTrafficScalarVsSharded) {
+  run_random_traffic_differential(/*collision_detection=*/false, 0x5AAD,
+                                  sim::BackendKind::kSharded, /*threads=*/3);
+}
+
+TEST(BackendDifferential, RandomTrafficScalarVsShardedWithCollisionDetection) {
+  run_random_traffic_differential(/*collision_detection=*/true, 0xD00D,
+                                  sim::BackendKind::kSharded, /*threads=*/4);
 }
 
 // ---------------------------------------------------------------------------
@@ -273,15 +327,21 @@ TEST(BackendDifferential, BroadcastScalarVsBitVsCompiled) {
         {sim::TraceLevel::kFull, false, sim::BackendKind::kScalar});
     sim::Engine bit(g, core::make_broadcast_protocols(labeling, mu),
                     {sim::TraceLevel::kFull, false, sim::BackendKind::kBit});
+    sim::Engine sharded(
+        g, core::make_broadcast_protocols(labeling, mu),
+        {sim::TraceLevel::kFull, false, sim::BackendKind::kSharded, 3});
     const std::uint64_t max_rounds = 4ull * n + 16;
     scalar.run_until([](const sim::Engine& e) { return e.all_informed(); },
                      max_rounds);
     bit.run_until([](const sim::Engine& e) { return e.all_informed(); },
                   max_rounds);
+    sharded.run_until([](const sim::Engine& e) { return e.all_informed(); },
+                      max_rounds);
 
     const std::string what = "graph " + std::to_string(i) + " " + g.summary();
     ASSERT_TRUE(scalar.all_informed()) << what;
     expect_engines_equal(scalar, bit, what);
+    expect_engines_equal(scalar, sharded, what + " (sharded)");
 
     // The compiled replay covers exactly the rounds the engine executed.
     core::CompiledScheduleRunner compiled(g, labeling, mu,
@@ -367,6 +427,175 @@ TEST(BackendDifferential, OneBitRunnerAgreesAcrossBackends) {
 }
 
 // ---------------------------------------------------------------------------
+// Compiled B_ack replay: the flat label/stamp prediction must reproduce the
+// engine + AckBroadcastProtocol execution round for round — transmissions
+// (including the z-initiated ack chain), deliveries, collisions, informed
+// rounds, ack rounds, and tx/rx/stamp counters.
+
+void expect_replay_matches_engine(const core::ReplayResult& replay,
+                                  const sim::Engine& engine,
+                                  const std::string& what) {
+  const auto n = engine.graph().node_count();
+  EXPECT_EQ(replay.rounds, engine.round()) << what;
+  EXPECT_EQ(replay.completion_round, engine.last_first_data_reception())
+      << what;
+  EXPECT_EQ(replay.tx_total, engine.transmissions_total()) << what;
+  EXPECT_EQ(replay.max_stamp, engine.max_stamp_seen()) << what;
+  for (NodeId v = 0; v < n; ++v) {
+    EXPECT_EQ(replay.first_data[v], engine.first_data_reception(v))
+        << what << " node " << v;
+    EXPECT_EQ(replay.tx_count[v], engine.tx_count(v)) << what << " node " << v;
+    EXPECT_EQ(replay.rx_count[v], engine.rx_count(v)) << what << " node " << v;
+  }
+  expect_traces_equal(replay.trace, engine.trace(), what);
+}
+
+TEST(CompiledAck, ReplayMatchesEngineOnRandomGraphs) {
+  const auto graphs = random_graphs(40, 0xAC4);
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    const Graph& g = graphs[i];
+    const auto n = g.node_count();
+    if (n < 2) continue;
+    const NodeId source = static_cast<NodeId>(i % n);
+    const std::uint32_t mu = 77;
+    const auto labeling = core::label_acknowledged(g, source);
+
+    sim::Engine engine(g, core::make_ack_protocols(labeling, mu),
+                       {sim::TraceLevel::kFull, false,
+                        sim::BackendKind::kScalar});
+    auto& src =
+        dynamic_cast<core::AckBroadcastProtocol&>(engine.protocol(source));
+    const auto max_rounds = core::default_round_budget(n, 6);
+    engine.run_until(
+        [&src](const sim::Engine&) { return src.ack_round() != 0; },
+        max_rounds);
+
+    core::CompiledAckRunner compiled(g, labeling, mu);
+    const auto replay = compiled.run(sim::TraceLevel::kFull);
+    const std::string what =
+        "graph " + std::to_string(i) + " " + g.summary() + " (compiled ack)";
+    EXPECT_EQ(compiled.prediction().ack_round, src.ack_round()) << what;
+    EXPECT_EQ(compiled.prediction().all_informed, engine.all_informed())
+        << what;
+    EXPECT_EQ(compiled.prediction().completion_round,
+              engine.last_first_data_reception())
+        << what;
+    expect_replay_matches_engine(replay, engine, what);
+  }
+}
+
+TEST(CompiledAck, RunnerAgreesWithEngineRunner) {
+  const auto graphs = random_graphs(25, 0xACE2);
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    const Graph& g = graphs[i];
+    if (g.node_count() < 2) continue;
+    const NodeId source = static_cast<NodeId>(i % g.node_count());
+    const auto engine_run = core::run_acknowledged(g, source);
+    const auto compiled_run = core::run_acknowledged_compiled(g, source);
+    const std::string what = "graph " + std::to_string(i) + " " + g.summary();
+    EXPECT_EQ(compiled_run.all_informed, engine_run.all_informed) << what;
+    EXPECT_EQ(compiled_run.completion_round, engine_run.completion_round)
+        << what;
+    EXPECT_EQ(compiled_run.ack_round, engine_run.ack_round) << what;
+    EXPECT_EQ(compiled_run.max_stamp, engine_run.max_stamp) << what;
+    EXPECT_EQ(compiled_run.ell, engine_run.ell) << what;
+    EXPECT_EQ(compiled_run.z, engine_run.z) << what;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Compiled B_arb replay: all three phases (Init broadcast, Ready/T with the
+// source countdown, final µ broadcast with T - t_v completion timers) must
+// match the engine + ArbProtocol execution exactly.
+
+TEST(CompiledArb, ReplayMatchesEngineOnRandomGraphs) {
+  const auto graphs = random_graphs(30, 0xA7B);
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    const Graph& g = graphs[i];
+    const auto n = g.node_count();
+    if (n < 2) continue;
+    // Rotate both the source and the coordinator; include source == r.
+    const NodeId source = static_cast<NodeId>(i % n);
+    const NodeId coordinator =
+        i % 3 == 0 ? source : static_cast<NodeId>((i / 2) % n);
+    const std::uint32_t mu = 99;
+    const auto labeling = core::label_arbitrary(g, coordinator);
+
+    sim::Engine engine(g, core::make_arb_protocols(labeling, source, mu),
+                       {sim::TraceLevel::kFull, false,
+                        sim::BackendKind::kScalar});
+    const auto max_rounds = core::default_round_budget(n, 16);
+    engine.run_until(
+        [](const sim::Engine& e) {
+          for (NodeId v = 0; v < e.graph().node_count(); ++v) {
+            const auto& p = dynamic_cast<const core::ArbProtocol&>(
+                e.protocol(v));
+            if (!p.mu() || p.done_round() == 0) return false;
+          }
+          return true;
+        },
+        max_rounds);
+
+    core::CompiledArbRunner compiled(g, labeling, source, mu);
+    const auto replay = compiled.run(sim::TraceLevel::kFull);
+    const std::string what = "graph " + std::to_string(i) + " " +
+                             g.summary() + " src=" + std::to_string(source) +
+                             " r=" + std::to_string(coordinator) +
+                             " (compiled arb)";
+    expect_replay_matches_engine(replay, engine, what);
+    const auto& prediction = compiled.prediction();
+    EXPECT_EQ(prediction.total_rounds, engine.round()) << what;
+    for (NodeId v = 0; v < n; ++v) {
+      const auto& p = dynamic_cast<const core::ArbProtocol&>(
+          engine.protocol(v));
+      if (p.is_coordinator()) EXPECT_EQ(prediction.T, p.T()) << what;
+      if (prediction.ok) {
+        EXPECT_EQ(prediction.done_round, p.done_round())
+            << what << " node " << v;
+      }
+    }
+  }
+}
+
+TEST(CompiledArb, RunnerAgreesWithEngineRunner) {
+  const auto graphs = random_graphs(20, 0xA7B2);
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    const Graph& g = graphs[i];
+    const auto n = g.node_count();
+    if (n < 2) continue;
+    const NodeId source = static_cast<NodeId>((i + 1) % n);
+    const auto engine_run = core::run_arbitrary(g, source, 0);
+    const auto compiled_run = core::run_arb_compiled(g, source, 0);
+    const std::string what = "graph " + std::to_string(i) + " " + g.summary();
+    EXPECT_TRUE(engine_run.ok) << what;
+    EXPECT_EQ(compiled_run.ok, engine_run.ok) << what;
+    EXPECT_EQ(compiled_run.total_rounds, engine_run.total_rounds) << what;
+    EXPECT_EQ(compiled_run.done_round, engine_run.done_round) << what;
+    EXPECT_EQ(compiled_run.T, engine_run.T) << what;
+    EXPECT_EQ(compiled_run.coordinator, engine_run.coordinator) << what;
+  }
+}
+
+// Compiled replays must also hold up when resolved by the sharded backend.
+TEST(CompiledAck, ReplayBackendIndependence) {
+  Rng rng(31);
+  const Graph g = graph::gnp_connected(70, 0.3, rng);
+  const auto labeling = core::label_acknowledged(g, 0);
+  core::CompiledAckRunner scalar(g, labeling, 7, sim::BackendKind::kScalar);
+  core::CompiledAckRunner sharded(g, labeling, 7, sim::BackendKind::kSharded,
+                                  3);
+  const auto a = scalar.run(sim::TraceLevel::kFull);
+  const auto b = sharded.run(sim::TraceLevel::kFull);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.tx_total, b.tx_total);
+  EXPECT_EQ(a.max_stamp, b.max_stamp);
+  EXPECT_EQ(a.first_data, b.first_data);
+  EXPECT_EQ(a.tx_count, b.tx_count);
+  EXPECT_EQ(a.rx_count, b.rx_count);
+  expect_traces_equal(a.trace, b.trace, "compiled ack backend independence");
+}
+
+// ---------------------------------------------------------------------------
 // Compiled schedule structure
 
 TEST(CompiledSchedule, LowersPredictedRoundsFaithfully) {
@@ -407,9 +636,10 @@ TEST(CompiledSchedule, SingleNodeGraphReplaysTrivially) {
 TEST(CollisionDetection, SignalDeliveredIdenticallyAcrossBackends) {
   // K4: three neighbours transmitting at once → every listener collides.
   const Graph g = graph::complete(65);  // spans a word boundary
-  for (const auto kind : {sim::BackendKind::kScalar, sim::BackendKind::kBit}) {
+  for (const auto kind : {sim::BackendKind::kScalar, sim::BackendKind::kBit,
+                          sim::BackendKind::kSharded}) {
     sim::Engine e(g, hash_talkers(g.node_count(), 5, 2),
-                  {sim::TraceLevel::kFull, true, kind});
+                  {sim::TraceLevel::kFull, true, kind, 2});
     for (int r = 0; r < 8; ++r) e.step();
     std::uint64_t signals = 0, recorded = 0;
     for (NodeId v = 0; v < g.node_count(); ++v) {
