@@ -130,6 +130,18 @@ Options parse_args(int argc, const char* const* argv) {
         return opt;
       }
       opt.backend = *parsed;
+    } else if (arg == "--dispatch") {
+      if (!need_value(i)) {
+        opt.error = "--dispatch requires auto, scan, or active";
+        return opt;
+      }
+      const auto parsed = sim::parse_dispatch(argv[++i]);
+      if (!parsed) {
+        opt.error = std::string("unknown dispatch '") + argv[i] +
+                    "' (expected auto, scan, or active)";
+        return opt;
+      }
+      opt.dispatch = *parsed;
     } else if (arg == "--threads") {
       if (!need_value(i)) {
         opt.error = "--threads requires a count";
@@ -178,7 +190,8 @@ std::vector<ScenarioResult> run_scenarios(const std::vector<Scenario>& chosen,
     ScenarioResult result;
     result.scenario = s;
     for (int rep = 0; rep < opt.repeat; ++rep) {
-      Context ctx(pool, opt.sizes, opt.repeat, rep, opt.backend, opt.threads);
+      Context ctx(pool, opt.sizes, opt.repeat, rep, opt.backend, opt.threads,
+                  opt.dispatch);
       result.wall_ns += time_ns([&] { s.run(ctx); });
       for (auto& sample : ctx.samples()) {
         result.ok = result.ok && sample.ok;
@@ -248,6 +261,7 @@ std::string to_json(const std::vector<ScenarioResult>& results,
      << "\"repeat\":" << opt.repeat << ","
      << "\"filter\":\"" << json_escape(opt.filter) << "\","
      << "\"backend\":\"" << sim::to_string(opt.backend) << "\","
+     << "\"dispatch\":\"" << sim::to_string(opt.dispatch) << "\","
      << "\"sizes\":[";
   for (std::size_t i = 0; i < opt.sizes.size(); ++i) {
     if (i) os << ",";
@@ -292,6 +306,9 @@ constexpr const char* kUsage =
     "  --backend B       engine backend for engine-driving scenarios:\n"
     "                    auto (density/size-based), scalar, bit, or sharded\n"
     "                    (default auto)\n"
+    "  --dispatch D      protocol-dispatch strategy for engine-driving\n"
+    "                    scenarios: auto (active-set iff protocols hint),\n"
+    "                    scan, or active (default auto)\n"
     "  --json PATH       write the radiocast-bench/1 JSON document to PATH\n";
 
 }  // namespace

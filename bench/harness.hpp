@@ -20,6 +20,7 @@
 
 #include "parallel/thread_pool.hpp"
 #include "sim/backend.hpp"
+#include "sim/dispatch.hpp"
 
 namespace radiocast::bench {
 
@@ -54,18 +55,23 @@ class Context {
  public:
   Context(par::ThreadPool& pool, std::vector<std::uint32_t> sizes, int repeat,
           int rep, sim::BackendKind backend = sim::BackendKind::kAuto,
-          std::size_t threads = 0)
+          std::size_t threads = 0,
+          sim::DispatchKind dispatch = sim::DispatchKind::kAuto)
       : pool_(pool),
         sizes_(std::move(sizes)),
         repeat_(repeat),
         rep_(rep),
         backend_(backend),
-        threads_(threads) {}
+        threads_(threads),
+        dispatch_(dispatch) {}
 
   par::ThreadPool& pool() { return pool_; }
 
   /// The --backend selection for engine-driving scenarios (default kAuto).
   sim::BackendKind backend() const noexcept { return backend_; }
+
+  /// The --dispatch selection for engine-driving scenarios (default kAuto).
+  sim::DispatchKind dispatch() const noexcept { return dispatch_; }
 
   /// The --threads request, for scenarios that construct sharded engines
   /// (0 = hardware concurrency).  The sweep pool uses the same value.
@@ -93,6 +99,7 @@ class Context {
   int rep_;
   sim::BackendKind backend_;
   std::size_t threads_ = 0;
+  sim::DispatchKind dispatch_ = sim::DispatchKind::kAuto;
   std::mutex mu_;
   std::vector<Sample> samples_;
 };
@@ -127,6 +134,7 @@ struct Options {
   std::string json_path;                     ///< --json (empty = no JSON)
   std::size_t threads = 0;                   ///< --threads (0 = hardware)
   sim::BackendKind backend = sim::BackendKind::kAuto;  ///< --backend
+  sim::DispatchKind dispatch = sim::DispatchKind::kAuto;  ///< --dispatch
   bool list = false;                         ///< --list
   bool help = false;                         ///< --help
   std::string error;                         ///< non-empty on a parse error

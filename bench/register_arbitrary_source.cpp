@@ -31,6 +31,7 @@ void run(Context& ctx) {
               core::RunOptions opt;
               opt.backend = ctx.backend();
               opt.threads = ctx.threads();
+              opt.dispatch = ctx.dispatch();
               const auto run =
                   core::run_arbitrary(w.graph, src, /*coordinator=*/0, opt);
               ++sources;

@@ -30,6 +30,7 @@ void run(Context& ctx) {
           core::BroadcastRun rb;
           core::RunOptions opt;
           opt.backend = ctx.backend();
+          opt.dispatch = ctx.dispatch();
           b.wall_ns = time_ns(
               [&] { rb = core::run_broadcast(w.graph, w.source, opt); });
           b.rounds = rb.completion_round;

@@ -23,6 +23,7 @@ void run(Context& ctx) {
           core::BroadcastRun run;
           core::RunOptions opt;
           opt.backend = ctx.backend();
+          opt.dispatch = ctx.dispatch();
           s.wall_ns = time_ns(
               [&] { run = core::run_broadcast(w.graph, w.source, opt); });
           s.rounds = run.completion_round;

@@ -44,6 +44,7 @@ void run(Context& ctx) {
       beep = baselines::run_beep(c.g, 0, kMu, kBits);
       core::RunOptions opt;
       opt.backend = ctx.backend();
+      opt.dispatch = ctx.dispatch();
       b = core::run_broadcast(c.g, 0, opt);
     });
     s.rounds = b.completion_round;

@@ -25,6 +25,7 @@ void run(Context& ctx) {
               time_ns([&] {
                 core::RunOptions opt;
                 opt.backend = ctx.backend();
+                opt.dispatch = ctx.dispatch();
                 run = core::run_common_round(w.graph, w.source, opt);
               });
           s.rounds = run.common_round;

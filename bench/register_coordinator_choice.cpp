@@ -38,6 +38,7 @@ void run(Context& ctx) {
             }
             core::RunOptions opt;
             opt.backend = ctx.backend();
+            opt.dispatch = ctx.dispatch();
             run_c = core::run_arbitrary(w.graph, w.source, central, opt);
             run_p = core::run_arbitrary(w.graph, w.source, peripheral, opt);
             run_d = core::run_arbitrary(w.graph, w.source, 0, opt);

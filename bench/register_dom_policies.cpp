@@ -32,6 +32,7 @@ void run(Context& ctx) {
             opt.seed = 31337;
             opt.trace = sim::TraceLevel::kFull;
             opt.backend = ctx.backend();
+            opt.dispatch = ctx.dispatch();
             run = core::run_broadcast(w.graph, w.source, opt);
           });
           s.rounds = run.completion_round;

@@ -41,6 +41,7 @@ void run(Context& ctx) {
 
       core::RunOptions ack_opt;
       ack_opt.backend = ctx.backend();
+      ack_opt.dispatch = ctx.dispatch();
       ack = core::run_acknowledged(g, 0, ack_opt);
       const sim::Message worst{sim::MsgKind::kAck, 0, 0, ack.max_stamp};
       ack_bits = analysis::control_bits(worst, false);

@@ -74,12 +74,15 @@ void run(Context& ctx) {
         s.m = c.g.edge_count();
         onebit::OneBitRun run, ack;
         s.wall_ns = time_ns([&] {
-          run = onebit::run_onebit(
-              c.g, c.source,
-              {.max_attempts = 256, .engine_backend = ctx.backend()});
+          run = onebit::run_onebit(c.g, c.source,
+                                   {.max_attempts = 256,
+                                    .engine_backend = ctx.backend(),
+                                    .engine_dispatch = ctx.dispatch()});
           ack = onebit::run_onebit_acknowledged(
               c.g, c.source,
-              {.max_attempts = 256, .engine_backend = ctx.backend()});
+              {.max_attempts = 256,
+               .engine_backend = ctx.backend(),
+               .engine_dispatch = ctx.dispatch()});
         });
         s.rounds = run.completion_round;
         s.ok = run.ok && ack.ok;

@@ -57,12 +57,13 @@ struct StepResult {
 
 /// Steps `Chatter` (all_transmit) or `SliceTalker` protocols for `steps`
 /// rounds on the given backend and reports wall time plus tx/rx totals —
-/// the common measurement of the engine_backends and sharded_scaling
-/// stepping families.
-inline StepResult run_dense_steps(const graph::Graph& g,
-                                  sim::BackendKind backend,
-                                  std::size_t threads, bool all_transmit,
-                                  std::uint64_t steps) {
+/// the common measurement of the engine_backends, sharded_scaling, and
+/// dispatch_scaling stepping families.  Chatter/SliceTalker provide no
+/// activity hints, so `dispatch` kAuto resolves to the scan.
+inline StepResult run_dense_steps(
+    const graph::Graph& g, sim::BackendKind backend, std::size_t threads,
+    bool all_transmit, std::uint64_t steps,
+    sim::DispatchKind dispatch = sim::DispatchKind::kAuto) {
   const auto n = g.node_count();
   std::vector<std::unique_ptr<sim::Protocol>> protocols;
   protocols.reserve(n);
@@ -73,8 +74,9 @@ inline StepResult run_dense_steps(const graph::Graph& g,
       protocols.push_back(std::make_unique<SliceTalker>(v));
     }
   }
-  sim::Engine engine(g, std::move(protocols),
-                     {sim::TraceLevel::kCounters, false, backend, threads});
+  sim::Engine engine(
+      g, std::move(protocols),
+      {sim::TraceLevel::kCounters, false, backend, threads, dispatch});
   StepResult out;
   out.wall_ns = time_ns([&] {
     for (std::uint64_t i = 0; i < steps; ++i) engine.step();

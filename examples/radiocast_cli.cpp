@@ -39,10 +39,13 @@ int usage() {
                "[--scheme b|ack|arb|onebit]\n"
                "                     [--backend "
                "auto|scalar|bit|sharded|compiled]\n"
-               "                     [--threads N] < edge-list\n"
+               "                     [--dispatch auto|scan|active] "
+               "[--threads N] < edge-list\n"
                "       (--backend compiled replays the label-determined "
                "schedule; run --scheme b|ack|arb;\n"
-               "        --threads sets the sharded backend's worker count, "
+               "        --dispatch picks the protocol-dispatch strategy "
+               "[auto = active-set when hinted];\n"
+               "        --threads sets the sharded worker count, "
                "0 = hardware)\n");
   return 2;
 }
@@ -51,6 +54,7 @@ struct Options {
   graph::NodeId source = 0;
   std::string scheme = "b";
   std::string backend = "auto";
+  std::string dispatch = "auto";
   std::size_t threads = 0;
   bool ok = true;
 };
@@ -64,6 +68,8 @@ Options parse_options(int argc, char** argv, int first) {
       opt.scheme = argv[++i];
     } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
       opt.backend = argv[++i];
+    } else if (std::strcmp(argv[i], "--dispatch") == 0 && i + 1 < argc) {
+      opt.dispatch = argv[++i];
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       char* end = nullptr;
       const char* value = argv[++i];
@@ -80,6 +86,10 @@ Options parse_options(int argc, char** argv, int first) {
     std::fprintf(stderr, "unknown backend '%s'\n", opt.backend.c_str());
     opt.ok = false;
   }
+  if (!sim::parse_dispatch(opt.dispatch)) {
+    std::fprintf(stderr, "unknown dispatch '%s'\n", opt.dispatch.c_str());
+    opt.ok = false;
+  }
   return opt;
 }
 
@@ -88,6 +98,12 @@ Options parse_options(int argc, char** argv, int first) {
 sim::BackendKind engine_backend(const Options& opt) {
   const auto parsed = sim::parse_backend(opt.backend);
   return parsed ? *parsed : sim::BackendKind::kAuto;
+}
+
+/// The dispatch strategy for a parsed options block (validated above).
+sim::DispatchKind engine_dispatch(const Options& opt) {
+  const auto parsed = sim::parse_dispatch(opt.dispatch);
+  return parsed ? *parsed : sim::DispatchKind::kAuto;
 }
 
 int cmd_gen(int argc, char** argv) {
@@ -180,6 +196,7 @@ int cmd_run(const graph::Graph& g, const Options& opt) {
   core::RunOptions run_opt;
   run_opt.backend = engine_backend(opt);
   run_opt.threads = opt.threads;
+  run_opt.dispatch = engine_dispatch(opt);
   if (opt.scheme == "b") {
     const auto run = opt.backend == "compiled"
                          ? core::run_broadcast_compiled(g, opt.source, run_opt)
@@ -216,9 +233,11 @@ int cmd_run(const graph::Graph& g, const Options& opt) {
     return run.ok ? 0 : 1;
   }
   if (opt.scheme == "onebit") {
-    const auto run = onebit::run_onebit(g, opt.source,
-                                        {.engine_backend = run_opt.backend,
-                                         .engine_threads = opt.threads});
+    const auto run =
+        onebit::run_onebit(g, opt.source,
+                           {.engine_backend = run_opt.backend,
+                            .engine_threads = opt.threads,
+                            .engine_dispatch = run_opt.dispatch});
     std::printf("scheme=onebit ok=%s rounds=%llu ones=%u attempts=%u\n",
                 run.ok ? "yes" : "NO",
                 static_cast<unsigned long long>(run.completion_round),
@@ -232,7 +251,7 @@ int cmd_verify(const graph::Graph& g, const Options& opt) {
   const auto labeling = core::label_broadcast(g, opt.source);
   sim::Engine engine(g, core::make_broadcast_protocols(labeling, 1),
                      {sim::TraceLevel::kFull, false, engine_backend(opt),
-                      opt.threads});
+                      opt.threads, engine_dispatch(opt)});
   engine.run_until([](const sim::Engine& e) { return e.all_informed(); },
                    4ull * g.node_count() + 8);
   const auto verdict = core::verify_lemma_2_8(g, labeling, engine.trace());

@@ -97,6 +97,26 @@ std::optional<Message> ArbProtocol::on_round() {
   return std::nullopt;
 }
 
+std::uint64_t ArbProtocol::next_active_round() const {
+  std::uint64_t next = std::min({phase1_.next_core_active(round_),
+                                 phase2_.next_core_active(round_),
+                                 phase3_.next_core_active(round_)});
+  // Coordinator-as-source timer: phase 3 starts at the first round strictly
+  // after phase2_start + T (polling every round once that bound has passed
+  // mirrors the scan's ">" guard exactly).
+  if (is_coordinator_ && own_mu_ && phase2_start_local_ != 0 &&
+      !phase3_scheduled_) {
+    next = std::min(next, std::max(phase2_start_local_ + T_ + 1, round_ + 1));
+  }
+  // sG countdown: the scheduled ack round, once computed.  It is computed at
+  // the poll following the "ready" reception (which the engine's re-arm
+  // guarantees) and always lies at least one round beyond that poll.
+  if (source_ack_round_ != 0 && round_ < source_ack_round_) {
+    next = std::min(next, source_ack_round_);
+  }
+  return next;
+}
+
 void ArbProtocol::on_hear(const Message& m) {
   const std::uint64_t r = round_;
   if (m.kind == MsgKind::kAck) {

@@ -40,6 +40,14 @@ class ArbProtocol final : public sim::Protocol {
   /// informed() = knows the source message µ.
   bool informed() const override { return mu_.has_value(); }
 
+  /// Activity contract: the three phase cores plus the two timers B_arb
+  /// runs off its own clock — the coordinator's phase-3 start (T + 1 rounds
+  /// after "ready" went out, the r = source corner case) and the actual
+  /// source's scheduled ack countdown.  Ack forwarding and phase-origin
+  /// arming are reception-driven, so the engine's re-arm covers them.
+  std::uint64_t next_active_round() const override;
+  void skip_rounds(std::uint64_t rounds) override { round_ += rounds; }
+
   /// Observers (harness only).
   std::optional<std::uint32_t> mu() const noexcept { return mu_; }
   /// Local round at which this node knows the broadcast completed everywhere

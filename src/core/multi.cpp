@@ -97,7 +97,8 @@ void MultiMessageProtocol::on_hear(const Message& m) {
 MultiRun run_multi_broadcast(const Graph& g, NodeId source,
                              const std::vector<std::uint32_t>& payloads,
                              DomPolicy policy, sim::BackendKind backend,
-                             std::size_t threads) {
+                             std::size_t threads,
+                             sim::DispatchKind dispatch) {
   RC_EXPECTS(g.node_count() >= 2);
   RC_EXPECTS(!payloads.empty());
   MultiRun out;
@@ -110,8 +111,9 @@ MultiRun run_multi_broadcast(const Graph& g, NodeId source,
         labeling.labels[v],
         v == source ? payloads : std::vector<std::uint32_t>{}));
   }
-  sim::Engine engine(g, std::move(protocols),
-                     {.backend = backend, .threads = threads});
+  sim::Engine engine(
+      g, std::move(protocols),
+      {.backend = backend, .threads = threads, .dispatch = dispatch});
   const auto& src =
       dynamic_cast<const MultiMessageProtocol&>(engine.protocol(source));
   const std::uint64_t max_rounds =

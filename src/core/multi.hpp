@@ -25,6 +25,7 @@
 #include "core/protocols.hpp"
 #include "graph/graph.hpp"
 #include "sim/backend.hpp"
+#include "sim/dispatch.hpp"
 
 namespace radiocast::core {
 
@@ -85,6 +86,7 @@ MultiRun run_multi_broadcast(
     const Graph& g, NodeId source, const std::vector<std::uint32_t>& payloads,
     DomPolicy policy = DomPolicy::kAscendingId,
     sim::BackendKind backend = sim::BackendKind::kAuto,
-    std::size_t threads = 0);
+    std::size_t threads = 0,
+    sim::DispatchKind dispatch = sim::DispatchKind::kAuto);
 
 }  // namespace radiocast::core

@@ -45,6 +45,26 @@ std::optional<Message> BroadcastProtocol::on_round() {
   return std::nullopt;
 }
 
+std::uint64_t BroadcastProtocol::next_active_round() const {
+  // Uninformed nodes listen (lines 4-7) until a reception re-arms them.
+  if (!payload_) return kIdle;
+  // Lines 2-3: the source transmits µ at its next poll.
+  if (!sent_or_received_) return round_ + 1;
+  std::uint64_t next = kIdle;
+  if (first_data_ != 0) {
+    if (label_.x2 && round_ < first_data_ + 1) {
+      next = std::min(next, first_data_ + 1);
+    }
+    if (label_.x1 && round_ < first_data_ + 2) {
+      next = std::min(next, first_data_ + 2);
+    }
+  }
+  // Lines 17-19 (stay-triggered retransmission) require hearing "stay" one
+  // round before firing; that reception re-arms this node for the fire
+  // round, so no wake is scheduled for it here.
+  return next;
+}
+
 void BroadcastProtocol::on_hear(const Message& m) {
   sent_or_received_ = true;
   if (m.kind == MsgKind::kData) {
@@ -126,6 +146,28 @@ void StampedCore::hear(const Message& m, std::uint64_t r) {
     stay_heard_local_ = r;
     stay_stamp_ = *m.stamp;
   }
+}
+
+std::uint64_t StampedCore::next_core_active(std::uint64_t r) const {
+  if (origin_) {
+    // The one-off initial transmission fires at the next poll; afterwards
+    // the origin only retransmits on a stay trigger (reception-re-armed).
+    return origin_started_ ? sim::Protocol::kIdle : r + 1;
+  }
+  if (!payload_) return sim::Protocol::kIdle;
+  std::uint64_t next = sim::Protocol::kIdle;
+  if (first_data_local_ != 0) {
+    // Wake for the just-informed round unconditionally: x2 fires there, and
+    // the owners hang their own just-informed logic (z's ack initiation)
+    // off the same round.
+    if (r < first_data_local_ + 1) {
+      next = std::min(next, first_data_local_ + 1);
+    }
+    if (label_.x1 && r < first_data_local_ + 2) {
+      next = std::min(next, first_data_local_ + 2);
+    }
+  }
+  return next;
 }
 
 bool StampedCore::has_transmit_stamp(std::uint64_t k) const {

@@ -9,6 +9,7 @@
 /// global time from the O(log n)-bit stamps carried by messages.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -27,6 +28,13 @@ class BroadcastProtocol final : public sim::Protocol {
   std::optional<sim::Message> on_round() override;
   void on_hear(const sim::Message& m) override;
   bool informed() const override { return payload_.has_value(); }
+
+  /// Activity contract: B's stage arithmetic fixes the only rounds a node
+  /// can act absent receptions — the source's first round, and the x2/x1
+  /// rounds one/two rounds after the first µ reception.  Everything else
+  /// (the stay-triggered retransmission included) is re-armed by hearing.
+  std::uint64_t next_active_round() const override;
+  void skip_rounds(std::uint64_t rounds) override { round_ += rounds; }
 
   /// Observer: local round of the first µ reception (0 = source / never).
   std::uint64_t first_data_round() const noexcept { return first_data_; }
@@ -66,6 +74,15 @@ class StampedCore {
 
   /// Consumes matching data/stay messages; ignores everything else.
   void hear(const sim::Message& m, std::uint64_t r);
+
+  /// Activity hint shared by the owners' `next_active_round` overrides: the
+  /// earliest round > r at which any core rule could fire without a further
+  /// reception.  An un-started origin fires at its next poll; an informed
+  /// non-origin can act only in the just-informed round (x2 / the owners'
+  /// ack initiation) and the x1 round right after; the stay-triggered
+  /// retransmission needs a "stay" reception one round earlier, which
+  /// re-arms the node anyway.  `sim::Protocol::kIdle` when no rule applies.
+  std::uint64_t next_core_active(std::uint64_t r) const;
 
   bool informed() const noexcept { return payload_.has_value(); }
   bool is_origin() const noexcept { return origin_; }
@@ -113,6 +130,13 @@ class AckBroadcastProtocol final : public sim::Protocol {
     return core_.informed() || core_.is_origin();
   }
 
+  /// Ack forwarding needs an ack reception one round earlier (re-armed by
+  /// the engine), so the core hint covers every remaining rule.
+  std::uint64_t next_active_round() const override {
+    return core_.next_core_active(round_);
+  }
+  void skip_rounds(std::uint64_t rounds) override { round_ += rounds; }
+
   /// Observer: local round at which the source first received an "ack"
   /// (0 = not yet / not the source).
   std::uint64_t ack_round() const noexcept { return ack_received_round_; }
@@ -141,6 +165,14 @@ class CommonRoundProtocol final : public sim::Protocol {
   bool informed() const override {
     return phase1_.informed() || phase1_.is_origin();
   }
+
+  /// Both phases are stamped-core state machines; ack forwarding and the
+  /// phase-2 origin arming are reception-driven (the engine re-arms).
+  std::uint64_t next_active_round() const override {
+    return std::min(phase1_.next_core_active(round_),
+                    phase2_.next_core_active(round_));
+  }
+  void skip_rounds(std::uint64_t rounds) override { round_ += rounds; }
 
   /// Observer: the common round 2m once known to this node (0 = not yet).
   std::uint64_t knows_done_at() const noexcept;

@@ -75,8 +75,9 @@ BroadcastRun run_broadcast(const Graph& g, NodeId source,
     out.all_informed = true;
     return out;
   }
-  sim::Engine engine(g, make_broadcast_protocols(labeling, opt.mu),
-                     {opt.trace, false, opt.backend, opt.threads});
+  sim::Engine engine(
+      g, make_broadcast_protocols(labeling, opt.mu),
+      {opt.trace, false, opt.backend, opt.threads, opt.dispatch});
   const auto max_rounds =
       opt.max_rounds ? opt.max_rounds : default_round_budget(g.node_count(), 4);
   engine.run_until([](const sim::Engine& e) { return e.all_informed(); },
@@ -131,8 +132,9 @@ AckRun run_acknowledged(const Graph& g, NodeId source, const RunOptions& opt) {
     out.all_informed = true;
     return out;
   }
-  sim::Engine engine(g, make_ack_protocols(labeling, opt.mu),
-                     {opt.trace, false, opt.backend, opt.threads});
+  sim::Engine engine(
+      g, make_ack_protocols(labeling, opt.mu),
+      {opt.trace, false, opt.backend, opt.threads, opt.dispatch});
   auto& src = dynamic_cast<AckBroadcastProtocol&>(engine.protocol(source));
   const auto max_rounds =
       opt.max_rounds ? opt.max_rounds : default_round_budget(g.node_count(), 6);
@@ -174,8 +176,9 @@ CommonRoundRun run_common_round(const Graph& g, NodeId source,
   CommonRoundRun out;
   RC_EXPECTS_MSG(g.node_count() >= 2, "common-round needs at least two nodes");
   Labeling labeling = label_acknowledged(g, source, {opt.policy, opt.seed});
-  sim::Engine engine(g, make_common_round_protocols(labeling, opt.mu),
-                     {opt.trace, false, opt.backend, opt.threads});
+  sim::Engine engine(
+      g, make_common_round_protocols(labeling, opt.mu),
+      {opt.trace, false, opt.backend, opt.threads, opt.dispatch});
   const auto max_rounds = opt.max_rounds
                               ? opt.max_rounds
                               : default_round_budget(g.node_count(), 10);
@@ -214,8 +217,9 @@ ArbRun run_arbitrary(const Graph& g, NodeId source, NodeId coordinator,
   RC_EXPECTS_MSG(g.node_count() >= 2, "B_arb needs at least two nodes");
   ArbLabeling labeling =
       label_arbitrary(g, coordinator, {opt.policy, opt.seed});
-  sim::Engine engine(g, make_arb_protocols(labeling, source, opt.mu),
-                     {opt.trace, false, opt.backend, opt.threads});
+  sim::Engine engine(
+      g, make_arb_protocols(labeling, source, opt.mu),
+      {opt.trace, false, opt.backend, opt.threads, opt.dispatch});
   const auto max_rounds = opt.max_rounds
                               ? opt.max_rounds
                               : default_round_budget(g.node_count(), 16);

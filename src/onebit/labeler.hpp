@@ -30,6 +30,7 @@
 
 #include "graph/graph.hpp"
 #include "sim/backend.hpp"
+#include "sim/dispatch.hpp"
 #include "support/rng.hpp"
 
 namespace radiocast::onebit {
@@ -46,6 +47,10 @@ struct OneBitOptions {
   sim::BackendKind engine_backend = sim::BackendKind::kAuto;
   /// Worker threads for the sharded backend (0 = hardware concurrency).
   std::size_t engine_threads = 0;
+  /// Protocol-dispatch strategy for the validation engines.  The one-bit
+  /// runners reuse the B / B_ack protocols, whose stage arithmetic provides
+  /// activity hints, so kAuto resolves to the active set.
+  sim::DispatchKind engine_dispatch = sim::DispatchKind::kAuto;
 };
 
 struct OneBitResult {

@@ -87,7 +87,8 @@ OneBitRun run_onebit(const Graph& g, graph::NodeId source,
   }
   sim::Engine engine(g, std::move(protocols),
                      {.backend = opt.engine_backend,
-                      .threads = opt.engine_threads});
+                      .threads = opt.engine_threads,
+                      .dispatch = opt.engine_dispatch});
   engine.run_until([](const sim::Engine& e) { return e.all_informed(); },
                    4ull * g.node_count() + 16);
   out.ok = engine.all_informed();
@@ -120,7 +121,8 @@ OneBitRun run_onebit_acknowledged(const Graph& g, graph::NodeId source,
   }
   sim::Engine engine(g, std::move(protocols),
                      {.backend = opt.engine_backend,
-                      .threads = opt.engine_threads});
+                      .threads = opt.engine_threads,
+                      .dispatch = opt.engine_dispatch});
   auto& src =
       dynamic_cast<core::AckBroadcastProtocol&>(engine.protocol(source));
   engine.run_until([&src](const sim::Engine&) { return src.ack_round() != 0; },

@@ -1,0 +1,21 @@
+#include "sim/dispatch.hpp"
+
+namespace radiocast::sim {
+
+const char* to_string(DispatchKind k) {
+  switch (k) {
+    case DispatchKind::kAuto: return "auto";
+    case DispatchKind::kScan: return "scan";
+    case DispatchKind::kActiveSet: return "active";
+  }
+  return "?";
+}
+
+std::optional<DispatchKind> parse_dispatch(std::string_view name) {
+  if (name == "auto") return DispatchKind::kAuto;
+  if (name == "scan") return DispatchKind::kScan;
+  if (name == "active") return DispatchKind::kActiveSet;
+  return std::nullopt;
+}
+
+}  // namespace radiocast::sim

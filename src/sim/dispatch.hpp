@@ -1,0 +1,41 @@
+/// \file dispatch.hpp
+/// \brief Protocol-dispatch strategies for the engine's decision phase.
+///
+/// Resolving *who hears what* is the backend's job (sim/backend.hpp); this
+/// header names the strategies for the phase before it: asking every node
+/// what it does this round.  The seed engine scans all n protocols per round
+/// — an O(n) cost the paper's algorithms rarely need, because their labeling
+/// schemes keep almost every node provably silent in almost every round
+/// (only the active stage/phase transmits).  The active-set dispatcher uses
+/// the `sim::Protocol` activity contract (`next_active_round` +
+/// `skip_rounds`) to poll only nodes that might act, making per-round
+/// dispatch cost proportional to activity instead of n.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace radiocast::sim {
+
+/// How `Engine` collects per-round decisions from its protocols.
+enum class DispatchKind : std::uint8_t {
+  kAuto,       ///< active-set iff any protocol provides an activity hint
+  kScan,       ///< poll all n protocols every round (seed behaviour)
+  kActiveSet,  ///< calendar-queue of wake rounds; poll only woken nodes
+};
+
+const char* to_string(DispatchKind k);
+
+/// Parses "auto" / "scan" / "active"; nullopt otherwise.
+std::optional<DispatchKind> parse_dispatch(std::string_view name);
+
+/// Minimum number of nodes polled in one round before the decision sweep is
+/// sharded over the engine's dispatch pool (when >= 2 workers are
+/// configured).  Below it, the per-round pool barrier costs more than the
+/// split saves.  `EngineOptions::dispatch_shard_min_polls` overrides it so
+/// tests can force the sharded sweep at small n.
+inline constexpr std::size_t kDispatchShardMinPolls = 8192;
+
+}  // namespace radiocast::sim

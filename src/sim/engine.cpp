@@ -1,6 +1,7 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <numeric>
 
 namespace radiocast::sim {
 
@@ -18,6 +19,46 @@ Engine::Engine(const graph::Graph& g,
   first_data_.assign(n, 0);
   tx_count_.assign(n, 0);
   rx_count_.assign(n, 0);
+  informed_.assign(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (protocols_[v]->informed()) {
+      informed_[v] = 1;
+      ++informed_count_;
+    }
+  }
+
+  dispatch_workers_ = resolve_thread_count(options_.threads);
+
+  // Resolve the dispatch strategy.  kAuto upgrades to the active set iff any
+  // protocol declares an activity hint, so populations of hint-less
+  // protocols keep the zero-overhead scan.
+  dispatch_ = options_.dispatch;
+  std::vector<std::uint64_t> initial_hints;
+  if (dispatch_ != DispatchKind::kScan) {
+    initial_hints.reserve(n);
+    bool any_hint = false;
+    for (NodeId v = 0; v < n; ++v) {
+      const auto h = protocols_[v]->next_active_round();
+      initial_hints.push_back(h);
+      any_hint = any_hint || h != Protocol::kAlwaysActive;
+    }
+    if (dispatch_ == DispatchKind::kAuto) {
+      dispatch_ = any_hint ? DispatchKind::kActiveSet : DispatchKind::kScan;
+    }
+  }
+  if (dispatch_ == DispatchKind::kActiveSet) {
+    wake_round_.assign(n, kNoWake);
+    local_round_.assign(n, 0);
+    calendar_.resize(kCalendarSlots);
+    for (NodeId v = 0; v < n; ++v) {
+      const auto h = initial_hints[v];
+      if (h == Protocol::kIdle) continue;
+      schedule_wake(v, h == Protocol::kAlwaysActive ? 1 : h);
+    }
+  } else {
+    all_nodes_.resize(n);
+    std::iota(all_nodes_.begin(), all_nodes_.end(), NodeId{0});
+  }
 }
 
 std::uint64_t Engine::max_tx_count() const {
@@ -26,44 +67,200 @@ std::uint64_t Engine::max_tx_count() const {
   return best;
 }
 
+void Engine::schedule_wake(NodeId v, std::uint64_t r) {
+  RC_ASSERT(r > round_);
+  if (wake_round_[v] <= r) return;  // an earlier-or-equal wake is queued
+  wake_round_[v] = r;
+  if (r < round_ + kCalendarSlots) {
+    calendar_[r % kCalendarSlots].push_back(v);
+  } else {
+    far_wakes_.emplace(r, v);
+  }
+}
+
+void Engine::gather_woken() {
+  woken_.clear();
+  // Move far wakes whose round entered the ring window into their bucket.
+  // Entries are lazily deleted: wake_round_ is the ground truth, so a node
+  // re-armed to an earlier round leaves a stale entry behind that simply
+  // fails the equality check when drained or popped.
+  while (!far_wakes_.empty() &&
+         far_wakes_.top().first < round_ + kCalendarSlots) {
+    const auto [r, v] = far_wakes_.top();
+    far_wakes_.pop();
+    if (wake_round_[v] == r) calendar_[r % kCalendarSlots].push_back(v);
+  }
+  auto& bucket = calendar_[round_ % kCalendarSlots];
+  for (const NodeId v : bucket) {
+    if (wake_round_[v] == round_) {
+      // Clearing the wake also deduplicates: a second entry for the same
+      // (node, round) no longer matches.
+      wake_round_[v] = kNoWake;
+      woken_.push_back(v);
+    }
+  }
+  bucket.clear();
+  // Bucket pushes arrive as a few ascending runs (poll order, then delivery
+  // order), so the list is usually already sorted; backends require strictly
+  // increasing transmitter ids, which polling in id order guarantees.
+  if (!std::is_sorted(woken_.begin(), woken_.end())) {
+    std::sort(woken_.begin(), woken_.end());
+  }
+}
+
+std::uint64_t Engine::poll_node(
+    NodeId v, std::vector<std::pair<NodeId, Message>>& decisions,
+    std::uint64_t& max_stamp) {
+  Protocol& p = *protocols_[v];
+  const bool active = dispatch_ == DispatchKind::kActiveSet;
+  if (active) {
+    // Restore the rounds skipped while the node slept; on_round advances the
+    // clock over the current round itself.
+    if (local_round_[v] + 1 < round_) {
+      p.skip_rounds(round_ - 1 - local_round_[v]);
+    }
+    local_round_[v] = round_;
+  }
+  if (auto msg = p.on_round()) {
+    if (msg->stamp && *msg->stamp > max_stamp) max_stamp = *msg->stamp;
+    decisions.emplace_back(v, *msg);
+  }
+  return active ? p.next_active_round() : Protocol::kAlwaysActive;
+}
+
+void Engine::sync_clock(NodeId v) {
+  if (local_round_[v] < round_) {
+    protocols_[v]->skip_rounds(round_ - local_round_[v]);
+    local_round_[v] = round_;
+  }
+}
+
+void Engine::collect_decisions(std::span<const NodeId> to_poll) {
+  polls_total_ += to_poll.size();
+  const bool active = dispatch_ == DispatchKind::kActiveSet;
+  const bool shard = to_poll.size() >= options_.dispatch_shard_min_polls &&
+                     dispatch_workers_ >= 2;
+
+  if (!shard) {
+    if (!active) {
+      // Serial scan: the seed's tight loop, no calendar or clock bookkeeping.
+      for (const NodeId v : to_poll) {
+        if (auto msg = protocols_[v]->on_round()) {
+          if (msg->stamp && *msg->stamp > max_stamp_) max_stamp_ = *msg->stamp;
+          decisions_.emplace_back(v, *msg);
+        }
+      }
+      return;
+    }
+    for (const NodeId v : to_poll) {
+      const auto hint = poll_node(v, decisions_, max_stamp_);
+      if (hint != Protocol::kIdle) {
+        schedule_wake(v, hint == Protocol::kAlwaysActive ? round_ + 1 : hint);
+      }
+    }
+    return;
+  }
+
+  // Dense round: shard the sweep over fixed contiguous poll-list ranges.
+  // Protocol objects are per-node, so polls on distinct nodes are
+  // independent; concatenating the shard sinks in range order reproduces the
+  // serial sweep's output exactly.  Scheduling mutates the shared calendar,
+  // so hints are recorded per poll-list slot and applied serially below.
+  if (!dispatch_pool_) {
+    dispatch_pool_ = std::make_unique<par::ThreadPool>(dispatch_workers_);
+  }
+  const std::size_t shard_count = dispatch_pool_->thread_count();
+  sweep_shards_.resize(shard_count);
+  if (active) hints_scratch_.resize(to_poll.size());
+  const std::size_t chunk = (to_poll.size() + shard_count - 1) / shard_count;
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    const std::size_t begin = std::min(s * chunk, to_poll.size());
+    const std::size_t end = std::min(begin + chunk, to_poll.size());
+    SweepShard& sink = sweep_shards_[s];
+    sink.decisions.clear();
+    sink.max_stamp = 0;
+    if (begin == end) continue;
+    dispatch_pool_->submit([this, &sink, to_poll, begin, end, active] {
+      for (std::size_t i = begin; i < end; ++i) {
+        const auto hint =
+            poll_node(to_poll[i], sink.decisions, sink.max_stamp);
+        if (active) hints_scratch_[i] = hint;
+      }
+    });
+  }
+  dispatch_pool_->wait_idle();
+  for (SweepShard& sink : sweep_shards_) {
+    for (auto& d : sink.decisions) decisions_.push_back(std::move(d));
+    max_stamp_ = std::max(max_stamp_, sink.max_stamp);
+  }
+  if (active) {
+    for (std::size_t i = 0; i < to_poll.size(); ++i) {
+      const auto hint = hints_scratch_[i];
+      if (hint == Protocol::kIdle) continue;
+      schedule_wake(to_poll[i],
+                    hint == Protocol::kAlwaysActive ? round_ + 1 : hint);
+    }
+  }
+}
+
 bool Engine::step() {
   ++round_;
-  const auto n = graph_.node_count();
 
   // Phase 1: collect decisions in lockstep.  No delivery happens until every
   // node has decided, so protocols cannot observe same-round transmissions.
+  // kScan polls everyone; kActiveSet polls only calendar-woken nodes — a
+  // skipped poll is contractually a nullopt with no state change, so both
+  // produce identical decision vectors.
   decisions_.clear();
   tx_ids_.clear();
-  for (NodeId v = 0; v < n; ++v) {
-    if (auto msg = protocols_[v]->on_round()) {
-      decisions_.emplace_back(v, *msg);
-      tx_ids_.push_back(v);
-      if (msg->stamp) max_stamp_ = std::max(max_stamp_, *msg->stamp);
-    }
+  if (dispatch_ == DispatchKind::kScan) {
+    collect_decisions(all_nodes_);
+  } else {
+    gather_woken();
+    if (!woken_.empty()) collect_decisions(woken_);
   }
+  for (const auto& [t, msg] : decisions_) tx_ids_.push_back(t);
 
   // Phase 2: backend-resolved outcome — who hears which transmitter, who
   // sits under a collision.  Collision lists are only materialized when an
-  // observer (trace or the CD signal) will consume them.
+  // observer (trace or the CD signal) will consume them; a fully silent
+  // round skips resolution entirely (and, under kActiveSet, has done no
+  // protocol work at all).
   const bool record_full = options_.trace == TraceLevel::kFull;
-  backend_->resolve(tx_ids_, record_full || options_.collision_detection,
-                    resolution_);
+  if (tx_ids_.empty()) {
+    resolution_.clear();
+  } else {
+    backend_->resolve(tx_ids_, record_full || options_.collision_detection,
+                      resolution_);
+  }
 
-  // Phase 3: deliver.
+  // Phase 3: deliver.  Sleeping listeners get their local clock restored
+  // before the event and are re-armed for the next round — every reception
+  // can change what a protocol does next, so the calendar entry is refreshed
+  // from a post-delivery hint at that poll.
   RoundRecord record;
   if (record_full) record.transmissions = decisions_;
+  const bool active = dispatch_ == DispatchKind::kActiveSet;
 
   for (const auto& [w, tx_index] : resolution_.deliveries) {
     const Message& m = decisions_[tx_index].second;
+    if (active) sync_clock(w);
     protocols_[w]->on_hear(m);
     ++rx_count_[w];
     if (m.kind == MsgKind::kData && first_data_[w] == 0) {
       first_data_[w] = round_;
     }
+    refresh_informed(w);
+    if (active) schedule_wake(w, round_ + 1);
     if (record_full) record.deliveries.emplace_back(w, m);
   }
   if (options_.collision_detection) {
-    for (const NodeId w : resolution_.collisions) protocols_[w]->on_collision();
+    for (const NodeId w : resolution_.collisions) {
+      if (active) sync_clock(w);
+      protocols_[w]->on_collision();
+      refresh_informed(w);
+      if (active) schedule_wake(w, round_ + 1);
+    }
   }
   if (record_full) record.collisions = resolution_.collisions;
 
@@ -75,16 +272,33 @@ bool Engine::step() {
 }
 
 bool Engine::all_informed() const {
-  for (const auto& p : protocols_) {
-    if (!p->informed()) return false;
+  // Below the cursor every node has been seen informed (monotone by
+  // contract); above it, delivery-time refreshes let the walk skip by flag.
+  // Each node is probed until it first reports informed, so a stalled
+  // broadcast costs one virtual call per query — the seed's early-exit —
+  // and a completed one costs nothing after the cursor reaches n.
+  const auto n = static_cast<NodeId>(protocols_.size());
+  while (informed_cursor_ < n) {
+    const NodeId v = informed_cursor_;
+    if (!informed_[v]) {
+      if (!protocols_[v]->informed()) return false;
+      informed_[v] = 1;
+      ++informed_count_;
+    }
+    ++informed_cursor_;
   }
   return true;
 }
 
 std::uint32_t Engine::informed_count() const {
-  std::uint32_t count = 0;
-  for (const auto& p : protocols_) count += p->informed() ? 1u : 0u;
-  return count;
+  const auto n = static_cast<NodeId>(protocols_.size());
+  for (NodeId v = informed_cursor_; v < n; ++v) {
+    if (!informed_[v] && protocols_[v]->informed()) {
+      informed_[v] = 1;
+      ++informed_count_;
+    }
+  }
+  return static_cast<std::uint32_t>(informed_count_);
 }
 
 std::uint64_t Engine::last_first_data_reception() const {

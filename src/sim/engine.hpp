@@ -9,20 +9,33 @@
 ///    simply not invoked — there is no collision-detection signal);
 ///  - a transmitting node hears nothing in that round.
 ///
-/// The engine is a thin facade: it dispatches protocols and keeps counters,
-/// and delegates the per-round "who hears what" computation to a pluggable
-/// `EngineBackend` (see sim/backend.hpp).  The scalar backend costs O(sum of
-/// transmitter degrees) per round; the bit-parallel backend costs
-/// O(T * n/64) words and wins on dense graphs.  `EngineOptions::backend`
-/// selects one (kAuto picks by density); every backend is bit-exact.
+/// The engine is a thin facade over two pluggable strategies:
+///
+///  - **Round resolution** (`EngineBackend`, sim/backend.hpp): given the
+///    transmitter set, who hears what.  Scalar CSR walk, bit-parallel dense
+///    stepping, or the multi-core sharded variant; `EngineOptions::backend`
+///    selects one (kAuto picks by density), every backend is bit-exact.
+///  - **Protocol dispatch** (`DispatchKind`, sim/dispatch.hpp): how the
+///    per-round decisions are collected.  `kScan` polls all n protocols
+///    every round (seed behaviour); `kActiveSet` keeps a calendar queue of
+///    wake rounds fed by the `Protocol` activity contract and polls only
+///    woken nodes, so dispatch cost tracks activity instead of n.  Dense
+///    rounds (>= `dispatch_shard_min_polls` polls with >= 2 worker threads)
+///    shard the sweep over an engine-owned thread pool with fixed node
+///    ranges concatenated in order — decisions, traces, and counters stay
+///    bit-exact with the serial scan in every mode.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <queue>
+#include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "parallel/thread_pool.hpp"
 #include "sim/backend.hpp"
+#include "sim/dispatch.hpp"
 #include "sim/protocol.hpp"
 #include "sim/trace.hpp"
 
@@ -43,9 +56,15 @@ struct EngineOptions {
   bool collision_detection = false;
   /// Round-resolution backend; kAuto selects by graph density and size.
   BackendKind backend = BackendKind::kAuto;
-  /// Worker threads for the sharded backend (0 = hardware concurrency).
-  /// Other backends ignore it; kAuto uses it to decide the sharded upgrade.
+  /// Worker threads for the sharded backend and the sharded decision sweep
+  /// (0 = hardware concurrency).  kAuto backend selection uses it too.
   std::size_t threads = 0;
+  /// Protocol-dispatch strategy; kAuto picks kActiveSet iff any protocol
+  /// provides an activity hint at construction, kScan otherwise.
+  DispatchKind dispatch = DispatchKind::kAuto;
+  /// Polls per round before the decision sweep is sharded over the dispatch
+  /// pool (needs >= 2 workers).  Exposed so tests can force the threshold.
+  std::size_t dispatch_shard_min_polls = kDispatchShardMinPolls;
 };
 
 class Engine {
@@ -73,10 +92,19 @@ class Engine {
   /// Rounds executed so far (the last completed round number, 1-based).
   std::uint64_t round() const noexcept { return round_; }
 
-  /// True iff every protocol reports `informed()`.
+  /// True iff every protocol reports `informed()`.  Amortized O(1): the
+  /// engine maintains an incremental informed counter (receptions refresh
+  /// it eagerly; informed() is monotone by contract) plus a cursor that
+  /// walks each node at most once across the whole execution — the per-call
+  /// cost is one virtual informed() probe at the first unresolved node,
+  /// matching the seed's early-exit scan without its O(n) worst case.
   bool all_informed() const;
 
-  /// Number of informed protocols.
+  /// Number of informed protocols.  Exact: lazily reconciles nodes whose
+  /// informed-ness changed inside on_round (possible in collision-detection
+  /// protocols that decode silence, e.g. the beep baseline) by probing the
+  /// still-unmarked tail — O(uninformed), never worse than the seed's full
+  /// scan.
   std::uint32_t informed_count() const;
 
   /// Round of `v`'s first successful reception of a kData message (0 = never).
@@ -91,6 +119,10 @@ class Engine {
 
   /// Total transmissions so far (all kinds).
   std::uint64_t transmissions_total() const noexcept { return tx_total_; }
+
+  /// Total `on_round()` polls issued so far — the dispatch-cost observable
+  /// the active-set strategy minimizes (kScan pays n per round).
+  std::uint64_t polls_total() const noexcept { return polls_total_; }
 
   /// Per-node energy accounting (always maintained): number of rounds `v`
   /// transmitted / successfully received.  The paper motivates short labels
@@ -129,7 +161,40 @@ class Engine {
   BackendKind backend_kind() const noexcept { return backend_->kind(); }
   const char* backend_name() const noexcept { return backend_->name(); }
 
+  /// The dispatch strategy actually in use (kAuto resolved at construction).
+  DispatchKind dispatch_kind() const noexcept { return dispatch_; }
+
  private:
+  /// Calendar ring size: wake rounds within this many rounds of the present
+  /// live in per-round buckets; farther wakes wait in a min-heap and are
+  /// drained into the ring as their round approaches.
+  static constexpr std::size_t kCalendarSlots = 64;
+  /// wake_round_ value: not scheduled (idle until a reception re-arms).
+  static constexpr std::uint64_t kNoWake = ~std::uint64_t{0};
+
+  /// Fills `woken_` with the ids to poll this round, ascending (kActiveSet).
+  void gather_woken();
+  /// Queues node v for an `on_round` poll in (future) round r.
+  void schedule_wake(NodeId v, std::uint64_t r);
+  /// Polls protocol v for the current round and records its decision into
+  /// the sink vectors; returns the post-poll activity hint (kActiveSet).
+  std::uint64_t poll_node(NodeId v,
+                          std::vector<std::pair<NodeId, Message>>& decisions,
+                          std::uint64_t& max_stamp);
+  /// Catches protocol v's local clock up to the current round before an
+  /// event delivery (kActiveSet; no-op when v was polled this round).
+  void sync_clock(NodeId v);
+  /// Collects this round's decisions from `to_poll` (ascending ids) into
+  /// `decisions_`/`tx_ids_`, serially or sharded over the dispatch pool.
+  void collect_decisions(std::span<const NodeId> to_poll);
+  /// Marks v informed in the incremental counter if its protocol now is.
+  void refresh_informed(NodeId v) {
+    if (!informed_[v] && protocols_[v]->informed()) {
+      informed_[v] = 1;
+      ++informed_count_;
+    }
+  }
+
   const graph::Graph& graph_;
   std::vector<std::unique_ptr<Protocol>> protocols_;
   EngineOptions options_;
@@ -138,11 +203,49 @@ class Engine {
 
   std::uint64_t round_ = 0;
   std::uint64_t tx_total_ = 0;
+  std::uint64_t polls_total_ = 0;
   std::uint64_t silent_streak_ = 0;
   std::uint64_t max_stamp_ = 0;
   std::vector<std::uint64_t> first_data_;
   std::vector<std::uint64_t> tx_count_;
   std::vector<std::uint64_t> rx_count_;
+
+  // Incremental informed tracking (see all_informed()).  Mutable: the
+  // observers reconcile lazily, marking nodes whose protocols turned
+  // informed since the last delivery-time refresh.
+  mutable std::vector<std::uint8_t> informed_;
+  mutable std::size_t informed_count_ = 0;
+  mutable NodeId informed_cursor_ = 0;
+
+  // Dispatch state.  kScan polls `all_nodes_` every round; kActiveSet keeps
+  // the calendar: wake_round_[v] is the ground truth (kNoWake = idle), the
+  // ring buckets + far-wake heap index it by round with lazy deletion, and
+  // local_round_[v] tracks each protocol's clock so skipped rounds are
+  // restored via Protocol::skip_rounds before the next call.
+  DispatchKind dispatch_ = DispatchKind::kScan;
+  /// resolve_thread_count(options_.threads), cached — querying hardware
+  /// concurrency is a syscall, far too slow for the per-round path.
+  std::size_t dispatch_workers_ = 1;
+  std::vector<NodeId> all_nodes_;
+  std::vector<NodeId> woken_;
+  std::vector<std::uint64_t> wake_round_;
+  std::vector<std::uint64_t> local_round_;
+  std::vector<std::vector<NodeId>> calendar_;
+  std::priority_queue<std::pair<std::uint64_t, NodeId>,
+                      std::vector<std::pair<std::uint64_t, NodeId>>,
+                      std::greater<>>
+      far_wakes_;
+
+  // Sharded decision sweep: lazily created pool + per-shard reused sinks.
+  // Workers never share a sink; `hints_scratch_[i]` (parallel to the poll
+  // list) is written by exactly one worker and read serially afterwards.
+  struct SweepShard {
+    std::vector<std::pair<NodeId, Message>> decisions;
+    std::uint64_t max_stamp = 0;
+  };
+  std::unique_ptr<par::ThreadPool> dispatch_pool_;
+  std::vector<SweepShard> sweep_shards_;
+  std::vector<std::uint64_t> hints_scratch_;
 
   // Scratch reused across rounds.
   std::vector<std::pair<NodeId, Message>> decisions_;

@@ -10,6 +10,8 @@
 /// engine simply does not call `on_hear` (no collision detection).
 #pragma once
 
+#include <cstdint>
+
 #include "sim/message.hpp"
 
 namespace radiocast::sim {
@@ -17,6 +19,13 @@ namespace radiocast::sim {
 /// Per-node protocol state machine.
 class Protocol {
  public:
+  /// `next_active_round()` return value: no guarantee — poll every round.
+  static constexpr std::uint64_t kAlwaysActive = 0;
+  /// `next_active_round()` return value: provably silent until the next
+  /// reception (the engine re-arms the node when it hears or senses a
+  /// collision).
+  static constexpr std::uint64_t kIdle = ~std::uint64_t{0};
+
   virtual ~Protocol() = default;
 
   Protocol() = default;
@@ -41,7 +50,36 @@ class Protocol {
 
   /// Observer hook for the harness/tests only: whether this node holds the
   /// source message.  Protocol logic of *other* nodes never reads this.
+  /// Must be monotone — once true it stays true — so the engine can maintain
+  /// its informed counter incrementally (every shipped protocol "learns" µ
+  /// exactly once).
   virtual bool informed() const = 0;
+
+  // -- Activity contract (optional; powers active-set dispatch) -------------
+  //
+  // A protocol's transmissions are a deterministic function of its label and
+  // local history, so a protocol usually *knows* the next local round in
+  // which it could possibly transmit.  Declaring that round lets the engine
+  // skip the `on_round()` poll in provably silent rounds, making per-round
+  // dispatch cost proportional to network activity instead of n.
+
+  /// The earliest local round r' > (current local round) in which this node
+  /// might transmit, **assuming it hears nothing in between**; the engine
+  /// re-queries after every poll and re-arms the node for the next round
+  /// whenever it hears a message or senses a collision.  Contract: for every
+  /// skipped round r < r', `on_round()` would have returned std::nullopt and
+  /// had no effect beyond advancing the local clock (which the engine
+  /// restores via `skip_rounds`).  Return `kIdle` when no such round exists
+  /// without a reception, or `kAlwaysActive` (the default) to be polled
+  /// every round — the safe answer for protocols without the contract.
+  virtual std::uint64_t next_active_round() const { return kAlwaysActive; }
+
+  /// Engine notification that `rounds` lockstep rounds elapsed in which this
+  /// node was neither polled nor delivered anything.  A protocol overriding
+  /// `next_active_round` must advance its local clock here (typically
+  /// `round_ += rounds;`); the engine guarantees the clock equals the global
+  /// round at every `on_round`, `on_hear`, and `on_collision` call.
+  virtual void skip_rounds(std::uint64_t rounds) { (void)rounds; }
 };
 
 }  // namespace radiocast::sim

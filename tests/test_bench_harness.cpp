@@ -203,12 +203,13 @@ class JsonParser {
 const std::set<std::string> kExpectedScenarios = {
     "ack",           "arbitrary_source",    "baselines",
     "broadcast_time", "collision_detection", "common_round",
-    "construction",  "coordinator_choice",  "dom_policies",
-    "engine_backends", "fig1",              "impossibility",
-    "labels",        "message_size",        "multi_message",
-    "onebit",        "sharded_scaling",     "sim_throughput"};
+    "construction",  "coordinator_choice",  "dispatch_scaling",
+    "dom_policies",  "engine_backends",     "fig1",
+    "impossibility", "labels",              "message_size",
+    "multi_message", "onebit",              "sharded_scaling",
+    "sim_throughput"};
 
-TEST(BenchRegistry, ListsAllEighteenScenarios) {
+TEST(BenchRegistry, ListsAllNineteenScenarios) {
   std::set<std::string> names;
   for (const auto& s : registry()) names.insert(s.name);
   EXPECT_EQ(names, kExpectedScenarios);
@@ -245,7 +246,8 @@ TEST(BenchFilter, NameSubstringSelects) {
 TEST(BenchFilter, ExactTagSelects) {
   std::set<std::string> names;
   for (const auto& s : select("micro")) names.insert(s.name);
-  EXPECT_EQ(names, (std::set<std::string>{"construction", "engine_backends",
+  EXPECT_EQ(names, (std::set<std::string>{"construction", "dispatch_scaling",
+                                          "engine_backends",
                                           "sharded_scaling",
                                           "sim_throughput"}));
   // Tags match exactly: a tag prefix selects nothing by itself.
@@ -260,12 +262,14 @@ TEST(BenchFilter, CommaSeparatedTermsUnion) {
 }
 
 TEST(BenchFilter, SmokeTagCoversAllScenariosExceptScaling) {
-  // sharded_scaling steps n >= 8192 dense graphs at four thread counts —
-  // deliberately excluded from the smoke tier (CI runs it explicitly).
+  // The scaling scenarios (sharded_scaling, dispatch_scaling) raise their
+  // instance sizes to n >= 4096..16384 — deliberately excluded from the
+  // smoke tier (CI runs them explicitly).
   std::set<std::string> names;
   for (const auto& s : select("smoke")) names.insert(s.name);
   auto expected = kExpectedScenarios;
   expected.erase("sharded_scaling");
+  expected.erase("dispatch_scaling");
   EXPECT_EQ(names, expected);
 }
 
@@ -321,6 +325,21 @@ TEST(BenchCli, ParsesBackendFlag) {
   EXPECT_FALSE(parse_args(2, missing).error.empty());
 }
 
+TEST(BenchCli, ParsesDispatchFlag) {
+  const char* none[] = {"radiocast_bench"};
+  EXPECT_EQ(parse_args(1, none).dispatch, sim::DispatchKind::kAuto);
+
+  const char* scan[] = {"radiocast_bench", "--dispatch", "scan"};
+  EXPECT_EQ(parse_args(3, scan).dispatch, sim::DispatchKind::kScan);
+  const char* active[] = {"radiocast_bench", "--dispatch", "active"};
+  EXPECT_EQ(parse_args(3, active).dispatch, sim::DispatchKind::kActiveSet);
+
+  const char* bogus[] = {"radiocast_bench", "--dispatch", "lazy"};
+  EXPECT_FALSE(parse_args(3, bogus).error.empty());
+  const char* missing[] = {"radiocast_bench", "--dispatch"};
+  EXPECT_FALSE(parse_args(2, missing).error.empty());
+}
+
 TEST(BenchJson, EscapesControlAndQuoteCharacters) {
   EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
   EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
@@ -340,6 +359,8 @@ TEST(BenchJson, EmittedDocumentParsesWithRequiredKeys) {
   ASSERT_EQ(root.kind, JsonValue::Kind::kObject);
   EXPECT_EQ(root.at("schema").str, "radiocast-bench/1");
   EXPECT_EQ(root.at("repeat").number, 1);
+  EXPECT_EQ(root.at("backend").str, "auto");
+  EXPECT_EQ(root.at("dispatch").str, "auto");
   ASSERT_EQ(root.at("sizes").kind, JsonValue::Kind::kArray);
 
   const auto& scenarios = root.at("scenarios");
