@@ -6,6 +6,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "runtime/flags.hpp"
 #include "support/table.hpp"
 
 namespace radiocast::bench {
@@ -92,6 +93,19 @@ Options parse_args(int argc, const char* const* argv) {
   const auto need_value = [&](int i) { return i + 1 < argc; };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    // The execution knobs go through the shared runtime parser, so the
+    // bench and the CLI accept the same values with the same errors.
+    const auto shared = runtime::parse_execution_flag(
+        arg, need_value(i) ? argv[i + 1] : nullptr, /*allow_compiled=*/false,
+        opt.exec);
+    if (shared.status == runtime::FlagStatus::kOk) {
+      ++i;
+      continue;
+    }
+    if (shared.status == runtime::FlagStatus::kError) {
+      opt.error = shared.error;
+      return opt;
+    }
     if (arg == "--help" || arg == "-h") {
       opt.help = true;
     } else if (arg == "--list") {
@@ -118,41 +132,6 @@ Options parse_args(int argc, const char* const* argv) {
         opt.error = "--repeat must be >= 1";
         return opt;
       }
-    } else if (arg == "--backend") {
-      if (!need_value(i)) {
-        opt.error = "--backend requires auto, scalar, bit, or sharded";
-        return opt;
-      }
-      const auto parsed = sim::parse_backend(argv[++i]);
-      if (!parsed) {
-        opt.error = std::string("unknown backend '") + argv[i] +
-                    "' (expected auto, scalar, bit, or sharded)";
-        return opt;
-      }
-      opt.backend = *parsed;
-    } else if (arg == "--dispatch") {
-      if (!need_value(i)) {
-        opt.error = "--dispatch requires auto, scan, or active";
-        return opt;
-      }
-      const auto parsed = sim::parse_dispatch(argv[++i]);
-      if (!parsed) {
-        opt.error = std::string("unknown dispatch '") + argv[i] +
-                    "' (expected auto, scan, or active)";
-        return opt;
-      }
-      opt.dispatch = *parsed;
-    } else if (arg == "--threads") {
-      if (!need_value(i)) {
-        opt.error = "--threads requires a count";
-        return opt;
-      }
-      const long long t = std::atoll(argv[++i]);
-      if (t < 0 || t > 4096) {
-        opt.error = "--threads must be in [0, 4096]";
-        return opt;
-      }
-      opt.threads = static_cast<std::size_t>(t);
     } else if (arg == "--sizes") {
       if (!need_value(i)) {
         opt.error = "--sizes requires a comma-separated list";
@@ -183,15 +162,14 @@ Options parse_args(int argc, const char* const* argv) {
 
 std::vector<ScenarioResult> run_scenarios(const std::vector<Scenario>& chosen,
                                           const Options& opt) {
-  par::ThreadPool pool(opt.threads);
+  par::ThreadPool pool(opt.exec.threads);
   std::vector<ScenarioResult> results;
   results.reserve(chosen.size());
   for (const auto& s : chosen) {
     ScenarioResult result;
     result.scenario = s;
     for (int rep = 0; rep < opt.repeat; ++rep) {
-      Context ctx(pool, opt.sizes, opt.repeat, rep, opt.backend, opt.threads,
-                  opt.dispatch);
+      Context ctx(pool, opt.sizes, opt.repeat, rep, opt.exec);
       result.wall_ns += time_ns([&] { s.run(ctx); });
       for (auto& sample : ctx.samples()) {
         result.ok = result.ok && sample.ok;
@@ -260,8 +238,8 @@ std::string to_json(const std::vector<ScenarioResult>& results,
   os << "{\"schema\":\"radiocast-bench/1\","
      << "\"repeat\":" << opt.repeat << ","
      << "\"filter\":\"" << json_escape(opt.filter) << "\","
-     << "\"backend\":\"" << sim::to_string(opt.backend) << "\","
-     << "\"dispatch\":\"" << sim::to_string(opt.dispatch) << "\","
+     << "\"backend\":\"" << sim::to_string(opt.exec.backend) << "\","
+     << "\"dispatch\":\"" << sim::to_string(opt.exec.dispatch) << "\","
      << "\"sizes\":[";
   for (std::size_t i = 0; i < opt.sizes.size(); ++i) {
     if (i) os << ",";

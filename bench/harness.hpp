@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "parallel/thread_pool.hpp"
+#include "runtime/config.hpp"
 #include "sim/backend.hpp"
 #include "sim/dispatch.hpp"
 
@@ -54,28 +55,28 @@ std::uint64_t time_ns(Fn&& fn) {
 class Context {
  public:
   Context(par::ThreadPool& pool, std::vector<std::uint32_t> sizes, int repeat,
-          int rep, sim::BackendKind backend = sim::BackendKind::kAuto,
-          std::size_t threads = 0,
-          sim::DispatchKind dispatch = sim::DispatchKind::kAuto)
+          int rep, runtime::ExecutionConfig exec = {})
       : pool_(pool),
         sizes_(std::move(sizes)),
         repeat_(repeat),
         rep_(rep),
-        backend_(backend),
-        threads_(threads),
-        dispatch_(dispatch) {}
+        exec_(exec) {}
 
   par::ThreadPool& pool() { return pool_; }
 
+  /// The full --backend/--dispatch/--threads selection for engine-driving
+  /// scenarios.
+  const runtime::ExecutionConfig& exec() const noexcept { return exec_; }
+
   /// The --backend selection for engine-driving scenarios (default kAuto).
-  sim::BackendKind backend() const noexcept { return backend_; }
+  sim::BackendKind backend() const noexcept { return exec_.backend; }
 
   /// The --dispatch selection for engine-driving scenarios (default kAuto).
-  sim::DispatchKind dispatch() const noexcept { return dispatch_; }
+  sim::DispatchKind dispatch() const noexcept { return exec_.dispatch; }
 
   /// The --threads request, for scenarios that construct sharded engines
   /// (0 = hardware concurrency).  The sweep pool uses the same value.
-  std::size_t threads() const noexcept { return threads_; }
+  std::size_t threads() const noexcept { return exec_.threads; }
 
   /// The --sizes ladder (default 16,64,256).  Scenarios with an intrinsic
   /// instance-size cap should clamp via `sizes(cap)`.
@@ -97,9 +98,7 @@ class Context {
   std::vector<std::uint32_t> sizes_;
   int repeat_;
   int rep_;
-  sim::BackendKind backend_;
-  std::size_t threads_ = 0;
-  sim::DispatchKind dispatch_ = sim::DispatchKind::kAuto;
+  runtime::ExecutionConfig exec_;
   std::mutex mu_;
   std::vector<Sample> samples_;
 };
@@ -126,15 +125,16 @@ std::vector<Scenario> registry();
 bool matches_filter(const Scenario& s, const std::string& filter);
 std::vector<Scenario> select(const std::string& filter);
 
-/// Parsed command line.
+/// Parsed command line.  The execution knobs (--backend/--dispatch/
+/// --threads) land in `exec` via the shared runtime flag parser, so the
+/// bench accepts exactly the values (and prints exactly the errors) that
+/// `radiocast_cli` does.
 struct Options {
   std::string filter;                        ///< --filter
   int repeat = 1;                            ///< --repeat
   std::vector<std::uint32_t> sizes = {16, 64, 256};  ///< --sizes
   std::string json_path;                     ///< --json (empty = no JSON)
-  std::size_t threads = 0;                   ///< --threads (0 = hardware)
-  sim::BackendKind backend = sim::BackendKind::kAuto;  ///< --backend
-  sim::DispatchKind dispatch = sim::DispatchKind::kAuto;  ///< --dispatch
+  runtime::ExecutionConfig exec;             ///< --backend/--dispatch/--threads
   bool list = false;                         ///< --list
   bool help = false;                         ///< --help
   std::string error;                         ///< non-empty on a parse error

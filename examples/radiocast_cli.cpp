@@ -5,6 +5,8 @@
 //   radiocast_cli run    [--source N] [--scheme b|ack|arb|onebit] < edges
 //   radiocast_cli verify [--source N] < edges     run B + Lemma 2.8 check
 //   radiocast_cli dot    [--source N] < edges     Graphviz with labels
+//   radiocast_cli sweep  [--suite standard|quick] [--n N] [--schemes ...]
+//                        [--repeat K]             batched registry sweep
 //
 // Families for `gen`: path N | cycle N | star N | complete N | grid R C |
 // torus R C | hypercube D | tree N SEED | gnp N P SEED | disk N R SEED |
@@ -13,20 +15,26 @@
 // Examples:
 //   radiocast_cli gen grid 4 6 | radiocast_cli run --scheme ack
 //   radiocast_cli gen gnp 30 0.15 7 | radiocast_cli verify
+//   radiocast_cli sweep --suite quick --n 32 --schemes b,ack,arb --repeat 2
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
 
+#include "analysis/experiments.hpp"
 #include "core/runner.hpp"
 #include "core/verifier.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/traversal.hpp"
 #include "onebit/runner.hpp"
+#include "runtime/flags.hpp"
+#include "runtime/scheme.hpp"
+#include "runtime/sweep.hpp"
 #include "sim/engine.hpp"
 #include "support/rng.hpp"
+#include "support/stopwatch.hpp"
 
 namespace {
 
@@ -41,69 +49,59 @@ int usage() {
                "auto|scalar|bit|sharded|compiled]\n"
                "                     [--dispatch auto|scan|active] "
                "[--threads N] < edge-list\n"
+               "       radiocast_cli sweep [--suite standard|quick] [--n N] "
+               "[--seed S]\n"
+               "                     [--schemes LIST|all] [--repeat K] "
+               "[--backend ...] [--dispatch ...]\n"
+               "                     [--threads N]\n"
                "       (--backend compiled replays the label-determined "
                "schedule; run --scheme b|ack|arb;\n"
                "        --dispatch picks the protocol-dispatch strategy "
                "[auto = active-set when hinted];\n"
-               "        --threads sets the sharded worker count, "
-               "0 = hardware)\n");
+               "        --threads sets the sharded/sweep worker count, "
+               "0 = hardware;\n"
+               "        sweep runs every listed registry scheme over a "
+               "workload suite with a shared\n"
+               "        plan cache — --repeat K reruns the batch to "
+               "demonstrate warm-cache hits)\n");
   return 2;
 }
 
 struct Options {
   graph::NodeId source = 0;
   std::string scheme = "b";
-  std::string backend = "auto";
-  std::string dispatch = "auto";
-  std::size_t threads = 0;
+  runtime::ExecutionConfig exec;
   bool ok = true;
 };
 
 Options parse_options(int argc, char** argv, int first) {
   Options opt;
   for (int i = first; i < argc; ++i) {
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    const auto shared = runtime::parse_execution_flag(
+        argv[i], value, /*allow_compiled=*/true, opt.exec);
+    if (shared.status == runtime::FlagStatus::kOk) {
+      ++i;
+      continue;
+    }
+    if (shared.status == runtime::FlagStatus::kError) {
+      std::fprintf(stderr, "%s\n", shared.error.c_str());
+      opt.ok = false;
+      return opt;
+    }
     if (std::strcmp(argv[i], "--source") == 0 && i + 1 < argc) {
       opt.source = static_cast<graph::NodeId>(std::stoul(argv[++i]));
     } else if (std::strcmp(argv[i], "--scheme") == 0 && i + 1 < argc) {
       opt.scheme = argv[++i];
-    } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
-      opt.backend = argv[++i];
-    } else if (std::strcmp(argv[i], "--dispatch") == 0 && i + 1 < argc) {
-      opt.dispatch = argv[++i];
-    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      char* end = nullptr;
-      const char* value = argv[++i];
-      const unsigned long long t = std::strtoull(value, &end, 10);
-      if (end == value || *end != '\0' || value[0] == '-' || t > 4096) {
-        std::fprintf(stderr, "--threads must be an integer in [0, 4096]\n");
-        opt.ok = false;
-        return opt;
-      }
-      opt.threads = static_cast<std::size_t>(t);
     }
-  }
-  if (opt.backend != "compiled" && !sim::parse_backend(opt.backend)) {
-    std::fprintf(stderr, "unknown backend '%s'\n", opt.backend.c_str());
-    opt.ok = false;
-  }
-  if (!sim::parse_dispatch(opt.dispatch)) {
-    std::fprintf(stderr, "unknown dispatch '%s'\n", opt.dispatch.c_str());
-    opt.ok = false;
   }
   return opt;
 }
 
-/// The engine backend for a parsed options block ("compiled" handled by the
-/// caller; any other value was validated in parse_options).
-sim::BackendKind engine_backend(const Options& opt) {
-  const auto parsed = sim::parse_backend(opt.backend);
-  return parsed ? *parsed : sim::BackendKind::kAuto;
-}
-
-/// The dispatch strategy for a parsed options block (validated above).
-sim::DispatchKind engine_dispatch(const Options& opt) {
-  const auto parsed = sim::parse_dispatch(opt.dispatch);
-  return parsed ? *parsed : sim::DispatchKind::kAuto;
+/// Display name of the selected backend ("compiled" wins over the engine
+/// backend, mirroring how the run commands treat the flag).
+const char* backend_display(const Options& opt) {
+  return opt.exec.compiled ? "compiled" : sim::to_string(opt.exec.backend);
 }
 
 int cmd_gen(int argc, char** argv) {
@@ -186,7 +184,7 @@ int cmd_label(const graph::Graph& g, const Options& opt) {
 }
 
 int cmd_run(const graph::Graph& g, const Options& opt) {
-  if (opt.backend == "compiled" && opt.scheme == "onebit") {
+  if (opt.exec.compiled && opt.scheme == "onebit") {
     std::fprintf(stderr,
                  "--backend compiled requires --scheme b, ack, or arb (the "
                  "compiled schedules replay the label-determined "
@@ -194,16 +192,16 @@ int cmd_run(const graph::Graph& g, const Options& opt) {
     return 2;
   }
   core::RunOptions run_opt;
-  run_opt.backend = engine_backend(opt);
-  run_opt.threads = opt.threads;
-  run_opt.dispatch = engine_dispatch(opt);
+  run_opt.backend = opt.exec.backend;
+  run_opt.threads = opt.exec.threads;
+  run_opt.dispatch = opt.exec.dispatch;
   if (opt.scheme == "b") {
-    const auto run = opt.backend == "compiled"
+    const auto run = opt.exec.compiled
                          ? core::run_broadcast_compiled(g, opt.source, run_opt)
                          : core::run_broadcast(g, opt.source, run_opt);
     std::printf("scheme=lambda(2-bit) backend=%s n=%u informed=%s rounds=%llu "
                 "bound=%llu ell=%u\n",
-                opt.backend.c_str(), g.node_count(),
+                backend_display(opt), g.node_count(),
                 run.all_informed ? "all" : "NOT-ALL",
                 static_cast<unsigned long long>(run.completion_round),
                 static_cast<unsigned long long>(run.bound), run.ell);
@@ -211,7 +209,7 @@ int cmd_run(const graph::Graph& g, const Options& opt) {
   }
   if (opt.scheme == "ack") {
     const auto run =
-        opt.backend == "compiled"
+        opt.exec.compiled
             ? core::run_acknowledged_compiled(g, opt.source, run_opt)
             : core::run_acknowledged(g, opt.source, run_opt);
     std::printf("scheme=lambda_ack(3-bit) informed=%s t=%llu t'=%llu z=%u\n",
@@ -221,7 +219,7 @@ int cmd_run(const graph::Graph& g, const Options& opt) {
     return run.all_informed && run.ack_round != 0 ? 0 : 1;
   }
   if (opt.scheme == "arb") {
-    const auto run = opt.backend == "compiled"
+    const auto run = opt.exec.compiled
                          ? core::run_arb_compiled(g, opt.source, 0, run_opt)
                          : core::run_arbitrary(g, opt.source, 0, run_opt);
     std::printf("scheme=lambda_arb(3-bit) ok=%s total_rounds=%llu "
@@ -236,7 +234,7 @@ int cmd_run(const graph::Graph& g, const Options& opt) {
     const auto run =
         onebit::run_onebit(g, opt.source,
                            {.engine_backend = run_opt.backend,
-                            .engine_threads = opt.threads,
+                            .engine_threads = run_opt.threads,
                             .engine_dispatch = run_opt.dispatch});
     std::printf("scheme=onebit ok=%s rounds=%llu ones=%u attempts=%u\n",
                 run.ok ? "yes" : "NO",
@@ -248,19 +246,131 @@ int cmd_run(const graph::Graph& g, const Options& opt) {
 }
 
 int cmd_verify(const graph::Graph& g, const Options& opt) {
-  const auto labeling = core::label_broadcast(g, opt.source);
-  sim::Engine engine(g, core::make_broadcast_protocols(labeling, 1),
-                     {sim::TraceLevel::kFull, false, engine_backend(opt),
-                      opt.threads, engine_dispatch(opt)});
-  engine.run_until([](const sim::Engine& e) { return e.all_informed(); },
-                   4ull * g.node_count() + 8);
-  const auto verdict = core::verify_lemma_2_8(g, labeling, engine.trace());
+  // The registry's verify hook: run "b" with a full trace and check it
+  // against the paper's per-round characterization (Lemma 2.8).
+  const auto* scheme = runtime::SchemeRegistry::instance().find("b");
+  const auto plan = scheme->label(g, opt.source, {});
+  runtime::ExecutionConfig config = opt.exec;
+  config.compiled = false;
+  config.trace = sim::TraceLevel::kFull;
+  const auto run =
+      runtime::run_with_plan(*scheme, g, opt.source, plan, {}, config);
+  const auto verdict = scheme->verify(g, opt.source, *plan, run.trace);
   std::printf("informed=%s completion=%llu lemma2.8=%s\n",
-              engine.all_informed() ? "all" : "NOT-ALL",
-              static_cast<unsigned long long>(
-                  engine.last_first_data_reception()),
+              run.all_informed ? "all" : "NOT-ALL",
+              static_cast<unsigned long long>(run.completion_round),
               verdict.empty() ? "OK" : verdict.c_str());
-  return engine.all_informed() && verdict.empty() ? 0 : 1;
+  return run.all_informed && verdict.empty() ? 0 : 1;
+}
+
+/// `radiocast_cli sweep`: a batched registry sweep over a workload suite
+/// with a shared plan cache.  One line per (workload × scheme), in spec
+/// order — byte-identical at any --threads value.
+int cmd_sweep(int argc, char** argv) {
+  std::string suite_name = "quick";
+  std::uint32_t n = 32;
+  std::uint64_t seed = 1;
+  int repeat = 1;
+  std::string schemes_arg =
+      "b,ack,common-round,arb,multi,round-robin,color-robin,decay,beep";
+  runtime::ExecutionConfig config;
+  for (int i = 2; i < argc; ++i) {
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    const auto shared = runtime::parse_execution_flag(
+        argv[i], value, /*allow_compiled=*/true, config);
+    if (shared.status == runtime::FlagStatus::kOk) {
+      ++i;
+      continue;
+    }
+    if (shared.status == runtime::FlagStatus::kError) {
+      std::fprintf(stderr, "%s\n", shared.error.c_str());
+      return 2;
+    }
+    if (std::strcmp(argv[i], "--suite") == 0 && i + 1 < argc) {
+      suite_name = argv[++i];
+    } else if (std::strcmp(argv[i], "--n") == 0 && i + 1 < argc) {
+      n = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::stoull(argv[++i]);
+    } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+      repeat = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--schemes") == 0 && i + 1 < argc) {
+      schemes_arg = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown sweep argument '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  if (n < 8) {
+    std::fprintf(stderr, "--n must be >= 8 (workload-suite minimum)\n");
+    return 2;
+  }
+  if (repeat < 1) {
+    std::fprintf(stderr, "--repeat must be >= 1\n");
+    return 2;
+  }
+  if (suite_name != "standard" && suite_name != "quick") {
+    std::fprintf(stderr, "--suite must be standard or quick\n");
+    return 2;
+  }
+
+  auto& registry = runtime::SchemeRegistry::instance();
+  std::vector<std::string> schemes;
+  if (schemes_arg == "all") {
+    for (const auto* s : registry.schemes()) {
+      schemes.emplace_back(s->name());
+    }
+  } else {
+    std::string cur;
+    for (const char c : schemes_arg + ",") {
+      if (c != ',') {
+        cur.push_back(c);
+        continue;
+      }
+      if (cur.empty()) continue;
+      if (registry.find(cur) == nullptr) {
+        std::fprintf(stderr, "unknown scheme '%s'; registered:", cur.c_str());
+        for (const auto* s : registry.schemes()) {
+          std::fprintf(stderr, " %s", std::string(s->name()).c_str());
+        }
+        std::fprintf(stderr, "\n");
+        return 2;
+      }
+      schemes.push_back(cur);
+      cur.clear();
+    }
+  }
+
+  const auto suite = suite_name == "standard"
+                         ? analysis::standard_suite(n, seed)
+                         : analysis::quick_suite(n, seed);
+  par::ThreadPool pool(config.threads);
+  runtime::SweepRunner runner(pool);
+  const auto specs = analysis::scheme_specs(runner, suite, schemes, config);
+
+  std::vector<runtime::SchemeResult> results;
+  Stopwatch watch;
+  for (int rep = 0; rep < repeat; ++rep) {
+    results = runner.run(specs);
+  }
+  const double ms = watch.millis();
+
+  bool all_ok = true;
+  const auto lines = analysis::format_sweep(specs, results);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    all_ok = all_ok && results[i].ok;
+    std::printf("%s\n", lines[i].c_str());
+  }
+  const auto stats = runner.cache_stats();
+  std::printf(
+      "sweep: %zu experiments x %d repeat(s) in %.2f ms | plan cache: "
+      "%llu hits / %llu misses, compiled: %llu hits / %llu misses\n",
+      specs.size(), repeat, ms,
+      static_cast<unsigned long long>(stats.plan_hits),
+      static_cast<unsigned long long>(stats.plan_misses),
+      static_cast<unsigned long long>(stats.compiled_hits),
+      static_cast<unsigned long long>(stats.compiled_misses));
+  return all_ok ? 0 : 1;
 }
 
 int cmd_dot(const graph::Graph& g, const Options& opt) {
@@ -279,6 +389,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   if (cmd == "gen") return cmd_gen(argc, argv);
+  if (cmd == "sweep") return cmd_sweep(argc, argv);
 
   const Options opt = parse_options(argc, argv, 2);
   if (!opt.ok) return 2;
@@ -296,7 +407,7 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  if (opt.backend == "compiled" && cmd != "run") {
+  if (opt.exec.compiled && cmd != "run") {
     std::fprintf(stderr, "--backend compiled only applies to 'run'\n");
     return 2;
   }

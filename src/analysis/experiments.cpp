@@ -81,4 +81,57 @@ std::vector<std::string> sweep(
                            [&](std::size_t i) { return fn(suite[i]); });
 }
 
+std::vector<runtime::ExperimentSpec> scheme_specs(
+    runtime::SweepRunner& runner, const std::vector<Workload>& suite,
+    const std::vector<std::string>& schemes,
+    const runtime::ExecutionConfig& config,
+    const runtime::SchemeOptions& options) {
+  std::vector<runtime::ExperimentSpec> specs;
+  specs.reserve(suite.size() * schemes.size());
+  for (const Workload& w : suite) {
+    const std::size_t graph = runner.add_graph(w.graph);
+    for (const std::string& scheme : schemes) {
+      runtime::ExperimentSpec spec;
+      spec.scheme = scheme;
+      spec.graph = graph;
+      spec.source = w.source;
+      spec.options = options;
+      spec.config = config;
+      spec.label = w.family;
+      specs.push_back(std::move(spec));
+    }
+  }
+  return specs;
+}
+
+std::vector<std::string> format_sweep(
+    const std::vector<runtime::ExperimentSpec>& specs,
+    const std::vector<runtime::SchemeResult>& results) {
+  RC_EXPECTS(specs.size() == results.size());
+  std::vector<std::string> out;
+  out.reserve(results.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::string line = specs[i].label;
+    line += " scheme=";
+    line += specs[i].scheme;
+    line += " ok=";
+    line += r.ok ? "yes" : "NO";
+    line += " rounds=";
+    line += std::to_string(r.rounds);
+    line += " completion=";
+    line += std::to_string(r.completion_round);
+    line += " tx=";
+    line += std::to_string(r.tx_total);
+    line += " label_bits=";
+    line += std::to_string(r.label_bits);
+    if (r.ack_round != 0) {
+      line += " ack=";
+      line += std::to_string(r.ack_round);
+    }
+    out.push_back(std::move(line));
+  }
+  return out;
+}
+
 }  // namespace radiocast::analysis

@@ -1,6 +1,6 @@
 /// \file experiments.hpp
-/// \brief Shared experiment harness: the standard workload suite and a
-///        thread-pooled sweep runner used by the bench binaries.
+/// \brief Shared experiment harness: the standard workload suites and the
+///        bridges onto the runtime sweep executor.
 #pragma once
 
 #include <functional>
@@ -10,6 +10,7 @@
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
 #include "parallel/thread_pool.hpp"
+#include "runtime/sweep.hpp"
 #include "support/rng.hpp"
 
 namespace radiocast::analysis {
@@ -42,5 +43,21 @@ std::vector<Workload> quick_suite(std::uint32_t n, std::uint64_t seed);
 std::vector<std::string> sweep(
     par::ThreadPool& pool, const std::vector<Workload>& suite,
     const std::function<std::string(const Workload&)>& fn);
+
+/// Registers every suite graph with `runner` and builds one spec per
+/// (workload × scheme), in suite-major order — the uniform batch shape the
+/// CLI `sweep` command and the sweep_throughput bench feed to
+/// `runtime::SweepRunner::run`.  Spec labels carry the workload family.
+std::vector<runtime::ExperimentSpec> scheme_specs(
+    runtime::SweepRunner& runner, const std::vector<Workload>& suite,
+    const std::vector<std::string>& schemes,
+    const runtime::ExecutionConfig& config = {},
+    const runtime::SchemeOptions& options = {});
+
+/// One deterministic text line per batch result, in spec order — identical
+/// on any thread count, so it doubles as the sweep determinism oracle.
+std::vector<std::string> format_sweep(
+    const std::vector<runtime::ExperimentSpec>& specs,
+    const std::vector<runtime::SchemeResult>& results);
 
 }  // namespace radiocast::analysis

@@ -3,6 +3,7 @@
 #include <bit>
 #include <memory>
 
+#include "runtime/scheme.hpp"
 #include "sim/engine.hpp"
 #include "support/contracts.hpp"
 
@@ -89,19 +90,16 @@ void DecayProtocol::on_hear(const Message& m) {
 }
 
 // ---------------------------------------------------------------------------
-// Runners
+// Runners — thin forwarding wrappers over the registry schemes
 // ---------------------------------------------------------------------------
 
 namespace {
 
-BaselineRun finish(sim::Engine& engine, std::uint64_t max_rounds,
-                   std::uint32_t label_bits) {
-  engine.run_until([](const sim::Engine& e) { return e.all_informed(); },
-                   max_rounds);
+BaselineRun to_baseline_run(const runtime::SchemeResult& r) {
   BaselineRun out;
-  out.all_informed = engine.all_informed();
-  out.completion_round = engine.last_first_data_reception();
-  out.label_bits = label_bits;
+  out.all_informed = r.all_informed;
+  out.completion_round = r.completion_round;
+  out.label_bits = r.label_bits;
   return out;
 }
 
@@ -109,48 +107,24 @@ BaselineRun finish(sim::Engine& engine, std::uint64_t max_rounds,
 
 BaselineRun run_round_robin(const graph::Graph& g, NodeId source,
                             std::uint32_t mu) {
-  const std::uint32_t n = g.node_count();
-  std::vector<std::unique_ptr<sim::Protocol>> protocols;
-  protocols.reserve(n);
-  for (NodeId v = 0; v < n; ++v) {
-    protocols.push_back(std::make_unique<RoundRobinProtocol>(
-        v, n, v == source ? std::optional<std::uint32_t>(mu) : std::nullopt));
-  }
-  sim::Engine engine(g, std::move(protocols));
-  // id + modulus, each ⌈log2 n⌉ bits.
-  return finish(engine, 2ull * n * n + 16, 2 * bits_for(n));
+  runtime::SchemeOptions opt;
+  opt.mu = mu;
+  return to_baseline_run(runtime::run_scheme("round-robin", g, source, opt));
 }
 
 BaselineRun run_color_robin(const graph::Graph& g, NodeId source,
                             std::uint32_t mu) {
-  const auto coloring = graph::square_coloring(g);
-  std::vector<std::unique_ptr<sim::Protocol>> protocols;
-  protocols.reserve(g.node_count());
-  for (NodeId v = 0; v < g.node_count(); ++v) {
-    protocols.push_back(std::make_unique<ColorRobinProtocol>(
-        coloring.color[v], coloring.count,
-        v == source ? std::optional<std::uint32_t>(mu) : std::nullopt));
-  }
-  sim::Engine engine(g, std::move(protocols));
-  const std::uint64_t max_rounds =
-      static_cast<std::uint64_t>(coloring.count) * (g.node_count() + 2) + 16;
-  return finish(engine, max_rounds, 2 * bits_for(coloring.count));
+  runtime::SchemeOptions opt;
+  opt.mu = mu;
+  return to_baseline_run(runtime::run_scheme("color-robin", g, source, opt));
 }
 
 BaselineRun run_decay(const graph::Graph& g, NodeId source, std::uint64_t seed,
                       std::uint32_t mu) {
-  Rng master(seed);
-  std::vector<std::unique_ptr<sim::Protocol>> protocols;
-  protocols.reserve(g.node_count());
-  for (NodeId v = 0; v < g.node_count(); ++v) {
-    protocols.push_back(std::make_unique<DecayProtocol>(
-        g.node_count(), master.next(),
-        v == source ? std::optional<std::uint32_t>(mu) : std::nullopt));
-  }
-  sim::Engine engine(g, std::move(protocols));
-  // Expected O(D log n + log^2 n); allow a very generous cap.
-  const std::uint64_t max_rounds = 64ull * (g.node_count() + 16);
-  return finish(engine, max_rounds, 0);
+  runtime::SchemeOptions opt;
+  opt.mu = mu;
+  opt.seed = seed;
+  return to_baseline_run(runtime::run_scheme("decay", g, source, opt));
 }
 
 }  // namespace radiocast::baselines

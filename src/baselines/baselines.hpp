@@ -15,6 +15,7 @@
 ///    O(D log n + log² n) completion.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 
@@ -27,6 +28,13 @@ namespace radiocast::baselines {
 
 using graph::NodeId;
 
+/// Cap on how far ahead the robin protocols hint.  An earlier-than-needed
+/// hint is always contract-safe (the extra poll returns nullopt), and a
+/// hint beyond the engine's calendar ring would land in its far-wake heap —
+/// which dense graphs churn, because every reception re-arms the node and
+/// strands the heap entry.  48 stays comfortably inside the 64-slot ring.
+inline constexpr std::uint64_t kRobinHintHorizon = 48;
+
 /// Round-robin over unique ids (label = (id, modulus)).
 class RoundRobinProtocol final : public sim::Protocol {
  public:
@@ -36,6 +44,16 @@ class RoundRobinProtocol final : public sim::Protocol {
   std::optional<sim::Message> on_round() override;
   void on_hear(const sim::Message& m) override;
   bool informed() const override { return payload_.has_value(); }
+
+  /// Activity contract: an uninformed node is silent until it hears µ (the
+  /// engine re-arms on delivery); an informed one transmits only in its own
+  /// slot, every `modulus` rounds (hint capped at kRobinHintHorizon).
+  std::uint64_t next_active_round() const override {
+    if (!payload_) return kIdle;
+    const std::uint64_t d = (id_ + modulus_ - round_ % modulus_) % modulus_;
+    return round_ + std::min(d + 1, kRobinHintHorizon);
+  }
+  void skip_rounds(std::uint64_t rounds) override { round_ += rounds; }
 
  private:
   std::uint32_t id_;
@@ -55,6 +73,14 @@ class ColorRobinProtocol final : public sim::Protocol {
   void on_hear(const sim::Message& m) override;
   bool informed() const override { return payload_.has_value(); }
 
+  /// Same contract as RoundRobinProtocol with the color class as the slot.
+  std::uint64_t next_active_round() const override {
+    if (!payload_) return kIdle;
+    const std::uint64_t d = (color_ + count_ - round_ % count_) % count_;
+    return round_ + std::min(d + 1, kRobinHintHorizon);
+  }
+  void skip_rounds(std::uint64_t rounds) override { round_ += rounds; }
+
  private:
   std::uint32_t color_;
   std::uint32_t count_;
@@ -71,6 +97,14 @@ class DecayProtocol final : public sim::Protocol {
   std::optional<sim::Message> on_round() override;
   void on_hear(const sim::Message& m) override;
   bool informed() const override { return payload_.has_value(); }
+
+  /// Uninformed nodes never act (and, crucially, never draw from the rng,
+  /// matching the scan path's draw sequence); informed ones flip a coin
+  /// every round, so they are woken every round.
+  std::uint64_t next_active_round() const override {
+    return payload_ ? round_ + 1 : kIdle;
+  }
+  void skip_rounds(std::uint64_t rounds) override { round_ += rounds; }
 
  private:
   std::uint32_t phase_len_;

@@ -3,6 +3,7 @@
 #include <memory>
 #include <vector>
 
+#include "runtime/scheme.hpp"
 #include "sim/engine.hpp"
 #include "support/contracts.hpp"
 
@@ -81,34 +82,33 @@ void BeepBroadcastProtocol::on_hear(const Message&) {
 }
 void BeepBroadcastProtocol::on_collision() { energy_this_round_ = true; }
 
+std::uint64_t BeepBroadcastProtocol::next_active_round() const {
+  switch (state_) {
+    case State::kIdle:
+    case State::kDone:
+      // Sensed energy always re-arms the node one round before it is folded
+      // in, so sleeping here can never skip a meaningful round.
+      return kIdle;
+    case State::kDecoding:
+    case State::kRelaying:
+      return round_ + 1;
+  }
+  return kAlwaysActive;
+}
+
 BeepRun run_beep(const graph::Graph& g, graph::NodeId source, std::uint32_t mu,
                  std::uint32_t bits) {
+  // Thin forwarding wrapper over the "beep" registry scheme (which forces
+  // the engine's collision-detection signal on).
   RC_EXPECTS(source < g.node_count());
+  runtime::SchemeOptions opt;
+  opt.mu = mu;
+  opt.frame_bits = bits;
+  const auto r = runtime::run_scheme("beep", g, source, opt);
   BeepRun out;
+  out.ok = r.ok;
+  out.completion_round = r.completion_round;
   out.frame_bits = bits;
-
-  std::vector<std::unique_ptr<sim::Protocol>> protocols;
-  protocols.reserve(g.node_count());
-  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
-    protocols.push_back(std::make_unique<BeepBroadcastProtocol>(
-        bits, v == source ? std::optional<std::uint32_t>(mu) : std::nullopt));
-  }
-  sim::Engine engine(g, std::move(protocols),
-                     sim::EngineOptions{sim::TraceLevel::kCounters,
-                                        /*collision_detection=*/true});
-  const std::uint64_t max_rounds =
-      (static_cast<std::uint64_t>(bits) + 2) * (g.node_count() + 2);
-  engine.run_until([](const sim::Engine& e) { return e.all_informed(); },
-                   max_rounds);
-
-  bool ok = engine.all_informed();
-  for (graph::NodeId v = 0; v < g.node_count() && ok; ++v) {
-    const auto& p =
-        dynamic_cast<const BeepBroadcastProtocol&>(engine.protocol(v));
-    ok = p.decoded().has_value() && *p.decoded() == mu;
-  }
-  out.ok = ok;
-  out.completion_round = engine.round();
   return out;
 }
 

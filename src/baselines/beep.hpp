@@ -43,6 +43,15 @@ class BeepBroadcastProtocol final : public sim::Protocol {
   void on_collision() override;
   bool informed() const override { return decoded_.has_value(); }
 
+  /// Activity contract: an idle node waits for its first sensed energy (the
+  /// engine re-arms on deliveries *and* collisions, and every reception is
+  /// folded in exactly one round later); decoding and relaying nodes treat
+  /// every round as meaningful — under collision detection, silence is data
+  /// — so they are woken every round until the frame is out; a finished
+  /// node never acts again.
+  std::uint64_t next_active_round() const override;
+  void skip_rounds(std::uint64_t rounds) override { round_ += rounds; }
+
   /// Observer: the decoded message (engaged once informed).
   std::optional<std::uint32_t> decoded() const noexcept { return decoded_; }
 

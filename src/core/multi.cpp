@@ -1,6 +1,7 @@
 #include "core/multi.hpp"
 
 #include "core/labeling.hpp"
+#include "runtime/scheme.hpp"
 #include "sim/engine.hpp"
 #include "support/contracts.hpp"
 
@@ -99,45 +100,22 @@ MultiRun run_multi_broadcast(const Graph& g, NodeId source,
                              DomPolicy policy, sim::BackendKind backend,
                              std::size_t threads,
                              sim::DispatchKind dispatch) {
+  // Thin forwarding wrapper over the "multi" registry scheme.
   RC_EXPECTS(g.node_count() >= 2);
   RC_EXPECTS(!payloads.empty());
+  runtime::SchemeOptions scheme_opt;
+  scheme_opt.policy = policy;
+  scheme_opt.payloads = payloads;
+  runtime::ExecutionConfig config;
+  config.backend = backend;
+  config.threads = threads;
+  config.dispatch = dispatch;
+  const auto r = runtime::run_scheme("multi", g, source, scheme_opt, config);
   MultiRun out;
-  const Labeling labeling = label_acknowledged(g, source, {policy, 0});
-
-  std::vector<std::unique_ptr<sim::Protocol>> protocols;
-  protocols.reserve(g.node_count());
-  for (NodeId v = 0; v < g.node_count(); ++v) {
-    protocols.push_back(std::make_unique<MultiMessageProtocol>(
-        labeling.labels[v],
-        v == source ? payloads : std::vector<std::uint32_t>{}));
-  }
-  sim::Engine engine(
-      g, std::move(protocols),
-      {.backend = backend, .threads = threads, .dispatch = dispatch});
-  const auto& src =
-      dynamic_cast<const MultiMessageProtocol&>(engine.protocol(source));
-  const std::uint64_t max_rounds =
-      (6ull * g.node_count() + 16) * payloads.size();
-  engine.run_until(
-      [&src, &payloads](const sim::Engine&) {
-        return src.ack_rounds().size() == payloads.size();
-      },
-      max_rounds);
-  out.total_rounds = engine.round();
-  out.ack_rounds = src.ack_rounds();
-
-  bool ok = out.ack_rounds.size() == payloads.size();
-  for (NodeId v = 0; v < g.node_count() && ok; ++v) {
-    const auto& p =
-        dynamic_cast<const MultiMessageProtocol&>(engine.protocol(v));
-    ok = p.received() == payloads;
-  }
-  out.ok = ok;
-  if (ok && out.ack_rounds.size() >= 2) {
-    out.rounds_per_message = out.ack_rounds[1] - out.ack_rounds[0];
-  } else if (ok) {
-    out.rounds_per_message = out.ack_rounds[0];
-  }
+  out.ok = r.ok;
+  out.ack_rounds = r.ack_rounds;
+  out.total_rounds = r.rounds;
+  out.rounds_per_message = r.rounds_per_message;
   return out;
 }
 

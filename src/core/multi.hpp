@@ -41,6 +41,18 @@ class MultiMessageProtocol final : public sim::Protocol {
   /// for engine stop conditions use `received_count()` instead.
   bool informed() const override { return !received_.empty() || is_source_; }
 
+  /// Activity contract: every rule is either a stamped-core rule (the core
+  /// hint covers it), reception-driven (ack forwarding, instance re-arming
+  /// on a successor tag — the engine re-arms on delivery), or the source's
+  /// pending instance start, which is set in the constructor or by the ack
+  /// reception one round earlier and always fires at the next poll.
+  std::uint64_t next_active_round() const override {
+    if (start_pending_) return round_ + 1;
+    if (!core_) return kIdle;  // session complete (source) — never acts again
+    return core_->next_core_active(round_);
+  }
+  void skip_rounds(std::uint64_t rounds) override { round_ += rounds; }
+
   /// Observer: payloads received so far, in order.
   const std::vector<std::uint32_t>& received() const noexcept {
     return received_;

@@ -1,15 +1,67 @@
 #include "core/runner.hpp"
 
-#include <algorithm>
-
-#include "core/compiled_schedule.hpp"
+#include "runtime/scheme.hpp"
 
 namespace radiocast::core {
 
 namespace {
 
-std::uint64_t theorem_bound(std::uint32_t n) {
-  return n >= 2 ? 2ull * n - 3 : 0;
+/// The protocol-construction half of a RunOptions block.
+runtime::SchemeOptions scheme_options(const RunOptions& opt) {
+  runtime::SchemeOptions out;
+  out.mu = opt.mu;
+  out.policy = opt.policy;
+  out.seed = opt.seed;
+  return out;
+}
+
+/// The execution half.  The compiled fast paths keep their historical
+/// contract: `opt.trace` is ignored (their observables are counter-exact
+/// without a recorded trace).
+runtime::ExecutionConfig exec_config(const RunOptions& opt,
+                                     bool compiled = false) {
+  runtime::ExecutionConfig out;
+  out.backend = opt.backend;
+  out.dispatch = opt.dispatch;
+  out.threads = opt.threads;
+  out.compiled = compiled;
+  out.trace = compiled ? sim::TraceLevel::kCounters : opt.trace;
+  out.max_rounds = opt.max_rounds;
+  return out;
+}
+
+BroadcastRun to_broadcast_run(const runtime::SchemeResult& r) {
+  BroadcastRun out;
+  out.all_informed = r.all_informed;
+  out.completion_round = r.completion_round;
+  out.bound = r.bound;
+  out.ell = r.ell;
+  out.stay_count = r.stay_count;
+  out.data_tx_count = r.data_tx_count;
+  out.max_node_tx = r.max_node_tx;
+  return out;
+}
+
+AckRun to_ack_run(const runtime::SchemeResult& r) {
+  AckRun out;
+  out.all_informed = r.all_informed;
+  out.completion_round = r.completion_round;
+  out.ack_round = r.ack_round;
+  out.bound = r.bound;
+  out.ell = r.ell;
+  out.z = r.special;
+  out.max_stamp = r.max_stamp;
+  return out;
+}
+
+ArbRun to_arb_run(const runtime::SchemeResult& r, NodeId coordinator) {
+  ArbRun out;
+  out.ok = r.ok;
+  out.total_rounds = r.rounds;
+  out.done_round = r.done_round;
+  out.T = r.T;
+  out.coordinator = coordinator;
+  return out;
 }
 
 }  // namespace
@@ -65,213 +117,67 @@ std::vector<std::unique_ptr<sim::Protocol>> make_arb_protocols(
   return out;
 }
 
+// Every runner below is a thin forwarding wrapper over the scheme registry
+// (runtime/scheme.hpp): the labeling, protocol construction, stop
+// predicate, and observable extraction live in the registered scheme, and
+// these functions only translate between the historical typed result
+// structs and runtime::SchemeResult.  Traces stay bit-exact — the wrappers
+// build the same engine from the same protocols with the same budget.
+
 BroadcastRun run_broadcast(const Graph& g, NodeId source,
                            const RunOptions& opt) {
-  BroadcastRun out;
-  out.bound = theorem_bound(g.node_count());
-  Labeling labeling = label_broadcast(g, source, {opt.policy, opt.seed});
-  out.ell = labeling.stages.ell;
-  if (g.node_count() == 1) {
-    out.all_informed = true;
-    return out;
-  }
-  sim::Engine engine(
-      g, make_broadcast_protocols(labeling, opt.mu),
-      {opt.trace, false, opt.backend, opt.threads, opt.dispatch});
-  const auto max_rounds =
-      opt.max_rounds ? opt.max_rounds : default_round_budget(g.node_count(), 4);
-  engine.run_until([](const sim::Engine& e) { return e.all_informed(); },
-                   max_rounds);
-  out.all_informed = engine.all_informed();
-  out.completion_round = engine.last_first_data_reception();
-  out.max_node_tx = engine.max_tx_count();
-  if (opt.trace == sim::TraceLevel::kFull) {
-    out.stay_count = engine.trace().count_transmissions(sim::MsgKind::kStay);
-    out.data_tx_count = engine.trace().count_transmissions(sim::MsgKind::kData);
-  }
-  return out;
+  return to_broadcast_run(
+      runtime::run_scheme("b", g, source, scheme_options(opt),
+                          exec_config(opt)));
 }
 
 BroadcastRun run_broadcast_compiled(const Graph& g, NodeId source,
                                     const RunOptions& opt) {
-  BroadcastRun out;
-  out.bound = theorem_bound(g.node_count());
-  Labeling labeling = label_broadcast(g, source, {opt.policy, opt.seed});
-  out.ell = labeling.stages.ell;
-  if (g.node_count() == 1) {
-    out.all_informed = true;
-    return out;
-  }
-  CompiledScheduleRunner runner(g, labeling, opt.mu, opt.backend,
-                                opt.threads);
-  const auto replay = runner.run();
-  out.all_informed = replay.all_informed;
-  out.completion_round = replay.completion_round;
-  out.max_node_tx =
-      *std::max_element(replay.tx_count.begin(), replay.tx_count.end());
-  // Stay/data splits are exact from the schedule shape (odd rounds carry µ).
-  const auto& compiled = runner.schedule();
-  for (std::uint64_t round = 1; round <= compiled.rounds; ++round) {
-    const auto tx = compiled.round_transmitters(round).size();
-    if (CompiledSchedule::is_data_round(round)) {
-      out.data_tx_count += tx;
-    } else {
-      out.stay_count += tx;
-    }
-  }
-  return out;
+  return to_broadcast_run(
+      runtime::run_scheme("b", g, source, scheme_options(opt),
+                          exec_config(opt, /*compiled=*/true)));
 }
 
 AckRun run_acknowledged(const Graph& g, NodeId source, const RunOptions& opt) {
-  AckRun out;
-  out.bound = theorem_bound(g.node_count());
-  Labeling labeling = label_acknowledged(g, source, {opt.policy, opt.seed});
-  out.ell = labeling.stages.ell;
-  out.z = labeling.z;
-  if (g.node_count() == 1) {
-    out.all_informed = true;
-    return out;
-  }
-  sim::Engine engine(
-      g, make_ack_protocols(labeling, opt.mu),
-      {opt.trace, false, opt.backend, opt.threads, opt.dispatch});
-  auto& src = dynamic_cast<AckBroadcastProtocol&>(engine.protocol(source));
-  const auto max_rounds =
-      opt.max_rounds ? opt.max_rounds : default_round_budget(g.node_count(), 6);
-  engine.run_until([&src](const sim::Engine&) { return src.ack_round() != 0; },
-                   max_rounds);
-  out.all_informed = engine.all_informed();
-  out.completion_round = engine.last_first_data_reception();
-  out.ack_round = src.ack_round();
-  out.max_stamp = engine.max_stamp_seen();
-  return out;
+  return to_ack_run(runtime::run_scheme("ack", g, source, scheme_options(opt),
+                                        exec_config(opt)));
 }
 
 AckRun run_acknowledged_compiled(const Graph& g, NodeId source,
                                  const RunOptions& opt) {
-  AckRun out;
-  out.bound = theorem_bound(g.node_count());
-  Labeling labeling = label_acknowledged(g, source, {opt.policy, opt.seed});
-  out.ell = labeling.stages.ell;
-  out.z = labeling.z;
-  if (g.node_count() == 1) {
-    out.all_informed = true;
-    return out;
-  }
-  const auto max_rounds =
-      opt.max_rounds ? opt.max_rounds
-                     : default_round_budget(g.node_count(), 6);
-  CompiledAckRunner runner(g, labeling, opt.mu, opt.backend, opt.threads,
-                           max_rounds);
-  const auto& prediction = runner.prediction();
-  out.all_informed = prediction.all_informed;
-  out.completion_round = prediction.completion_round;
-  out.ack_round = prediction.ack_round;
-  out.max_stamp = prediction.max_stamp;
-  return out;
+  return to_ack_run(runtime::run_scheme("ack", g, source, scheme_options(opt),
+                                        exec_config(opt, /*compiled=*/true)));
 }
 
 CommonRoundRun run_common_round(const Graph& g, NodeId source,
                                 const RunOptions& opt) {
+  const auto r = runtime::run_scheme("common-round", g, source,
+                                     scheme_options(opt), exec_config(opt));
   CommonRoundRun out;
-  RC_EXPECTS_MSG(g.node_count() >= 2, "common-round needs at least two nodes");
-  Labeling labeling = label_acknowledged(g, source, {opt.policy, opt.seed});
-  sim::Engine engine(
-      g, make_common_round_protocols(labeling, opt.mu),
-      {opt.trace, false, opt.backend, opt.threads, opt.dispatch});
-  const auto max_rounds = opt.max_rounds
-                              ? opt.max_rounds
-                              : default_round_budget(g.node_count(), 10);
-  // Run until every node knows m (and therefore the common round 2m).
-  engine.run_until(
-      [](const sim::Engine& e) {
-        for (NodeId v = 0; v < e.graph().node_count(); ++v) {
-          const auto& p =
-              dynamic_cast<const CommonRoundProtocol&>(e.protocol(v));
-          if (p.knows_done_at() == 0) return false;
-        }
-        return true;
-      },
-      max_rounds);
-
-  const auto& src =
-      dynamic_cast<const CommonRoundProtocol&>(engine.protocol(source));
-  out.common_round = src.knows_done_at();
-  out.m = out.common_round / 2;
-  bool ok = out.common_round != 0;
-  for (NodeId v = 0; v < g.node_count() && ok; ++v) {
-    const auto& p =
-        dynamic_cast<const CommonRoundProtocol&>(engine.protocol(v));
-    ok = p.knows_done_at() == out.common_round &&
-         p.learned_m_stamp() < out.common_round;
-    out.last_learned = std::max(out.last_learned, p.learned_m_stamp());
-  }
-  out.ok = ok;
+  out.ok = r.ok;
+  out.m = r.T;
+  out.common_round = r.done_round;
+  out.last_learned = r.last_learned;
   return out;
 }
 
 ArbRun run_arbitrary(const Graph& g, NodeId source, NodeId coordinator,
                      const RunOptions& opt) {
-  ArbRun out;
-  out.coordinator = coordinator;
-  RC_EXPECTS_MSG(g.node_count() >= 2, "B_arb needs at least two nodes");
-  ArbLabeling labeling =
-      label_arbitrary(g, coordinator, {opt.policy, opt.seed});
-  sim::Engine engine(
-      g, make_arb_protocols(labeling, source, opt.mu),
-      {opt.trace, false, opt.backend, opt.threads, opt.dispatch});
-  const auto max_rounds = opt.max_rounds
-                              ? opt.max_rounds
-                              : default_round_budget(g.node_count(), 16);
-  engine.run_until(
-      [](const sim::Engine& e) {
-        for (NodeId v = 0; v < e.graph().node_count(); ++v) {
-          const auto& p = dynamic_cast<const ArbProtocol&>(e.protocol(v));
-          if (!p.mu() || p.done_round() == 0) return false;
-        }
-        return true;
-      },
-      max_rounds);
-  out.total_rounds = engine.round();
-
-  bool ok = true;
-  std::uint64_t done = 0;
-  for (NodeId v = 0; v < g.node_count(); ++v) {
-    const auto& p = dynamic_cast<const ArbProtocol&>(engine.protocol(v));
-    if (!p.mu() || *p.mu() != opt.mu || p.done_round() == 0) {
-      ok = false;
-      break;
-    }
-    if (done == 0) done = p.done_round();
-    if (p.done_round() != done) {
-      ok = false;
-      break;
-    }
-    if (p.is_coordinator()) out.T = p.T();
-  }
-  out.ok = ok;
-  out.done_round = done;
-  return out;
+  auto scheme_opt = scheme_options(opt);
+  scheme_opt.coordinator = coordinator;
+  return to_arb_run(
+      runtime::run_scheme("arb", g, source, scheme_opt, exec_config(opt)),
+      coordinator);
 }
 
 ArbRun run_arb_compiled(const Graph& g, NodeId source, NodeId coordinator,
                         const RunOptions& opt) {
-  ArbRun out;
-  out.coordinator = coordinator;
-  RC_EXPECTS_MSG(g.node_count() >= 2, "B_arb needs at least two nodes");
-  ArbLabeling labeling =
-      label_arbitrary(g, coordinator, {opt.policy, opt.seed});
-  const auto max_rounds =
-      opt.max_rounds ? opt.max_rounds
-                     : default_round_budget(g.node_count(), 16);
-  CompiledArbRunner runner(g, labeling, source, opt.mu, opt.backend,
-                           opt.threads, max_rounds);
-  const auto& prediction = runner.prediction();
-  out.ok = prediction.ok;
-  out.total_rounds = prediction.total_rounds;
-  out.done_round = prediction.done_round;
-  out.T = prediction.T;
-  return out;
+  auto scheme_opt = scheme_options(opt);
+  scheme_opt.coordinator = coordinator;
+  return to_arb_run(
+      runtime::run_scheme("arb", g, source, scheme_opt,
+                          exec_config(opt, /*compiled=*/true)),
+      coordinator);
 }
 
 }  // namespace radiocast::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/protocols.hpp"
+#include "runtime/scheme.hpp"
 #include "sim/engine.hpp"
 
 namespace radiocast::onebit {
@@ -11,11 +12,36 @@ namespace {
 
 constexpr std::uint32_t kMu = 99;
 
-std::uint32_t count_ones(const std::vector<bool>& bits) {
-  std::uint32_t ones = 0;
-  for (const bool b : bits) ones += b ? 1u : 0u;
-  return ones;
+/// The execution half shared by both wrappers.
+runtime::ExecutionConfig exec_config(const OneBitOptions& opt) {
+  runtime::ExecutionConfig out;
+  out.backend = opt.engine_backend;
+  out.threads = opt.engine_threads;
+  out.dispatch = opt.engine_dispatch;
+  return out;
 }
+
+runtime::SchemeOptions scheme_options(const OneBitOptions& opt) {
+  runtime::SchemeOptions out;
+  out.mu = kMu;
+  out.seed = opt.seed;
+  out.max_attempts = opt.max_attempts;
+  out.max_stages = opt.max_stages;
+  return out;
+}
+
+OneBitRun to_onebit_run(const runtime::SchemeResult& r) {
+  OneBitRun out;
+  out.labeling_found = r.labeling_found;
+  out.ok = r.ok;
+  out.completion_round = r.completion_round;
+  out.ack_round = r.ack_round;
+  out.attempts = r.attempts;
+  out.ones = r.ones;
+  return out;
+}
+
+}  // namespace
 
 /// Lowest-id node whose first reception happens in the final wave; used as z.
 /// Replays the closed-form dynamics to find per-node informed stages.
@@ -63,74 +89,20 @@ graph::NodeId last_informed_node(const Graph& g, graph::NodeId source,
   return last_fresh.front();
 }
 
-}  // namespace
-
 OneBitRun run_onebit(const Graph& g, graph::NodeId source,
                      const OneBitOptions& opt) {
-  OneBitRun out;
-  const auto labeling = find_onebit_labeling(g, source, opt);
-  out.attempts = labeling.attempts;
-  if (!labeling.ok) return out;
-  out.labeling_found = true;
-  out.ones = count_ones(labeling.bits);
-  if (g.node_count() == 1) {
-    out.ok = true;
-    return out;
-  }
-
-  std::vector<std::unique_ptr<sim::Protocol>> protocols;
-  protocols.reserve(g.node_count());
-  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
-    const core::Label label{labeling.bits[v], labeling.bits[v], false};
-    protocols.push_back(std::make_unique<core::BroadcastProtocol>(
-        label, v == source ? std::optional<std::uint32_t>(kMu) : std::nullopt));
-  }
-  sim::Engine engine(g, std::move(protocols),
-                     {.backend = opt.engine_backend,
-                      .threads = opt.engine_threads,
-                      .dispatch = opt.engine_dispatch});
-  engine.run_until([](const sim::Engine& e) { return e.all_informed(); },
-                   4ull * g.node_count() + 16);
-  out.ok = engine.all_informed();
-  out.completion_round = engine.last_first_data_reception();
-  return out;
+  // Thin forwarding wrapper over the "onebit" registry scheme.
+  return to_onebit_run(runtime::run_scheme("onebit", g, source,
+                                           scheme_options(opt),
+                                           exec_config(opt)));
 }
 
 OneBitRun run_onebit_acknowledged(const Graph& g, graph::NodeId source,
                                   const OneBitOptions& opt) {
-  OneBitRun out;
-  const auto labeling = find_onebit_labeling(g, source, opt);
-  out.attempts = labeling.attempts;
-  if (!labeling.ok) return out;
-  out.labeling_found = true;
-  out.ones = count_ones(labeling.bits);
-  if (g.node_count() == 1) {
-    out.ok = true;
-    return out;
-  }
-
-  const graph::NodeId z = last_informed_node(g, source, labeling.bits);
-  RC_ASSERT_MSG(!labeling.bits[z], "last-informed node must carry bit 0");
-
-  std::vector<std::unique_ptr<sim::Protocol>> protocols;
-  protocols.reserve(g.node_count());
-  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
-    const core::Label label{labeling.bits[v], labeling.bits[v], v == z};
-    protocols.push_back(std::make_unique<core::AckBroadcastProtocol>(
-        label, v == source ? std::optional<std::uint32_t>(kMu) : std::nullopt));
-  }
-  sim::Engine engine(g, std::move(protocols),
-                     {.backend = opt.engine_backend,
-                      .threads = opt.engine_threads,
-                      .dispatch = opt.engine_dispatch});
-  auto& src =
-      dynamic_cast<core::AckBroadcastProtocol&>(engine.protocol(source));
-  engine.run_until([&src](const sim::Engine&) { return src.ack_round() != 0; },
-                   6ull * g.node_count() + 16);
-  out.ok = engine.all_informed() && src.ack_round() != 0;
-  out.completion_round = engine.last_first_data_reception();
-  out.ack_round = src.ack_round();
-  return out;
+  // Thin forwarding wrapper over the "onebit-ack" registry scheme.
+  return to_onebit_run(runtime::run_scheme("onebit-ack", g, source,
+                                           scheme_options(opt),
+                                           exec_config(opt)));
 }
 
 }  // namespace radiocast::onebit

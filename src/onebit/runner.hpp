@@ -33,4 +33,10 @@ OneBitRun run_onebit(const Graph& g, graph::NodeId source,
 OneBitRun run_onebit_acknowledged(const Graph& g, graph::NodeId source,
                                   const OneBitOptions& opt = {});
 
+/// Lowest-id node whose first reception happens in the final B1 wave — the
+/// z marker of the acknowledged variant.  Replays the closed-form dynamics;
+/// `bits` must be a labeling under which broadcast completes.
+graph::NodeId last_informed_node(const Graph& g, graph::NodeId source,
+                                 const std::vector<bool>& bits);
+
 }  // namespace radiocast::onebit

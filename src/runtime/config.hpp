@@ -1,0 +1,57 @@
+/// \file config.hpp
+/// \brief The one execution-knob block every layer shares.
+///
+/// Before the runtime layer, the backend/dispatch/thread knobs were
+/// re-declared in `core::RunOptions`, `onebit::OneBitOptions`, the
+/// `run_multi_broadcast` parameter list, and both CLI front ends.
+/// `ExecutionConfig` is the single source of truth: the scheme registry,
+/// the sweep executor, the CLI front ends, and the bench harness all carry
+/// one of these and lower it to `sim::EngineOptions` at the engine boundary.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/backend.hpp"
+#include "sim/dispatch.hpp"
+#include "sim/engine.hpp"
+
+namespace radiocast::runtime {
+
+/// How a scheme execution runs: which engine backend resolves rounds, how
+/// protocol decisions are dispatched, how many workers the sharded paths
+/// may use, and whether the label-determined compiled fast path is taken.
+struct ExecutionConfig {
+  /// Engine round-resolution backend (kAuto picks by density and size).
+  sim::BackendKind backend = sim::BackendKind::kAuto;
+  /// Protocol-dispatch strategy (kAuto = active-set iff protocols hint).
+  sim::DispatchKind dispatch = sim::DispatchKind::kAuto;
+  /// Worker threads for the sharded backend and the sharded decision sweep
+  /// (0 = hardware concurrency).
+  std::size_t threads = 0;
+  /// Prefer the compiled label-determined replay when the scheme has one
+  /// (`Scheme::can_compile`); schemes without one fall back to the engine.
+  bool compiled = false;
+  /// Collision-detection mode.  Schemes that require it (beep) force it on
+  /// regardless of this setting.
+  bool collision_detection = false;
+  /// Ground-truth recording level for the engine path; `kFull` also makes
+  /// compiled replays materialize their trace.
+  sim::TraceLevel trace = sim::TraceLevel::kCounters;
+  /// Engine round budget (0 = the scheme's own default, linear in n).
+  std::uint64_t max_rounds = 0;
+
+  /// Lowers the config to engine options (collision detection as-is; the
+  /// scheme layer ORs in `Scheme::needs_collision_detection`).
+  sim::EngineOptions engine_options() const {
+    sim::EngineOptions out;
+    out.trace = trace;
+    out.collision_detection = collision_detection;
+    out.backend = backend;
+    out.threads = threads;
+    out.dispatch = dispatch;
+    return out;
+  }
+};
+
+}  // namespace radiocast::runtime

@@ -1,0 +1,951 @@
+/// \file schemes.cpp
+/// \brief The built-in scheme registrations: the paper's algorithms (B,
+///        B_ack, common-round, B_arb, multi-message, one-bit) and the §1
+///        comparison baselines (round-robin, color-robin, decay, beep),
+///        each expressed once through the `runtime::Scheme` interface.
+#include <algorithm>
+#include <bit>
+#include <optional>
+
+#include "baselines/baselines.hpp"
+#include "baselines/beep.hpp"
+#include "core/compiled_schedule.hpp"
+#include "core/multi.hpp"
+#include "core/protocols.hpp"
+#include "core/runner.hpp"
+#include "core/verifier.hpp"
+#include "graph/coloring.hpp"
+#include "onebit/labeler.hpp"
+#include "onebit/runner.hpp"
+#include "runtime/scheme.hpp"
+#include "support/contracts.hpp"
+#include "support/rng.hpp"
+
+namespace radiocast::runtime {
+namespace {
+
+std::uint64_t theorem_bound(std::uint32_t n) {
+  return n >= 2 ? 2ull * n - 3 : 0;
+}
+
+std::uint32_t bits_for(std::uint32_t values) {
+  return values <= 1 ? 1u : std::bit_width(values - 1);
+}
+
+/// The multi-message schedule a spec denotes (empty payloads = one µ).
+std::vector<std::uint32_t> multi_schedule(const SchemeOptions& opt) {
+  return opt.payloads.empty() ? std::vector<std::uint32_t>{opt.mu}
+                              : opt.payloads;
+}
+
+// ---------------------------------------------------------------------------
+// λ schemes: B, B_ack, common-round (one λ/λ_ack labeling as the plan)
+// ---------------------------------------------------------------------------
+
+struct LabelingPlan final : Plan {
+  core::Labeling labeling;
+};
+
+/// Algorithm B (Theorem 2.9): 2-bit labels, known source.
+class BScheme final : public Scheme {
+ public:
+  std::string_view name() const noexcept override { return "b"; }
+  std::string_view description() const noexcept override {
+    return "Algorithm B: 2-bit labels, broadcast from a known source "
+           "(Theorem 2.9)";
+  }
+  bool can_compile() const noexcept override { return true; }
+
+  PlanPtr label(const Graph& g, NodeId source,
+                const SchemeOptions& opt) const override {
+    auto plan = std::make_shared<LabelingPlan>();
+    plan->labeling =
+        core::label_broadcast(g, source, {opt.policy, opt.seed});
+    return plan;
+  }
+
+  std::vector<std::unique_ptr<sim::Protocol>> make_protocols(
+      const Graph&, NodeId, const Plan& plan,
+      const SchemeOptions& opt) const override {
+    return core::make_broadcast_protocols(
+        static_cast<const LabelingPlan&>(plan).labeling, opt.mu);
+  }
+
+  std::uint64_t round_budget(const Graph& g, const Plan&,
+                             const SchemeOptions&) const override {
+    return core::default_round_budget(g.node_count(), 4);
+  }
+
+  bool run_trivial(const Graph& g, NodeId, const Plan& plan,
+                   const SchemeOptions&, SchemeResult& out) const override {
+    if (g.node_count() != 1) return false;
+    out.ok = out.all_informed = true;
+    out.ell = static_cast<const LabelingPlan&>(plan).labeling.stages.ell;
+    return true;
+  }
+
+  void collect(const sim::Engine& e, const Graph& g, NodeId, const Plan& plan,
+               const SchemeOptions&, const ExecutionConfig& config,
+               SchemeResult& out) const override {
+    out.ok = out.all_informed;
+    out.completion_round = e.last_first_data_reception();
+    out.bound = theorem_bound(g.node_count());
+    out.ell = static_cast<const LabelingPlan&>(plan).labeling.stages.ell;
+    out.max_node_tx = e.max_tx_count();
+    out.label_bits = 2;
+    if (config.trace == sim::TraceLevel::kFull) {
+      out.stay_count = e.trace().count_transmissions(sim::MsgKind::kStay);
+      out.data_tx_count = e.trace().count_transmissions(sim::MsgKind::kData);
+    }
+  }
+
+  CompiledPlanPtr compile(const Graph& g, NodeId, const PlanPtr& plan,
+                          const SchemeOptions& opt,
+                          const ExecutionConfig& config) const override;
+  SchemeResult replay(const Graph& g, NodeId source,
+                      const CompiledPlan& compiled,
+                      const ExecutionConfig& config) const override;
+
+  std::string verify(const Graph& g, NodeId, const Plan& plan,
+                     const sim::Trace& trace) const override {
+    return core::verify_lemma_2_8(
+        g, static_cast<const LabelingPlan&>(plan).labeling, trace);
+  }
+};
+
+struct BCompiledPlan final : CompiledPlan {
+  PlanPtr plan;  ///< keeps the labeling alive
+  std::uint32_t mu = 0;
+  SchemeResult result;  ///< counters-level observables, replay-free
+};
+
+CompiledPlanPtr BScheme::compile(const Graph& g, NodeId, const PlanPtr& plan,
+                                 const SchemeOptions& opt,
+                                 const ExecutionConfig& config) const {
+  const auto& labeling = static_cast<const LabelingPlan&>(*plan).labeling;
+  auto out = std::make_shared<BCompiledPlan>();
+  out->plan = plan;
+  out->mu = opt.mu;
+  SchemeResult& r = out->result;
+  r.bound = theorem_bound(g.node_count());
+  r.ell = labeling.stages.ell;
+  r.label_bits = 2;
+  if (g.node_count() == 1) {
+    r.ok = r.all_informed = true;
+    return out;
+  }
+  core::CompiledScheduleRunner runner(g, labeling, opt.mu, config.backend,
+                                      config.threads);
+  const auto replay = runner.run();
+  r.ok = r.all_informed = replay.all_informed;
+  r.rounds = replay.rounds;
+  r.completion_round = replay.completion_round;
+  r.tx_total = replay.tx_total;
+  r.max_node_tx =
+      *std::max_element(replay.tx_count.begin(), replay.tx_count.end());
+  // Stay/data splits are exact from the schedule shape (odd rounds carry µ).
+  const auto& compiled = runner.schedule();
+  for (std::uint64_t round = 1; round <= compiled.rounds; ++round) {
+    const auto tx = compiled.round_transmitters(round).size();
+    if (core::CompiledSchedule::is_data_round(round)) {
+      r.data_tx_count += tx;
+    } else {
+      r.stay_count += tx;
+    }
+  }
+  return out;
+}
+
+SchemeResult BScheme::replay(const Graph& g, NodeId,
+                             const CompiledPlan& compiled,
+                             const ExecutionConfig& config) const {
+  const auto& c = static_cast<const BCompiledPlan&>(compiled);
+  SchemeResult out = c.result;
+  if (config.trace == sim::TraceLevel::kFull && g.node_count() > 1) {
+    core::CompiledScheduleRunner runner(
+        g, static_cast<const LabelingPlan&>(*c.plan).labeling, c.mu,
+        config.backend, config.threads);
+    out.trace = runner.run(sim::TraceLevel::kFull).trace;
+  }
+  return out;
+}
+
+/// Algorithm B_ack (Theorem 3.9): 3-bit labels, z-initiated ack chain.
+class AckScheme final : public Scheme {
+ public:
+  std::string_view name() const noexcept override { return "ack"; }
+  std::string_view description() const noexcept override {
+    return "Algorithm B_ack: 3-bit labels, acknowledged broadcast "
+           "(Theorem 3.9)";
+  }
+  bool can_compile() const noexcept override { return true; }
+
+  PlanPtr label(const Graph& g, NodeId source,
+                const SchemeOptions& opt) const override {
+    auto plan = std::make_shared<LabelingPlan>();
+    plan->labeling =
+        core::label_acknowledged(g, source, {opt.policy, opt.seed});
+    return plan;
+  }
+
+  std::vector<std::unique_ptr<sim::Protocol>> make_protocols(
+      const Graph&, NodeId, const Plan& plan,
+      const SchemeOptions& opt) const override {
+    return core::make_ack_protocols(
+        static_cast<const LabelingPlan&>(plan).labeling, opt.mu);
+  }
+
+  std::uint64_t round_budget(const Graph& g, const Plan&,
+                             const SchemeOptions&) const override {
+    return core::default_round_budget(g.node_count(), 6);
+  }
+
+  bool done(const sim::Engine& e, NodeId source,
+            const SchemeOptions&) const override {
+    return dynamic_cast<const core::AckBroadcastProtocol&>(
+               e.protocol(source))
+               .ack_round() != 0;
+  }
+
+  bool run_trivial(const Graph& g, NodeId, const Plan& plan,
+                   const SchemeOptions&, SchemeResult& out) const override {
+    if (g.node_count() != 1) return false;
+    const auto& labeling = static_cast<const LabelingPlan&>(plan).labeling;
+    out.ok = out.all_informed = true;
+    out.ell = labeling.stages.ell;
+    out.special = labeling.z;
+    return true;
+  }
+
+  void collect(const sim::Engine& e, const Graph& g, NodeId source,
+               const Plan& plan, const SchemeOptions&,
+               const ExecutionConfig&, SchemeResult& out) const override {
+    const auto& labeling = static_cast<const LabelingPlan&>(plan).labeling;
+    out.completion_round = e.last_first_data_reception();
+    out.ack_round = dynamic_cast<const core::AckBroadcastProtocol&>(
+                        e.protocol(source))
+                        .ack_round();
+    out.ok = out.all_informed && out.ack_round != 0;
+    out.bound = theorem_bound(g.node_count());
+    out.ell = labeling.stages.ell;
+    out.special = labeling.z;
+    out.max_stamp = e.max_stamp_seen();
+    out.label_bits = 3;
+  }
+
+  CompiledPlanPtr compile(const Graph& g, NodeId, const PlanPtr& plan,
+                          const SchemeOptions& opt,
+                          const ExecutionConfig& config) const override;
+  SchemeResult replay(const Graph& g, NodeId source,
+                      const CompiledPlan& compiled,
+                      const ExecutionConfig& config) const override;
+};
+
+struct ExecCompiledPlan final : CompiledPlan {
+  PlanPtr plan;
+  core::CompiledExecution exec;
+  SchemeResult result;
+};
+
+CompiledPlanPtr AckScheme::compile(const Graph& g, NodeId,
+                                   const PlanPtr& plan,
+                                   const SchemeOptions& opt,
+                                   const ExecutionConfig& config) const {
+  const auto& labeling = static_cast<const LabelingPlan&>(*plan).labeling;
+  auto out = std::make_shared<ExecCompiledPlan>();
+  out->plan = plan;
+  SchemeResult& r = out->result;
+  r.bound = theorem_bound(g.node_count());
+  r.ell = labeling.stages.ell;
+  r.special = labeling.z;
+  r.label_bits = 3;
+  if (g.node_count() == 1) {
+    r.ok = r.all_informed = true;
+    return out;
+  }
+  const auto max_rounds =
+      config.max_rounds ? config.max_rounds
+                        : core::default_round_budget(g.node_count(), 6);
+  core::CompiledAckRunner runner(g, labeling, opt.mu, config.backend,
+                                 config.threads, max_rounds);
+  const auto& p = runner.prediction();
+  r.all_informed = p.all_informed;
+  r.rounds = p.rounds;
+  r.completion_round = p.completion_round;
+  r.ack_round = p.ack_round;
+  r.ok = p.all_informed && p.ack_round != 0;
+  r.max_stamp = p.max_stamp;
+  r.tx_total = runner.execution().transmitters.size();
+  out->exec = runner.execution();
+  return out;
+}
+
+SchemeResult AckScheme::replay(const Graph& g, NodeId,
+                               const CompiledPlan& compiled,
+                               const ExecutionConfig& config) const {
+  const auto& c = static_cast<const ExecCompiledPlan&>(compiled);
+  SchemeResult out = c.result;
+  if (config.trace == sim::TraceLevel::kFull && g.node_count() > 1) {
+    auto backend = sim::make_engine_backend(g, config.backend, config.threads);
+    sim::RoundResolution scratch;
+    out.trace = core::replay_execution(c.exec, g.node_count(), *backend,
+                                       scratch, sim::TraceLevel::kFull)
+                    .trace;
+  }
+  return out;
+}
+
+/// §3 closing construction: all nodes agree on the common round 2m.
+class CommonRoundScheme final : public Scheme {
+ public:
+  std::string_view name() const noexcept override { return "common-round"; }
+  std::string_view description() const noexcept override {
+    return "Common-completion-round construction on top of B_ack (paper §3)";
+  }
+
+  PlanPtr label(const Graph& g, NodeId source,
+                const SchemeOptions& opt) const override {
+    RC_EXPECTS_MSG(g.node_count() >= 2,
+                   "common-round needs at least two nodes");
+    auto plan = std::make_shared<LabelingPlan>();
+    plan->labeling =
+        core::label_acknowledged(g, source, {opt.policy, opt.seed});
+    return plan;
+  }
+
+  std::vector<std::unique_ptr<sim::Protocol>> make_protocols(
+      const Graph&, NodeId, const Plan& plan,
+      const SchemeOptions& opt) const override {
+    return core::make_common_round_protocols(
+        static_cast<const LabelingPlan&>(plan).labeling, opt.mu);
+  }
+
+  std::uint64_t round_budget(const Graph& g, const Plan&,
+                             const SchemeOptions&) const override {
+    return core::default_round_budget(g.node_count(), 10);
+  }
+
+  bool done(const sim::Engine& e, NodeId,
+            const SchemeOptions&) const override {
+    for (NodeId v = 0; v < e.graph().node_count(); ++v) {
+      const auto& p =
+          dynamic_cast<const core::CommonRoundProtocol&>(e.protocol(v));
+      if (p.knows_done_at() == 0) return false;
+    }
+    return true;
+  }
+
+  void collect(const sim::Engine& e, const Graph& g, NodeId source,
+               const Plan&, const SchemeOptions&, const ExecutionConfig&,
+               SchemeResult& out) const override {
+    const auto& src =
+        dynamic_cast<const core::CommonRoundProtocol&>(e.protocol(source));
+    out.done_round = src.knows_done_at();
+    out.T = out.done_round / 2;  // m
+    out.completion_round = e.last_first_data_reception();
+    out.label_bits = 3;
+    bool ok = out.done_round != 0;
+    for (NodeId v = 0; v < g.node_count() && ok; ++v) {
+      const auto& p =
+          dynamic_cast<const core::CommonRoundProtocol&>(e.protocol(v));
+      ok = p.knows_done_at() == out.done_round &&
+           p.learned_m_stamp() < out.done_round;
+      out.last_learned = std::max(out.last_learned, p.learned_m_stamp());
+    }
+    out.ok = ok;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// B_arb: source unknown at labeling time
+// ---------------------------------------------------------------------------
+
+struct ArbPlan final : Plan {
+  core::ArbLabeling labeling;
+};
+
+class ArbScheme final : public Scheme {
+ public:
+  std::string_view name() const noexcept override { return "arb"; }
+  std::string_view description() const noexcept override {
+    return "Algorithm B_arb: 3-bit labels, source unknown at labeling time "
+           "(paper §4)";
+  }
+  bool can_compile() const noexcept override { return true; }
+
+  /// λ_arb depends on the coordinator, not the (unknown) source — the
+  /// paper's whole point — so every source on a graph shares one plan.
+  std::string plan_key(NodeId, const SchemeOptions& opt) const override {
+    std::string key = "r";
+    key += std::to_string(opt.coordinator);
+    key += "|p";
+    key += std::to_string(static_cast<int>(opt.policy));
+    key += "|s";
+    key += std::to_string(opt.seed);
+    return key;
+  }
+
+  PlanPtr label(const Graph& g, NodeId,
+                const SchemeOptions& opt) const override {
+    RC_EXPECTS_MSG(g.node_count() >= 2, "B_arb needs at least two nodes");
+    auto plan = std::make_shared<ArbPlan>();
+    plan->labeling =
+        core::label_arbitrary(g, opt.coordinator, {opt.policy, opt.seed});
+    return plan;
+  }
+
+  std::vector<std::unique_ptr<sim::Protocol>> make_protocols(
+      const Graph&, NodeId source, const Plan& plan,
+      const SchemeOptions& opt) const override {
+    return core::make_arb_protocols(
+        static_cast<const ArbPlan&>(plan).labeling, source, opt.mu);
+  }
+
+  std::uint64_t round_budget(const Graph& g, const Plan&,
+                             const SchemeOptions&) const override {
+    return core::default_round_budget(g.node_count(), 16);
+  }
+
+  bool done(const sim::Engine& e, NodeId,
+            const SchemeOptions&) const override {
+    for (NodeId v = 0; v < e.graph().node_count(); ++v) {
+      const auto& p = dynamic_cast<const core::ArbProtocol&>(e.protocol(v));
+      if (!p.mu() || p.done_round() == 0) return false;
+    }
+    return true;
+  }
+
+  void collect(const sim::Engine& e, const Graph& g, NodeId,
+               const Plan& plan, const SchemeOptions& opt,
+               const ExecutionConfig&, SchemeResult& out) const override {
+    out.special = static_cast<const ArbPlan&>(plan).labeling.coordinator;
+    out.completion_round = e.last_first_data_reception();
+    out.max_stamp = e.max_stamp_seen();
+    out.label_bits = 3;
+    bool ok = true;
+    std::uint64_t done = 0;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      const auto& p = dynamic_cast<const core::ArbProtocol&>(e.protocol(v));
+      if (!p.mu() || *p.mu() != opt.mu || p.done_round() == 0) {
+        ok = false;
+        break;
+      }
+      if (done == 0) done = p.done_round();
+      if (p.done_round() != done) {
+        ok = false;
+        break;
+      }
+      if (p.is_coordinator()) out.T = p.T();
+    }
+    out.ok = ok;
+    out.done_round = done;
+  }
+
+  CompiledPlanPtr compile(const Graph& g, NodeId source, const PlanPtr& plan,
+                          const SchemeOptions& opt,
+                          const ExecutionConfig& config) const override;
+  SchemeResult replay(const Graph& g, NodeId source,
+                      const CompiledPlan& compiled,
+                      const ExecutionConfig& config) const override;
+};
+
+CompiledPlanPtr ArbScheme::compile(const Graph& g, NodeId source,
+                                   const PlanPtr& plan,
+                                   const SchemeOptions& opt,
+                                   const ExecutionConfig& config) const {
+  const auto& labeling = static_cast<const ArbPlan&>(*plan).labeling;
+  auto out = std::make_shared<ExecCompiledPlan>();
+  out->plan = plan;
+  SchemeResult& r = out->result;
+  const auto max_rounds =
+      config.max_rounds ? config.max_rounds
+                        : core::default_round_budget(g.node_count(), 16);
+  core::CompiledArbRunner runner(g, labeling, source, opt.mu, config.backend,
+                                 config.threads, max_rounds);
+  const auto& p = runner.prediction();
+  r.ok = p.ok;
+  r.all_informed = p.ok;
+  r.rounds = p.total_rounds;
+  r.done_round = p.done_round;
+  r.T = p.T;
+  r.special = labeling.coordinator;
+  r.label_bits = 3;
+  r.tx_total = runner.execution().transmitters.size();
+  out->exec = runner.execution();
+  return out;
+}
+
+SchemeResult ArbScheme::replay(const Graph& g, NodeId,
+                               const CompiledPlan& compiled,
+                               const ExecutionConfig& config) const {
+  const auto& c = static_cast<const ExecCompiledPlan&>(compiled);
+  SchemeResult out = c.result;
+  if (config.trace == sim::TraceLevel::kFull) {
+    auto backend = sim::make_engine_backend(g, config.backend, config.threads);
+    sim::RoundResolution scratch;
+    out.trace = core::replay_execution(c.exec, g.node_count(), *backend,
+                                       scratch, sim::TraceLevel::kFull)
+                    .trace;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Multi-message acknowledged sessions (§1.2)
+// ---------------------------------------------------------------------------
+
+class MultiScheme final : public Scheme {
+ public:
+  std::string_view name() const noexcept override { return "multi"; }
+  std::string_view description() const noexcept override {
+    return "Consecutive acknowledged broadcasts over one λ_ack labeling "
+           "(paper §1.2)";
+  }
+
+  PlanPtr label(const Graph& g, NodeId source,
+                const SchemeOptions& opt) const override {
+    RC_EXPECTS(g.node_count() >= 2);
+    auto plan = std::make_shared<LabelingPlan>();
+    plan->labeling =
+        core::label_acknowledged(g, source, {opt.policy, opt.seed});
+    return plan;
+  }
+
+  std::vector<std::unique_ptr<sim::Protocol>> make_protocols(
+      const Graph& g, NodeId source, const Plan& plan,
+      const SchemeOptions& opt) const override {
+    const auto& labeling = static_cast<const LabelingPlan&>(plan).labeling;
+    const auto payloads = multi_schedule(opt);
+    std::vector<std::unique_ptr<sim::Protocol>> out;
+    out.reserve(g.node_count());
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      out.push_back(std::make_unique<core::MultiMessageProtocol>(
+          labeling.labels[v],
+          v == source ? payloads : std::vector<std::uint32_t>{}));
+    }
+    return out;
+  }
+
+  std::uint64_t round_budget(const Graph& g, const Plan&,
+                             const SchemeOptions& opt) const override {
+    return (6ull * g.node_count() + 16) * multi_schedule(opt).size();
+  }
+
+  bool done(const sim::Engine& e, NodeId source,
+            const SchemeOptions& opt) const override {
+    const auto& src = dynamic_cast<const core::MultiMessageProtocol&>(
+        e.protocol(source));
+    return src.ack_rounds().size() == multi_schedule(opt).size();
+  }
+
+  void collect(const sim::Engine& e, const Graph& g, NodeId source,
+               const Plan&, const SchemeOptions& opt,
+               const ExecutionConfig&, SchemeResult& out) const override {
+    const auto payloads = multi_schedule(opt);
+    const auto& src = dynamic_cast<const core::MultiMessageProtocol&>(
+        e.protocol(source));
+    out.ack_rounds = src.ack_rounds();
+    out.completion_round = e.last_first_data_reception();
+    out.label_bits = 3;
+    bool ok = out.ack_rounds.size() == payloads.size();
+    for (NodeId v = 0; v < g.node_count() && ok; ++v) {
+      const auto& p = dynamic_cast<const core::MultiMessageProtocol&>(
+          e.protocol(v));
+      ok = p.received() == payloads;
+    }
+    out.ok = ok;
+    if (ok && out.ack_rounds.size() >= 2) {
+      out.rounds_per_message = out.ack_rounds[1] - out.ack_rounds[0];
+    } else if (ok) {
+      out.rounds_per_message = out.ack_rounds[0];
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// One-bit schemes (§5 conclusion)
+// ---------------------------------------------------------------------------
+
+struct OneBitPlan final : Plan {
+  onebit::OneBitResult search;
+  NodeId z = graph::kNoNode;  ///< acknowledged variant only
+};
+
+onebit::OneBitOptions onebit_options(const SchemeOptions& opt) {
+  onebit::OneBitOptions out;
+  out.max_attempts = opt.max_attempts;
+  out.seed = opt.seed;
+  out.max_stages = opt.max_stages;
+  return out;
+}
+
+std::uint32_t count_ones(const std::vector<bool>& bits) {
+  std::uint32_t ones = 0;
+  for (const bool b : bits) ones += b ? 1u : 0u;
+  return ones;
+}
+
+/// Shared base: the randomized one-bit labeling search as the plan.
+class OneBitSchemeBase : public Scheme {
+ public:
+  std::string plan_key(NodeId source,
+                       const SchemeOptions& opt) const override {
+    std::string key = "src";
+    key += std::to_string(source);
+    key += "|s";
+    key += std::to_string(opt.seed);
+    key += "|a";
+    key += std::to_string(opt.max_attempts);
+    key += "|g";
+    key += std::to_string(opt.max_stages);
+    return key;
+  }
+
+  bool run_trivial(const Graph& g, NodeId, const Plan& plan,
+                   const SchemeOptions&, SchemeResult& out) const override {
+    const auto& p = static_cast<const OneBitPlan&>(plan);
+    out.attempts = p.search.attempts;
+    if (!p.search.ok) {
+      out.labeling_found = false;
+      return true;
+    }
+    out.ones = count_ones(p.search.bits);
+    if (g.node_count() == 1) {
+      out.ok = out.all_informed = true;
+      return true;
+    }
+    return false;
+  }
+};
+
+/// B1: algorithm B with x1 = x2 = the bit.
+class OneBitScheme final : public OneBitSchemeBase {
+ public:
+  std::string_view name() const noexcept override { return "onebit"; }
+  std::string_view description() const noexcept override {
+    return "One-bit labeling under B1 (x1 = x2 = bit), engine-validated "
+           "(paper §5)";
+  }
+
+  PlanPtr label(const Graph& g, NodeId source,
+                const SchemeOptions& opt) const override {
+    auto plan = std::make_shared<OneBitPlan>();
+    plan->search = onebit::find_onebit_labeling(g, source,
+                                                onebit_options(opt));
+    return plan;
+  }
+
+  std::vector<std::unique_ptr<sim::Protocol>> make_protocols(
+      const Graph& g, NodeId source, const Plan& plan,
+      const SchemeOptions& opt) const override {
+    const auto& bits = static_cast<const OneBitPlan&>(plan).search.bits;
+    std::vector<std::unique_ptr<sim::Protocol>> out;
+    out.reserve(g.node_count());
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      const core::Label label{bits[v], bits[v], false};
+      out.push_back(std::make_unique<core::BroadcastProtocol>(
+          label, v == source ? std::optional<std::uint32_t>(opt.mu)
+                             : std::nullopt));
+    }
+    return out;
+  }
+
+  std::uint64_t round_budget(const Graph& g, const Plan&,
+                             const SchemeOptions&) const override {
+    return 4ull * g.node_count() + 16;
+  }
+
+  void collect(const sim::Engine& e, const Graph&, NodeId, const Plan& plan,
+               const SchemeOptions&, const ExecutionConfig&,
+               SchemeResult& out) const override {
+    out.ok = out.all_informed;
+    out.completion_round = e.last_first_data_reception();
+    out.attempts = static_cast<const OneBitPlan&>(plan).search.attempts;
+    out.ones = count_ones(static_cast<const OneBitPlan&>(plan).search.bits);
+    out.label_bits = 1;
+  }
+};
+
+/// One-bit + z marker (3 label values): acknowledged broadcast.
+class OneBitAckScheme final : public OneBitSchemeBase {
+ public:
+  std::string_view name() const noexcept override { return "onebit-ack"; }
+  std::string_view description() const noexcept override {
+    return "One-bit labeling plus z marker: acknowledged broadcast with 3 "
+           "label values";
+  }
+
+  PlanPtr label(const Graph& g, NodeId source,
+                const SchemeOptions& opt) const override {
+    auto plan = std::make_shared<OneBitPlan>();
+    plan->search = onebit::find_onebit_labeling(g, source,
+                                                onebit_options(opt));
+    if (plan->search.ok && g.node_count() > 1) {
+      plan->z = onebit::last_informed_node(g, source, plan->search.bits);
+      RC_ASSERT_MSG(!plan->search.bits[plan->z],
+                    "last-informed node must carry bit 0");
+    }
+    return plan;
+  }
+
+  std::vector<std::unique_ptr<sim::Protocol>> make_protocols(
+      const Graph& g, NodeId source, const Plan& plan,
+      const SchemeOptions& opt) const override {
+    const auto& p = static_cast<const OneBitPlan&>(plan);
+    std::vector<std::unique_ptr<sim::Protocol>> out;
+    out.reserve(g.node_count());
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      const core::Label label{p.search.bits[v], p.search.bits[v], v == p.z};
+      out.push_back(std::make_unique<core::AckBroadcastProtocol>(
+          label, v == source ? std::optional<std::uint32_t>(opt.mu)
+                             : std::nullopt));
+    }
+    return out;
+  }
+
+  std::uint64_t round_budget(const Graph& g, const Plan&,
+                             const SchemeOptions&) const override {
+    return 6ull * g.node_count() + 16;
+  }
+
+  bool done(const sim::Engine& e, NodeId source,
+            const SchemeOptions&) const override {
+    return dynamic_cast<const core::AckBroadcastProtocol&>(
+               e.protocol(source))
+               .ack_round() != 0;
+  }
+
+  void collect(const sim::Engine& e, const Graph&, NodeId source,
+               const Plan& plan, const SchemeOptions&,
+               const ExecutionConfig&, SchemeResult& out) const override {
+    const auto& p = static_cast<const OneBitPlan&>(plan);
+    out.ack_round = dynamic_cast<const core::AckBroadcastProtocol&>(
+                        e.protocol(source))
+                        .ack_round();
+    out.ok = out.all_informed && out.ack_round != 0;
+    out.completion_round = e.last_first_data_reception();
+    out.attempts = p.search.attempts;
+    out.ones = count_ones(p.search.bits);
+    out.special = p.z;
+    out.label_bits = 2;  // 3 label values
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Baselines (§1): round-robin, color-robin, decay, beep
+// ---------------------------------------------------------------------------
+
+struct EmptyPlan final : Plan {};
+
+struct ColoringPlan final : Plan {
+  graph::Coloring coloring;
+};
+
+class RoundRobinScheme final : public Scheme {
+ public:
+  std::string_view name() const noexcept override { return "round-robin"; }
+  std::string_view description() const noexcept override {
+    return "Round-robin over unique ids: Θ(log n)-bit labels, "
+           "collision-free (paper §1)";
+  }
+  std::string plan_key(NodeId, const SchemeOptions&) const override {
+    return {};  // label-free: one plan per graph
+  }
+
+  PlanPtr label(const Graph&, NodeId, const SchemeOptions&) const override {
+    return std::make_shared<EmptyPlan>();
+  }
+
+  std::vector<std::unique_ptr<sim::Protocol>> make_protocols(
+      const Graph& g, NodeId source, const Plan&,
+      const SchemeOptions& opt) const override {
+    const std::uint32_t n = g.node_count();
+    std::vector<std::unique_ptr<sim::Protocol>> out;
+    out.reserve(n);
+    for (NodeId v = 0; v < n; ++v) {
+      out.push_back(std::make_unique<baselines::RoundRobinProtocol>(
+          v, n,
+          v == source ? std::optional<std::uint32_t>(opt.mu) : std::nullopt));
+    }
+    return out;
+  }
+
+  std::uint64_t round_budget(const Graph& g, const Plan&,
+                             const SchemeOptions&) const override {
+    return 2ull * g.node_count() * g.node_count() + 16;
+  }
+
+  void collect(const sim::Engine& e, const Graph& g, NodeId, const Plan&,
+               const SchemeOptions&, const ExecutionConfig&,
+               SchemeResult& out) const override {
+    out.ok = out.all_informed;
+    out.completion_round = e.last_first_data_reception();
+    out.label_bits = 2 * bits_for(g.node_count());
+  }
+};
+
+class ColorRobinScheme final : public Scheme {
+ public:
+  std::string_view name() const noexcept override { return "color-robin"; }
+  std::string_view description() const noexcept override {
+    return "Round-robin over a proper G² coloring: Θ(log Δ)-bit labels "
+           "(paper §1)";
+  }
+  std::string plan_key(NodeId, const SchemeOptions&) const override {
+    return {};  // the coloring only depends on the graph
+  }
+
+  PlanPtr label(const Graph& g, NodeId, const SchemeOptions&) const override {
+    auto plan = std::make_shared<ColoringPlan>();
+    plan->coloring = graph::square_coloring(g);
+    return plan;
+  }
+
+  std::vector<std::unique_ptr<sim::Protocol>> make_protocols(
+      const Graph& g, NodeId source, const Plan& plan,
+      const SchemeOptions& opt) const override {
+    const auto& coloring = static_cast<const ColoringPlan&>(plan).coloring;
+    std::vector<std::unique_ptr<sim::Protocol>> out;
+    out.reserve(g.node_count());
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      out.push_back(std::make_unique<baselines::ColorRobinProtocol>(
+          coloring.color[v], coloring.count,
+          v == source ? std::optional<std::uint32_t>(opt.mu) : std::nullopt));
+    }
+    return out;
+  }
+
+  std::uint64_t round_budget(const Graph& g, const Plan& plan,
+                             const SchemeOptions&) const override {
+    const auto& coloring = static_cast<const ColoringPlan&>(plan).coloring;
+    return static_cast<std::uint64_t>(coloring.count) *
+               (g.node_count() + 2) +
+           16;
+  }
+
+  void collect(const sim::Engine& e, const Graph&, NodeId, const Plan& plan,
+               const SchemeOptions&, const ExecutionConfig&,
+               SchemeResult& out) const override {
+    out.ok = out.all_informed;
+    out.completion_round = e.last_first_data_reception();
+    out.label_bits =
+        2 * bits_for(static_cast<const ColoringPlan&>(plan).coloring.count);
+  }
+};
+
+class DecayScheme final : public Scheme {
+ public:
+  std::string_view name() const noexcept override { return "decay"; }
+  std::string_view description() const noexcept override {
+    return "BGI Decay: randomized label-free baseline that knows n "
+           "(paper §1)";
+  }
+  std::string plan_key(NodeId, const SchemeOptions&) const override {
+    return {};  // label-free; the seed parameterizes protocols, not a plan
+  }
+
+  PlanPtr label(const Graph&, NodeId, const SchemeOptions&) const override {
+    return std::make_shared<EmptyPlan>();
+  }
+
+  std::vector<std::unique_ptr<sim::Protocol>> make_protocols(
+      const Graph& g, NodeId source, const Plan&,
+      const SchemeOptions& opt) const override {
+    Rng master(opt.seed);
+    std::vector<std::unique_ptr<sim::Protocol>> out;
+    out.reserve(g.node_count());
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      out.push_back(std::make_unique<baselines::DecayProtocol>(
+          g.node_count(), master.next(),
+          v == source ? std::optional<std::uint32_t>(opt.mu) : std::nullopt));
+    }
+    return out;
+  }
+
+  std::uint64_t round_budget(const Graph& g, const Plan&,
+                             const SchemeOptions&) const override {
+    return 64ull * (g.node_count() + 16);
+  }
+
+  void collect(const sim::Engine& e, const Graph&, NodeId, const Plan&,
+               const SchemeOptions&, const ExecutionConfig&,
+               SchemeResult& out) const override {
+    out.ok = out.all_informed;
+    out.completion_round = e.last_first_data_reception();
+    out.label_bits = 0;
+  }
+};
+
+class BeepScheme final : public Scheme {
+ public:
+  std::string_view name() const noexcept override { return "beep"; }
+  std::string_view description() const noexcept override {
+    return "Anonymous bit-by-bit broadcast under collision detection "
+           "(paper §1.1)";
+  }
+  bool needs_collision_detection() const noexcept override { return true; }
+  std::string plan_key(NodeId, const SchemeOptions&) const override {
+    return {};  // anonymous: no labeling at all
+  }
+
+  PlanPtr label(const Graph&, NodeId, const SchemeOptions&) const override {
+    return std::make_shared<EmptyPlan>();
+  }
+
+  std::vector<std::unique_ptr<sim::Protocol>> make_protocols(
+      const Graph& g, NodeId source, const Plan&,
+      const SchemeOptions& opt) const override {
+    std::vector<std::unique_ptr<sim::Protocol>> out;
+    out.reserve(g.node_count());
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      out.push_back(std::make_unique<baselines::BeepBroadcastProtocol>(
+          opt.frame_bits,
+          v == source ? std::optional<std::uint32_t>(opt.mu) : std::nullopt));
+    }
+    return out;
+  }
+
+  std::uint64_t round_budget(const Graph& g, const Plan&,
+                             const SchemeOptions& opt) const override {
+    return (static_cast<std::uint64_t>(opt.frame_bits) + 2) *
+           (g.node_count() + 2);
+  }
+
+  void collect(const sim::Engine& e, const Graph& g, NodeId, const Plan&,
+               const SchemeOptions& opt, const ExecutionConfig&,
+               SchemeResult& out) const override {
+    bool ok = out.all_informed;
+    for (NodeId v = 0; v < g.node_count() && ok; ++v) {
+      const auto& p = dynamic_cast<const baselines::BeepBroadcastProtocol&>(
+          e.protocol(v));
+      ok = p.decoded().has_value() && *p.decoded() == opt.mu;
+    }
+    out.ok = ok;
+    // Historical BeepRun convention: the round count, not the last
+    // first-data reception (decoding finishes after the last beep).
+    out.completion_round = e.round();
+    out.label_bits = 0;
+  }
+};
+
+}  // namespace
+
+namespace detail {
+
+void register_builtin_schemes(SchemeRegistry& registry) {
+  registry.add(std::make_unique<BScheme>());
+  registry.add(std::make_unique<AckScheme>());
+  registry.add(std::make_unique<CommonRoundScheme>());
+  registry.add(std::make_unique<ArbScheme>());
+  registry.add(std::make_unique<MultiScheme>());
+  registry.add(std::make_unique<OneBitScheme>());
+  registry.add(std::make_unique<OneBitAckScheme>());
+  registry.add(std::make_unique<RoundRobinScheme>());
+  registry.add(std::make_unique<ColorRobinScheme>());
+  registry.add(std::make_unique<DecayScheme>());
+  registry.add(std::make_unique<BeepScheme>());
+}
+
+}  // namespace detail
+
+}  // namespace radiocast::runtime

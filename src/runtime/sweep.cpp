@@ -1,0 +1,198 @@
+#include "runtime/sweep.hpp"
+
+#include <utility>
+
+#include "parallel/parallel_for.hpp"
+#include "support/contracts.hpp"
+
+namespace radiocast::runtime {
+
+PlanPtr PlanCache::find_plan(const std::string& key) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = plans_.find(key);
+  return it == plans_.end() ? nullptr : it->second;
+}
+
+void PlanCache::put_plan(const std::string& key, PlanPtr plan) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  plans_.emplace(key, std::move(plan));
+}
+
+CompiledPlanPtr PlanCache::find_compiled(const std::string& key) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = compiled_.find(key);
+  return it == compiled_.end() ? nullptr : it->second;
+}
+
+void PlanCache::put_compiled(const std::string& key, CompiledPlanPtr plan) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  compiled_.emplace(key, std::move(plan));
+}
+
+void PlanCache::count_plan_lookup(bool hit) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  (hit ? stats_.plan_hits : stats_.plan_misses) += 1;
+}
+
+void PlanCache::count_compiled_lookup(bool hit) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  (hit ? stats_.compiled_hits : stats_.compiled_misses) += 1;
+}
+
+PlanCacheStats PlanCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t PlanCache::plan_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return plans_.size();
+}
+
+std::size_t PlanCache::compiled_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return compiled_.size();
+}
+
+void PlanCache::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  plans_.clear();
+  compiled_.clear();
+  stats_ = {};
+}
+
+std::size_t SweepRunner::add_graph(graph::Graph g) {
+  graphs_.push_back(std::move(g));
+  return graphs_.size() - 1;
+}
+
+const graph::Graph& SweepRunner::graph(std::size_t index) const {
+  RC_EXPECTS(index < graphs_.size());
+  return graphs_[index];
+}
+
+std::vector<SchemeResult> SweepRunner::run(
+    const std::vector<ExperimentSpec>& specs) {
+  // Resolve every spec up front: scheme pointer, plan key, compiled key.
+  struct Resolved {
+    const Scheme* scheme = nullptr;
+    std::string plan_key;
+    std::string compiled_key;  ///< empty = engine path
+    PlanPtr plan;
+    CompiledPlanPtr compiled;
+  };
+  auto& registry = SchemeRegistry::instance();
+  std::vector<Resolved> resolved(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const ExperimentSpec& spec = specs[i];
+    Resolved& r = resolved[i];
+    r.scheme = registry.find(spec.scheme);
+    RC_EXPECTS_MSG(r.scheme != nullptr, "unregistered scheme in sweep spec");
+    RC_EXPECTS_MSG(spec.graph < graphs_.size(),
+                   "sweep spec references an unregistered graph");
+    RC_EXPECTS(spec.source < graphs_[spec.graph].node_count());
+    std::string plan_key("g");
+    plan_key += std::to_string(spec.graph);
+    plan_key += "|";
+    plan_key += spec.scheme;
+    plan_key += "|";
+    plan_key += r.scheme->plan_key(spec.source, spec.options);
+    if (spec.config.compiled && r.scheme->can_compile()) {
+      std::string compiled_key(plan_key);
+      compiled_key += "|src";
+      compiled_key += std::to_string(spec.source);
+      compiled_key += "|mu";
+      compiled_key += std::to_string(spec.options.mu);
+      compiled_key += "|cap";
+      compiled_key += std::to_string(spec.config.max_rounds);
+      r.compiled_key = std::move(compiled_key);
+    }
+    r.plan_key = std::move(plan_key);
+  }
+
+  // Phase 1: compute every missing labeling exactly once.  Misses are
+  // deduplicated by key (first spec wins the computation slot); the
+  // parallel loop only touches distinct keys, so "exactly once per cache
+  // key" holds structurally rather than by locking.
+  std::vector<std::size_t> plan_work;  // spec index owning a distinct key
+  {
+    std::unordered_map<std::string, std::size_t> first_owner;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      Resolved& r = resolved[i];
+      r.plan = cache_.find_plan(r.plan_key);
+      if (r.plan != nullptr) {
+        cache_.count_plan_lookup(true);
+        continue;
+      }
+      const auto [it, inserted] = first_owner.emplace(r.plan_key, i);
+      if (inserted) {
+        cache_.count_plan_lookup(false);
+        plan_work.push_back(i);
+      } else {
+        cache_.count_plan_lookup(true);  // served by this batch's computation
+      }
+    }
+  }
+  par::parallel_map(pool_, plan_work.size(), [&](std::size_t w) {
+    const std::size_t i = plan_work[w];
+    const ExperimentSpec& spec = specs[i];
+    Resolved& r = resolved[i];
+    r.plan = r.scheme->label(graphs_[spec.graph], spec.source, spec.options);
+    cache_.put_plan(r.plan_key, r.plan);
+    return 0;
+  });
+  for (Resolved& r : resolved) {
+    if (r.plan == nullptr) r.plan = cache_.find_plan(r.plan_key);
+  }
+
+  // Phase 2: lower every missing compiled execution exactly once.
+  std::vector<std::size_t> compile_work;
+  {
+    std::unordered_map<std::string, std::size_t> first_owner;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      Resolved& r = resolved[i];
+      if (r.compiled_key.empty()) continue;
+      r.compiled = cache_.find_compiled(r.compiled_key);
+      if (r.compiled != nullptr) {
+        cache_.count_compiled_lookup(true);
+        continue;
+      }
+      const auto [it, inserted] = first_owner.emplace(r.compiled_key, i);
+      if (inserted) {
+        cache_.count_compiled_lookup(false);
+        compile_work.push_back(i);
+      } else {
+        cache_.count_compiled_lookup(true);
+      }
+    }
+  }
+  par::parallel_map(pool_, compile_work.size(), [&](std::size_t w) {
+    const std::size_t i = compile_work[w];
+    const ExperimentSpec& spec = specs[i];
+    Resolved& r = resolved[i];
+    r.compiled = r.scheme->compile(graphs_[spec.graph], spec.source, r.plan,
+                                   spec.options, spec.config);
+    cache_.put_compiled(r.compiled_key, r.compiled);
+    return 0;
+  });
+  for (Resolved& r : resolved) {
+    if (!r.compiled_key.empty() && r.compiled == nullptr) {
+      r.compiled = cache_.find_compiled(r.compiled_key);
+    }
+  }
+
+  // Phase 3: execute all specs against the shared read-only plans; results
+  // land in spec order (parallel_map writes indexed slots).
+  return par::parallel_map(pool_, specs.size(), [&](std::size_t i) {
+    const ExperimentSpec& spec = specs[i];
+    const Resolved& r = resolved[i];
+    const graph::Graph& g = graphs_[spec.graph];
+    if (r.compiled != nullptr) {
+      return r.scheme->replay(g, spec.source, *r.compiled, spec.config);
+    }
+    return run_with_plan(*r.scheme, g, spec.source, r.plan, spec.options,
+                         spec.config);
+  });
+}
+
+}  // namespace radiocast::runtime

@@ -314,4 +314,11 @@ const Trace& Engine::trace() const {
   return trace_;
 }
 
+Trace Engine::take_trace() {
+  RC_EXPECTS_MSG(options_.trace == TraceLevel::kFull,
+                 "full trace was not recorded; construct Engine with "
+                 "TraceLevel::kFull");
+  return std::move(trace_);
+}
+
 }  // namespace radiocast::sim

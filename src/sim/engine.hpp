@@ -146,6 +146,11 @@ class Engine {
 
   const Trace& trace() const;
 
+  /// Moves the recorded trace out (kFull only).  For callers that outlive
+  /// a short-lived engine and want the ground truth without the deep copy
+  /// `trace()` would force; the engine's trace is empty afterwards.
+  Trace take_trace();
+
   Protocol& protocol(NodeId v) {
     RC_EXPECTS(v < protocols_.size());
     return *protocols_[v];

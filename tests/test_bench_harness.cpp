@@ -207,9 +207,9 @@ const std::set<std::string> kExpectedScenarios = {
     "dom_policies",  "engine_backends",     "fig1",
     "impossibility", "labels",              "message_size",
     "multi_message", "onebit",              "sharded_scaling",
-    "sim_throughput"};
+    "sim_throughput", "sweep_throughput"};
 
-TEST(BenchRegistry, ListsAllNineteenScenarios) {
+TEST(BenchRegistry, ListsAllTwentyScenarios) {
   std::set<std::string> names;
   for (const auto& s : registry()) names.insert(s.name);
   EXPECT_EQ(names, kExpectedScenarios);
@@ -248,8 +248,8 @@ TEST(BenchFilter, ExactTagSelects) {
   for (const auto& s : select("micro")) names.insert(s.name);
   EXPECT_EQ(names, (std::set<std::string>{"construction", "dispatch_scaling",
                                           "engine_backends",
-                                          "sharded_scaling",
-                                          "sim_throughput"}));
+                                          "sharded_scaling", "sim_throughput",
+                                          "sweep_throughput"}));
   // Tags match exactly: a tag prefix selects nothing by itself.
   EXPECT_TRUE(select("micr").empty());
 }
@@ -262,14 +262,15 @@ TEST(BenchFilter, CommaSeparatedTermsUnion) {
 }
 
 TEST(BenchFilter, SmokeTagCoversAllScenariosExceptScaling) {
-  // The scaling scenarios (sharded_scaling, dispatch_scaling) raise their
-  // instance sizes to n >= 4096..16384 — deliberately excluded from the
-  // smoke tier (CI runs them explicitly).
+  // The scaling scenarios (sharded_scaling, dispatch_scaling,
+  // sweep_throughput) raise their instance sizes to n >= 4096..16384 —
+  // deliberately excluded from the smoke tier (CI runs them explicitly).
   std::set<std::string> names;
   for (const auto& s : select("smoke")) names.insert(s.name);
   auto expected = kExpectedScenarios;
   expected.erase("sharded_scaling");
   expected.erase("dispatch_scaling");
+  expected.erase("sweep_throughput");
   EXPECT_EQ(names, expected);
 }
 
@@ -283,7 +284,7 @@ TEST(BenchCli, ParsesTheDocumentedFlags) {
   EXPECT_EQ(opt.sizes, (std::vector<std::uint32_t>{64, 128}));
   EXPECT_EQ(opt.repeat, 3);
   EXPECT_EQ(opt.json_path, "x.json");
-  EXPECT_EQ(opt.threads, 2u);
+  EXPECT_EQ(opt.exec.threads, 2u);
 }
 
 TEST(BenchCli, DefaultsAndErrors) {
@@ -312,12 +313,12 @@ TEST(BenchCli, DefaultsAndErrors) {
 
 TEST(BenchCli, ParsesBackendFlag) {
   const char* none[] = {"radiocast_bench"};
-  EXPECT_EQ(parse_args(1, none).backend, sim::BackendKind::kAuto);
+  EXPECT_EQ(parse_args(1, none).exec.backend, sim::BackendKind::kAuto);
 
   const char* bit[] = {"radiocast_bench", "--backend", "bit"};
-  EXPECT_EQ(parse_args(3, bit).backend, sim::BackendKind::kBit);
+  EXPECT_EQ(parse_args(3, bit).exec.backend, sim::BackendKind::kBit);
   const char* scalar[] = {"radiocast_bench", "--backend", "scalar"};
-  EXPECT_EQ(parse_args(3, scalar).backend, sim::BackendKind::kScalar);
+  EXPECT_EQ(parse_args(3, scalar).exec.backend, sim::BackendKind::kScalar);
 
   const char* bogus[] = {"radiocast_bench", "--backend", "simd"};
   EXPECT_FALSE(parse_args(3, bogus).error.empty());
@@ -327,12 +328,12 @@ TEST(BenchCli, ParsesBackendFlag) {
 
 TEST(BenchCli, ParsesDispatchFlag) {
   const char* none[] = {"radiocast_bench"};
-  EXPECT_EQ(parse_args(1, none).dispatch, sim::DispatchKind::kAuto);
+  EXPECT_EQ(parse_args(1, none).exec.dispatch, sim::DispatchKind::kAuto);
 
   const char* scan[] = {"radiocast_bench", "--dispatch", "scan"};
-  EXPECT_EQ(parse_args(3, scan).dispatch, sim::DispatchKind::kScan);
+  EXPECT_EQ(parse_args(3, scan).exec.dispatch, sim::DispatchKind::kScan);
   const char* active[] = {"radiocast_bench", "--dispatch", "active"};
-  EXPECT_EQ(parse_args(3, active).dispatch, sim::DispatchKind::kActiveSet);
+  EXPECT_EQ(parse_args(3, active).exec.dispatch, sim::DispatchKind::kActiveSet);
 
   const char* bogus[] = {"radiocast_bench", "--dispatch", "lazy"};
   EXPECT_FALSE(parse_args(3, bogus).error.empty());

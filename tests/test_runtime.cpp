@@ -1,0 +1,367 @@
+// The runtime layer's oracles:
+//  - a registry-driven differential suite that iterates every registered
+//    scheme uniformly across engine backends (scalar/bit/sharded), dispatch
+//    strategies (scan/active-set), and ± collision detection, asserting
+//    full trace equality against the scalar × scan oracle;
+//  - compiled-replay trace equality for the label-determined schemes;
+//  - SweepRunner determinism (byte-identical batch output at 1, 2, and 8
+//    worker threads) and PlanCache hit/miss accounting (labelings computed
+//    exactly once per cache key);
+//  - the activity-contract satellite: multi-message, round-robin,
+//    color-robin, decay, and beep now hint, so the active set polls
+//    strictly less than the scan while staying bit-exact.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/experiments.hpp"
+#include "baselines/baselines.hpp"
+#include "baselines/beep.hpp"
+#include "core/runner.hpp"
+#include "graph/generators.hpp"
+#include "runtime/scheme.hpp"
+#include "runtime/sweep.hpp"
+#include "support/rng.hpp"
+
+namespace radiocast {
+namespace {
+
+using graph::Graph;
+using runtime::ExecutionConfig;
+using runtime::ExperimentSpec;
+using runtime::SchemeOptions;
+using runtime::SchemeRegistry;
+using runtime::SchemeResult;
+
+void expect_trace_equal(const sim::Trace& a, const sim::Trace& b,
+                        const std::string& context) {
+  ASSERT_EQ(a.rounds().size(), b.rounds().size()) << context;
+  for (std::size_t t = 0; t < a.rounds().size(); ++t) {
+    const auto& ra = a.rounds()[t];
+    const auto& rb = b.rounds()[t];
+    EXPECT_EQ(ra.transmissions, rb.transmissions)
+        << context << " round " << t + 1;
+    EXPECT_EQ(ra.deliveries, rb.deliveries) << context << " round " << t + 1;
+    EXPECT_EQ(ra.collisions, rb.collisions) << context << " round " << t + 1;
+  }
+}
+
+void expect_results_equal(const SchemeResult& a, const SchemeResult& b,
+                          const std::string& context) {
+  EXPECT_EQ(a.ok, b.ok) << context;
+  EXPECT_EQ(a.all_informed, b.all_informed) << context;
+  EXPECT_EQ(a.rounds, b.rounds) << context;
+  EXPECT_EQ(a.completion_round, b.completion_round) << context;
+  EXPECT_EQ(a.ack_round, b.ack_round) << context;
+  EXPECT_EQ(a.done_round, b.done_round) << context;
+  EXPECT_EQ(a.T, b.T) << context;
+  EXPECT_EQ(a.tx_total, b.tx_total) << context;
+  EXPECT_EQ(a.max_stamp, b.max_stamp) << context;
+  EXPECT_EQ(a.ack_rounds, b.ack_rounds) << context;
+}
+
+std::vector<Graph> differential_graphs() {
+  Rng rng(0xC0FFEE);
+  std::vector<Graph> graphs;
+  graphs.push_back(graph::path(9));
+  graphs.push_back(graph::grid(3, 4));
+  graphs.push_back(graph::star(8));
+  graphs.push_back(graph::gnp_connected(12, 0.3, rng));
+  return graphs;
+}
+
+TEST(SchemeRegistry, ListsEveryBuiltinScheme) {
+  auto& registry = SchemeRegistry::instance();
+  for (const char* name :
+       {"b", "ack", "common-round", "arb", "multi", "onebit", "onebit-ack",
+        "round-robin", "color-robin", "decay", "beep"}) {
+    EXPECT_NE(registry.find(name), nullptr) << name;
+  }
+  const auto all = registry.schemes();
+  EXPECT_GE(all.size(), 11u);
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LT(all[i - 1]->name(), all[i]->name());  // sorted, unique
+  }
+  EXPECT_EQ(registry.find("no-such-scheme"), nullptr);
+}
+
+// Every registered scheme, uniformly: scalar × scan (the seed path) is the
+// oracle; every other (backend × dispatch) combination and the
+// collision-detection mode must reproduce its trace bit for bit.
+TEST(SchemeDifferential, AllSchemesAgreeAcrossBackendsAndDispatch) {
+  const auto graphs = differential_graphs();
+  struct Variant {
+    sim::BackendKind backend;
+    sim::DispatchKind dispatch;
+    std::size_t threads;
+    const char* tag;
+  };
+  const Variant variants[] = {
+      {sim::BackendKind::kBit, sim::DispatchKind::kScan, 0, "bit/scan"},
+      {sim::BackendKind::kScalar, sim::DispatchKind::kActiveSet, 0,
+       "scalar/active"},
+      {sim::BackendKind::kBit, sim::DispatchKind::kActiveSet, 0,
+       "bit/active"},
+      {sim::BackendKind::kSharded, sim::DispatchKind::kScan, 2,
+       "sharded/scan"},
+      {sim::BackendKind::kSharded, sim::DispatchKind::kActiveSet, 2,
+       "sharded/active"},
+  };
+  SchemeOptions opt;
+  opt.payloads = {7, 8};  // exercised by "multi" only
+  for (const auto* scheme : SchemeRegistry::instance().schemes()) {
+    for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+      const Graph& g = graphs[gi];
+      for (const bool cd : {false, true}) {
+        ExecutionConfig oracle_cfg;
+        oracle_cfg.backend = sim::BackendKind::kScalar;
+        oracle_cfg.dispatch = sim::DispatchKind::kScan;
+        oracle_cfg.collision_detection = cd;
+        oracle_cfg.trace = sim::TraceLevel::kFull;
+        const auto plan = scheme->label(g, 0, opt);
+        const auto oracle =
+            runtime::run_with_plan(*scheme, g, 0, plan, opt, oracle_cfg);
+        for (const Variant& v : variants) {
+          ExecutionConfig cfg = oracle_cfg;
+          cfg.backend = v.backend;
+          cfg.dispatch = v.dispatch;
+          cfg.threads = v.threads;
+          const std::string context = std::string(scheme->name()) +
+                                      " graph#" + std::to_string(gi) + " " +
+                                      v.tag + (cd ? " +cd" : "");
+          const auto run =
+              runtime::run_with_plan(*scheme, g, 0, plan, opt, cfg);
+          expect_results_equal(oracle, run, context);
+          expect_trace_equal(oracle.trace, run.trace, context);
+        }
+      }
+    }
+  }
+}
+
+// The compiled fast paths must replay the exact engine execution.
+TEST(SchemeDifferential, CompiledReplayMatchesEngineTrace) {
+  const auto graphs = differential_graphs();
+  for (const char* name : {"b", "ack", "arb"}) {
+    const auto* scheme = SchemeRegistry::instance().find(name);
+    ASSERT_NE(scheme, nullptr);
+    ASSERT_TRUE(scheme->can_compile());
+    for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+      const Graph& g = graphs[gi];
+      ExecutionConfig engine_cfg;
+      engine_cfg.trace = sim::TraceLevel::kFull;
+      ExecutionConfig compiled_cfg = engine_cfg;
+      compiled_cfg.compiled = true;
+      const auto engine = runtime::run_scheme(*scheme, g, 0, {}, engine_cfg);
+      const auto compiled =
+          runtime::run_scheme(*scheme, g, 0, {}, compiled_cfg);
+      const std::string context =
+          std::string(name) + " graph#" + std::to_string(gi);
+      EXPECT_EQ(engine.ok, compiled.ok) << context;
+      EXPECT_EQ(engine.rounds, compiled.rounds) << context;
+      if (std::string(name) != "arb") {
+        // B_arb's prediction mirrors ArbRun, which never exposed a
+        // completion round; B and B_ack predict it exactly.
+        EXPECT_EQ(engine.completion_round, compiled.completion_round)
+            << context;
+      }
+      EXPECT_EQ(engine.ack_round, compiled.ack_round) << context;
+      EXPECT_EQ(engine.done_round, compiled.done_round) << context;
+      EXPECT_EQ(engine.tx_total, compiled.tx_total) << context;
+      expect_trace_equal(engine.trace, compiled.trace, context);
+    }
+  }
+}
+
+TEST(SchemeRuntime, WrappersForwardLosslessly) {
+  Rng rng(7);
+  const Graph g = graph::gnp_connected(14, 0.25, rng);
+  const auto direct = runtime::run_scheme("b", g, 0);
+  const auto wrapped = core::run_broadcast(g, 0);
+  EXPECT_EQ(wrapped.all_informed, direct.all_informed);
+  EXPECT_EQ(wrapped.completion_round, direct.completion_round);
+  EXPECT_EQ(wrapped.bound, direct.bound);
+  EXPECT_EQ(wrapped.ell, direct.ell);
+  EXPECT_EQ(wrapped.max_node_tx, direct.max_node_tx);
+
+  SchemeOptions beep_opt;
+  beep_opt.mu = 9;
+  beep_opt.frame_bits = 6;
+  const auto beep_direct = runtime::run_scheme("beep", g, 0, beep_opt);
+  const auto beep_wrapped = baselines::run_beep(g, 0, 9, 6);
+  EXPECT_EQ(beep_wrapped.ok, beep_direct.ok);
+  EXPECT_EQ(beep_wrapped.completion_round, beep_direct.completion_round);
+}
+
+TEST(SchemeRuntime, VerifyHookChecksLemma28) {
+  const Graph g = graph::grid(4, 4);
+  const auto* scheme = SchemeRegistry::instance().find("b");
+  ASSERT_NE(scheme, nullptr);
+  const auto plan = scheme->label(g, 0, {});
+  ExecutionConfig cfg;
+  cfg.trace = sim::TraceLevel::kFull;
+  const auto run = runtime::run_with_plan(*scheme, g, 0, plan, {}, cfg);
+  ASSERT_TRUE(run.ok);
+  EXPECT_EQ(scheme->verify(g, 0, *plan, run.trace), "");
+}
+
+// Satellite: the multi-message protocol and the baselines now implement the
+// sim::Protocol activity contract, so the active set does strictly less
+// dispatch work than the scan while reproducing it exactly.
+TEST(ActivityContract, NewHintsCutPollsWithoutChangingResults) {
+  const Graph g = graph::path(64);
+  for (const char* name : {"multi", "round-robin", "color-robin", "beep"}) {
+    const auto* scheme = SchemeRegistry::instance().find(name);
+    ASSERT_NE(scheme, nullptr);
+    SchemeOptions opt;
+    opt.payloads = {3, 4};
+    const auto plan = scheme->label(g, 0, opt);
+    ExecutionConfig scan_cfg;
+    scan_cfg.dispatch = sim::DispatchKind::kScan;
+    scan_cfg.trace = sim::TraceLevel::kFull;
+    ExecutionConfig active_cfg = scan_cfg;
+    active_cfg.dispatch = sim::DispatchKind::kActiveSet;
+    const auto scan = runtime::run_with_plan(*scheme, g, 0, plan, opt,
+                                             scan_cfg);
+    const auto active = runtime::run_with_plan(*scheme, g, 0, plan, opt,
+                                               active_cfg);
+    expect_results_equal(scan, active, name);
+    expect_trace_equal(scan.trace, active.trace, name);
+    EXPECT_LT(active.polls, scan.polls) << name;
+    // kAuto must now resolve to the active set for these protocols.
+    ExecutionConfig auto_cfg = scan_cfg;
+    auto_cfg.dispatch = sim::DispatchKind::kAuto;
+    const auto resolved = runtime::run_with_plan(*scheme, g, 0, plan, opt,
+                                                 auto_cfg);
+    EXPECT_EQ(resolved.polls, active.polls) << name;
+  }
+  // Decay: identical rng draw sequence, so bit-exact too.
+  const auto* decay = SchemeRegistry::instance().find("decay");
+  SchemeOptions opt;
+  opt.seed = 99;
+  const auto plan = decay->label(g, 0, opt);
+  ExecutionConfig scan_cfg;
+  scan_cfg.dispatch = sim::DispatchKind::kScan;
+  scan_cfg.trace = sim::TraceLevel::kFull;
+  ExecutionConfig active_cfg = scan_cfg;
+  active_cfg.dispatch = sim::DispatchKind::kActiveSet;
+  const auto scan = runtime::run_with_plan(*decay, g, 0, plan, opt, scan_cfg);
+  const auto active =
+      runtime::run_with_plan(*decay, g, 0, plan, opt, active_cfg);
+  expect_results_equal(scan, active, "decay");
+  expect_trace_equal(scan.trace, active.trace, "decay");
+  EXPECT_LT(active.polls, scan.polls) << "decay";
+}
+
+// ---------------------------------------------------------------------------
+// SweepRunner + PlanCache
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> run_suite_batch(std::size_t threads) {
+  par::ThreadPool pool(threads);
+  runtime::SweepRunner runner(pool);
+  const auto suite = analysis::quick_suite(16, /*seed=*/3);
+  ExecutionConfig engine_cfg;
+  auto specs = analysis::scheme_specs(
+      runner, suite,
+      {"b", "ack", "common-round", "arb", "multi", "round-robin",
+       "color-robin", "decay", "beep"},
+      engine_cfg);
+  // Mix in compiled specs: same scheme, compiled execution path.
+  ExecutionConfig compiled_cfg;
+  compiled_cfg.compiled = true;
+  for (const char* name : {"b", "ack", "arb"}) {
+    ExperimentSpec spec;
+    spec.scheme = name;
+    spec.graph = 0;
+    spec.source = 0;
+    spec.config = compiled_cfg;
+    spec.label = std::string("compiled/") + name;
+    specs.push_back(std::move(spec));
+  }
+  return analysis::format_sweep(specs, runner.run(specs));
+}
+
+TEST(SweepRunner, BatchOutputIsIdenticalAtAnyThreadCount) {
+  const auto one = run_suite_batch(1);
+  const auto two = run_suite_batch(2);
+  const auto eight = run_suite_batch(8);
+  ASSERT_EQ(one.size(), two.size());
+  ASSERT_EQ(one.size(), eight.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(one[i], two[i]) << "line " << i;
+    EXPECT_EQ(one[i], eight[i]) << "line " << i;
+  }
+}
+
+TEST(SweepRunner, PlanCacheComputesEachKeyOnceAndCountsHits) {
+  par::ThreadPool pool(4);
+  runtime::SweepRunner runner(pool);
+  const std::size_t g = runner.add_graph(graph::path(10));
+
+  const auto spec = [&](const char* scheme, graph::NodeId source) {
+    ExperimentSpec s;
+    s.scheme = scheme;
+    s.graph = g;
+    s.source = source;
+    return s;
+  };
+  // Three specs share the (b, src 0) labeling, one uses (b, src 1), two
+  // share (ack, src 0): 3 distinct keys, 6 lookups.
+  const std::vector<ExperimentSpec> batch = {spec("b", 0),   spec("b", 0),
+                                             spec("b", 0),   spec("b", 1),
+                                             spec("ack", 0), spec("ack", 0)};
+  const auto first = runner.run(batch);
+  auto stats = runner.cache_stats();
+  EXPECT_EQ(stats.plan_misses, 3u);
+  EXPECT_EQ(stats.plan_hits, 3u);
+  EXPECT_EQ(runner.cache().plan_count(), 3u);
+  for (const auto& r : first) EXPECT_TRUE(r.ok);
+
+  // Identical batch again: every lookup is a warm hit.
+  const auto second = runner.run(batch);
+  stats = runner.cache_stats();
+  EXPECT_EQ(stats.plan_misses, 3u);
+  EXPECT_EQ(stats.plan_hits, 9u);
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].completion_round, second[i].completion_round);
+    EXPECT_EQ(first[i].rounds, second[i].rounds);
+  }
+
+  // B_arb's labeling ignores the source, so two sources share one plan.
+  const std::vector<ExperimentSpec> arb_batch = {spec("arb", 0),
+                                                 spec("arb", 3)};
+  runner.run(arb_batch);
+  stats = runner.cache_stats();
+  EXPECT_EQ(stats.plan_misses, 4u);
+  EXPECT_EQ(stats.plan_hits, 10u);
+
+  // Compiled executions cache per (graph, scheme, source, µ).
+  ExperimentSpec compiled = spec("b", 0);
+  compiled.config.compiled = true;
+  const std::vector<ExperimentSpec> compiled_batch = {compiled, compiled};
+  const auto compiled_results = runner.run(compiled_batch);
+  stats = runner.cache_stats();
+  EXPECT_EQ(stats.compiled_misses, 1u);
+  EXPECT_EQ(stats.compiled_hits, 1u);
+  EXPECT_EQ(stats.plan_misses, 4u);  // labeling reused from the cache
+  EXPECT_EQ(compiled_results[0].completion_round,
+            first[0].completion_round);
+
+  runner.clear_cache();
+  EXPECT_EQ(runner.cache().plan_count(), 0u);
+  EXPECT_EQ(runner.cache_stats().plan_hits, 0u);
+}
+
+TEST(SweepRunner, GraphsAreAddressableAndValidated) {
+  par::ThreadPool pool(2);
+  runtime::SweepRunner runner(pool);
+  const auto idx = runner.add_graph(graph::cycle(8));
+  EXPECT_EQ(idx, 0u);
+  EXPECT_EQ(runner.graph(idx).node_count(), 8u);
+  EXPECT_EQ(runner.graph_count(), 1u);
+}
+
+}  // namespace
+}  // namespace radiocast
