@@ -98,7 +98,7 @@ void suite_family(Context& ctx, std::uint32_t n) {
 void clique_compiled_family(Context& ctx, std::uint32_t n) {
   const graph::Graph g = graph::complete(n);
   runtime::SweepRunner runner(ctx.pool());
-  const std::size_t graph = runner.add_graph(g);
+  const runtime::GraphRef graph = runner.add_graph(g);
   runtime::ExecutionConfig config = ctx.exec();
   config.compiled = true;
   std::vector<runtime::ExperimentSpec> specs;

@@ -20,6 +20,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "analysis/experiments.hpp"
@@ -53,7 +54,7 @@ int usage() {
                "[--seed S]\n"
                "                     [--schemes LIST|all] [--repeat K] "
                "[--backend ...] [--dispatch ...]\n"
-               "                     [--threads N]\n"
+               "                     [--threads N] [--store DIR]\n"
                "       (--backend compiled replays the label-determined "
                "schedule; run --scheme b|ack|arb;\n"
                "        --dispatch picks the protocol-dispatch strategy "
@@ -273,6 +274,7 @@ int cmd_sweep(int argc, char** argv) {
   int repeat = 1;
   std::string schemes_arg =
       "b,ack,common-round,arb,multi,round-robin,color-robin,decay,beep";
+  std::string store_dir;
   runtime::ExecutionConfig config;
   for (int i = 2; i < argc; ++i) {
     const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
@@ -296,6 +298,8 @@ int cmd_sweep(int argc, char** argv) {
       repeat = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--schemes") == 0 && i + 1 < argc) {
       schemes_arg = argv[++i];
+    } else if (std::strcmp(argv[i], "--store") == 0 && i + 1 < argc) {
+      store_dir = argv[++i];
     } else {
       std::fprintf(stderr, "unknown sweep argument '%s'\n", argv[i]);
       return 2;
@@ -346,6 +350,11 @@ int cmd_sweep(int argc, char** argv) {
                          : analysis::quick_suite(n, seed);
   par::ThreadPool pool(config.threads);
   runtime::SweepRunner runner(pool);
+  std::optional<runtime::PlanStore> store;
+  if (!store_dir.empty()) {
+    store.emplace(store_dir);
+    runner.attach_store(&*store);
+  }
   const auto specs = analysis::scheme_specs(runner, suite, schemes, config);
 
   std::vector<runtime::SchemeResult> results;
@@ -364,12 +373,15 @@ int cmd_sweep(int argc, char** argv) {
   const auto stats = runner.cache_stats();
   std::printf(
       "sweep: %zu experiments x %d repeat(s) in %.2f ms | plan cache: "
-      "%llu hits / %llu misses, compiled: %llu hits / %llu misses\n",
+      "%llu hits / %llu misses / %llu store-hits, compiled: %llu hits / "
+      "%llu misses / %llu store-hits\n",
       specs.size(), repeat, ms,
       static_cast<unsigned long long>(stats.plan_hits),
       static_cast<unsigned long long>(stats.plan_misses),
+      static_cast<unsigned long long>(stats.plan_store_hits),
       static_cast<unsigned long long>(stats.compiled_hits),
-      static_cast<unsigned long long>(stats.compiled_misses));
+      static_cast<unsigned long long>(stats.compiled_misses),
+      static_cast<unsigned long long>(stats.compiled_store_hits));
   return all_ok ? 0 : 1;
 }
 

@@ -89,7 +89,7 @@ std::vector<runtime::ExperimentSpec> scheme_specs(
   std::vector<runtime::ExperimentSpec> specs;
   specs.reserve(suite.size() * schemes.size());
   for (const Workload& w : suite) {
-    const std::size_t graph = runner.add_graph(w.graph);
+    const runtime::GraphRef graph = runner.add_graph(w.graph);
     for (const std::string& scheme : schemes) {
       runtime::ExperimentSpec spec;
       spec.scheme = scheme;

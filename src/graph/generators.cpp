@@ -31,6 +31,7 @@ Graph star(std::uint32_t n) {
 Graph complete(std::uint32_t n) {
   RC_EXPECTS(n >= 1);
   GraphBuilder b(n);
+  b.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
   for (NodeId u = 0; u < n; ++u)
     for (NodeId v = u + 1; v < n; ++v) b.add_edge(u, v);
   return std::move(b).build();
@@ -39,6 +40,7 @@ Graph complete(std::uint32_t n) {
 Graph complete_bipartite(std::uint32_t a, std::uint32_t b_) {
   RC_EXPECTS(a >= 1 && b_ >= 1);
   GraphBuilder b(a + b_);
+  b.reserve(static_cast<std::size_t>(a) * b_);
   for (NodeId u = 0; u < a; ++u)
     for (NodeId v = a; v < a + b_; ++v) b.add_edge(u, v);
   return std::move(b).build();
@@ -363,6 +365,81 @@ Graph figure1() {
   b.add_edge(11, 6);                                // P_F–F
   b.add_edge(12, 3).add_edge(12, 2);  // H–B, H–C (round-5 collision at H)
   return std::move(b).build();
+}
+
+Graph from_descriptor(const std::string& descriptor) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (const char c : descriptor + ":") {
+    if (c == ':') {
+      parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  RC_EXPECTS_MSG(!parts.empty() && !parts[0].empty(),
+                 "empty graph descriptor");
+  const std::string& family = parts[0];
+  const std::size_t args = parts.size() - 1;
+  const auto num = [&](std::size_t k) {
+    RC_EXPECTS_MSG(k < parts.size() && !parts[k].empty() &&
+                       parts[k].find_first_not_of("0123456789") ==
+                           std::string::npos,
+                   "graph descriptor argument must be a non-negative integer");
+    return static_cast<std::uint32_t>(std::stoul(parts[k]));
+  };
+  const auto real = [&](std::size_t k) {
+    RC_EXPECTS_MSG(k < parts.size() && !parts[k].empty(),
+                   "graph descriptor argument missing");
+    std::size_t used = 0;
+    const double v = std::stod(parts[k], &used);
+    RC_EXPECTS_MSG(used == parts[k].size(),
+                   "graph descriptor argument must be a number");
+    return v;
+  };
+  if (family == "path" && args == 1) return path(num(1));
+  if (family == "cycle" && args == 1) return cycle(num(1));
+  if (family == "star" && args == 1) return star(num(1));
+  if (family == "complete" && args == 1) return complete(num(1));
+  if (family == "bipartite" && args == 2) {
+    return complete_bipartite(num(1), num(2));
+  }
+  if (family == "grid" && args == 2) return grid(num(1), num(2));
+  if (family == "torus" && args == 2) return torus(num(1), num(2));
+  if (family == "hypercube" && args == 1) return hypercube(num(1));
+  if (family == "wheel" && args == 1) return wheel(num(1));
+  if (family == "petersen" && args == 0) return petersen();
+  if (family == "figure1" && args == 0) return figure1();
+  if (family == "balanced-tree" && args == 2) {
+    return balanced_tree(num(1), num(2));
+  }
+  if (family == "caterpillar" && args == 2) {
+    return caterpillar(num(1), num(2));
+  }
+  if (family == "lollipop" && args == 2) return lollipop(num(1), num(2));
+  if (family == "tree" && args == 2) {
+    Rng rng(num(2));
+    return random_tree(num(1), rng);
+  }
+  if (family == "gnp" && args == 3) {
+    Rng rng(num(3));
+    return gnp_connected(num(1), real(2), rng);
+  }
+  if (family == "disk" && args == 3) {
+    Rng rng(num(3));
+    return random_geometric(num(1), real(2), rng);
+  }
+  if (family == "sp" && args == 2) {
+    Rng rng(num(2));
+    return series_parallel(num(1), rng);
+  }
+  if (family == "clustered" && args == 4) {
+    Rng rng(num(4));
+    return clustered(num(1), num(2), real(3), rng);
+  }
+  RC_EXPECTS_MSG(false, "unknown graph descriptor '" + descriptor + "'");
+  return {};
 }
 
 }  // namespace radiocast::graph

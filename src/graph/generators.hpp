@@ -86,4 +86,17 @@ Graph clustered(std::uint32_t clusters, std::uint32_t size, double p_intra,
 /// figure's dominating-set choices exactly.
 Graph figure1();
 
+/// Materializes a graph from a colon-separated generator descriptor — the
+/// portable half of a `runtime::GraphRef`, letting a process (the sweep
+/// daemon in particular) rebuild a deterministic workload graph it has
+/// never been sent explicitly.  Grammar: `family[:arg...]` with
+///   path:N | cycle:N | star:N | complete:N | bipartite:A:B | grid:R:C |
+///   torus:R:C | hypercube:D | wheel:N | petersen | tree:N:SEED |
+///   balanced-tree:ARITY:DEPTH | caterpillar:SPINE:LEGS | lollipop:K:TAIL |
+///   gnp:N:P:SEED | disk:N:RADIUS:SEED | sp:EDGES:SEED |
+///   clustered:CLUSTERS:SIZE:P:SEED | figure1
+/// Randomized families are deterministic in their SEED argument.  Malformed
+/// descriptors violate a precondition (ContractViolation).
+Graph from_descriptor(const std::string& descriptor);
+
 }  // namespace radiocast::graph

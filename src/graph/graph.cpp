@@ -34,7 +34,11 @@ GraphBuilder& GraphBuilder::add_edge(NodeId u, NodeId v) {
 }
 
 Graph GraphBuilder::build() && {
-  std::sort(edges_.begin(), edges_.end());
+  // Generators overwhelmingly insert edges in sorted (u, v) order already
+  // (dense families make this sort the dominant construction cost).
+  if (!std::is_sorted(edges_.begin(), edges_.end())) {
+    std::sort(edges_.begin(), edges_.end());
+  }
   edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
 
   Graph g;
@@ -52,12 +56,10 @@ Graph GraphBuilder::build() && {
     g.adj_[cursor[u]++] = v;
     g.adj_[cursor[v]++] = u;
   }
-  // Edges were inserted in sorted (u,v) order, but each vertex's list mixes
-  // lower and higher endpoints; sort per vertex for binary-search lookups.
-  for (NodeId v = 0; v < n_; ++v) {
-    std::sort(g.adj_.begin() + g.offsets_[v],
-              g.adj_.begin() + g.offsets_[v + 1]);
-  }
+  // Each vertex's list is sorted by construction: scanning edges_ in sorted
+  // (u, v) order appends w's lower neighbours in increasing order (one per
+  // edge (u, w)), then its higher neighbours in increasing order (one per
+  // edge (w, v)), and every lower endpoint < w < every higher endpoint.
   return g;
 }
 

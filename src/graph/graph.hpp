@@ -71,6 +71,9 @@ class GraphBuilder {
   /// Adds the undirected edge {u, v}.  u != v required.
   GraphBuilder& add_edge(NodeId u, NodeId v);
 
+  /// Pre-allocates for `edge_count` edges (dense generators).
+  void reserve(std::size_t edge_count) { edges_.reserve(edge_count); }
+
   std::uint32_t node_count() const noexcept { return n_; }
 
   /// Finalizes into a CSR graph.  The builder may be reused afterwards only

@@ -1,0 +1,56 @@
+#include "graph/hash.hpp"
+
+namespace radiocast::graph {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+void mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+std::uint64_t canonical_hash(const Graph& g) {
+  std::uint64_t h = kFnvOffset;
+  mix(h, g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    mix(h, g.degree(v));
+    for (const NodeId u : g.neighbors(v)) mix(h, u);
+  }
+  return h;
+}
+
+std::string hash_hex(std::uint64_t hash) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[hash & 0xF];
+    hash >>= 4;
+  }
+  return out;
+}
+
+std::uint64_t parse_hash_hex(const std::string& hex) {
+  if (hex.size() != 16) return 0;
+  std::uint64_t v = 0;
+  for (const char c : hex) {
+    std::uint64_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return 0;
+    }
+    v = (v << 4) | digit;
+  }
+  return v;
+}
+
+}  // namespace radiocast::graph

@@ -1,0 +1,34 @@
+/// \file hash.hpp
+/// \brief Canonical content hashing for graphs.
+///
+/// The runtime addresses graphs by value, not by process-local index: an
+/// `ExperimentSpec` that crosses a socket or a restart must name its graph
+/// in a way both sides can verify.  `canonical_hash` provides that name —
+/// a 64-bit digest of the CSR form, which is itself canonical for a simple
+/// undirected graph (offsets plus per-vertex-sorted adjacency, and
+/// `GraphBuilder` deduplicates edges), so two graphs hash equal iff they
+/// are the same labeled graph regardless of edge insertion order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace radiocast::graph {
+
+/// 64-bit canonical content hash of a labeled graph (FNV-1a over node
+/// count, degrees, and the sorted adjacency stream).  Equal graphs hash
+/// equal on every platform; the hash is the stable half of a `GraphRef`.
+std::uint64_t canonical_hash(const Graph& g);
+
+/// The hash rendered as fixed-width lowercase hex — the spelling used in
+/// plan-cache keys, plan-store file names, and the wire format.
+std::string hash_hex(std::uint64_t hash);
+
+/// Parses `hash_hex` output (exactly 16 lowercase hex digits); returns 0 on
+/// malformed input (0 is never a `hash_hex` rendering of a real graph in
+/// practice, and callers treat it as "unresolved").
+std::uint64_t parse_hash_hex(const std::string& hex);
+
+}  // namespace radiocast::graph

@@ -40,6 +40,11 @@ struct ExecutionConfig {
   sim::TraceLevel trace = sim::TraceLevel::kCounters;
   /// Engine round budget (0 = the scheme's own default, linear in n).
   std::uint64_t max_rounds = 0;
+  /// PlanCache byte budget for the executor serving this spec (0 = keep the
+  /// runner's current budget, which defaults to unlimited).  When the cache
+  /// exceeds it, least-recently-used plans are evicted; with a plan store
+  /// attached, evicted entries reload from disk instead of recomputing.
+  std::size_t plan_cache_bytes = 0;
 
   /// Lowers the config to engine options (collision detection as-is; the
   /// scheme layer ORs in `Scheme::needs_collision_detection`).

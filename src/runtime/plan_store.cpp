@@ -1,0 +1,140 @@
+#include "runtime/plan_store.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "support/bytes.hpp"
+#include "support/contracts.hpp"
+
+namespace radiocast::runtime {
+
+namespace {
+
+constexpr std::string_view kMagic = "RCPS";
+
+const char* extension(PlanStoreKind kind) {
+  return kind == PlanStoreKind::kPlan ? ".plan" : ".cplan";
+}
+
+std::string key_fingerprint(const std::string& key) {
+  static const char* digits = "0123456789abcdef";
+  std::uint64_t h = support::fnv1a(key);
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[h & 0xF];
+    h >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+PlanStore::PlanStore(std::string directory) : dir_(std::move(directory)) {
+  RC_EXPECTS_MSG(!dir_.empty(), "plan store directory must be non-empty");
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  RC_EXPECTS_MSG(std::filesystem::is_directory(dir_, ec),
+                 "plan store directory is not usable: " + dir_);
+}
+
+std::string PlanStore::record_path(PlanStoreKind kind,
+                                   const std::string& key) const {
+  return dir_ + "/" + key_fingerprint(key) + extension(kind);
+}
+
+bool PlanStore::put(PlanStoreKind kind, const std::string& key,
+                    std::string_view family, std::string_view payload) {
+  support::ByteWriter record;
+  for (const char c : kMagic) record.u8(static_cast<std::uint8_t>(c));
+  record.u32(kFormatVersion);
+  record.str(key);
+  record.str(family);
+  record.str(payload);
+  record.u64(support::fnv1a(payload));
+
+  std::uint64_t temp_id = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    temp_id = ++temp_counter_;
+  }
+  const std::string final_path = record_path(kind, key);
+  const std::string temp_path =
+      final_path + ".tmp" + std::to_string(temp_id);
+  {
+    std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(record.bytes().data(),
+              static_cast<std::streamsize>(record.bytes().size()));
+    if (!out) {
+      out.close();
+      std::remove(temp_path.c_str());
+      return false;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(temp_path, final_path, ec);
+  if (ec) {
+    std::remove(temp_path.c_str());
+    return false;
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.writes;
+  return true;
+}
+
+std::optional<std::string> PlanStore::get(PlanStoreKind kind,
+                                          const std::string& key,
+                                          std::string_view family) const {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.reads;
+  }
+  std::string bytes;
+  {
+    std::ifstream in(record_path(kind, key), std::ios::binary);
+    if (!in) return std::nullopt;  // absent: not a rejection
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  const auto reject = [&]() -> std::optional<std::string> {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.rejected;
+    return std::nullopt;
+  };
+  support::ByteReader reader(bytes);
+  for (const char c : kMagic) {
+    if (reader.u8() != static_cast<std::uint8_t>(c)) return reject();
+  }
+  if (reader.u32() != kFormatVersion) return reject();
+  if (reader.str() != key) return reject();
+  if (reader.str() != family) return reject();
+  std::string payload = reader.str();
+  const std::uint64_t checksum = reader.u64();
+  if (!reader.exhausted()) return reject();
+  if (checksum != support::fnv1a(payload)) return reject();
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.read_hits;
+  return payload;
+}
+
+void PlanStore::erase(PlanStoreKind kind, const std::string& key) {
+  std::remove(record_path(kind, key).c_str());
+}
+
+std::size_t PlanStore::entry_count() const {
+  std::size_t count = 0;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    const auto ext = entry.path().extension();
+    if (ext == ".plan" || ext == ".cplan") ++count;
+  }
+  return count;
+}
+
+PlanStoreStats PlanStore::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace radiocast::runtime

@@ -16,6 +16,21 @@ std::string Scheme::plan_key(NodeId source, const SchemeOptions& opt) const {
   return key;
 }
 
+void Scheme::encode_plan(const Plan&, support::ByteWriter&) const {
+  RC_ASSERT_MSG(false, "scheme does not persist plans");
+}
+
+PlanPtr Scheme::decode_plan(support::ByteReader&) const { return nullptr; }
+
+void Scheme::encode_compiled(const CompiledPlan&,
+                             support::ByteWriter&) const {
+  RC_ASSERT_MSG(false, "scheme does not persist compiled plans");
+}
+
+CompiledPlanPtr Scheme::decode_compiled(support::ByteReader&) const {
+  return nullptr;
+}
+
 bool Scheme::done(const sim::Engine& engine, NodeId,
                   const SchemeOptions&) const {
   return engine.all_informed();

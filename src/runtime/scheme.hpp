@@ -35,6 +35,7 @@
 #include "sim/engine.hpp"
 #include "sim/protocol.hpp"
 #include "sim/trace.hpp"
+#include "support/bytes.hpp"
 
 namespace radiocast::runtime {
 
@@ -55,12 +56,17 @@ struct SchemeOptions {
   std::uint64_t max_stages = 0;     ///< one-bit stall cap (0 = 4n + 8)
 };
 
-/// The centralized half of a scheme, computed once per (graph, scheme) cache
-/// key and shared read-only across executions.  Concrete schemes subclass
-/// this with whatever their labeling produces (a core::Labeling, a bit
-/// vector, a G² coloring, ...).
+/// The centralized half of a scheme, computed once per (graph, plan-family)
+/// cache key and shared read-only across executions.  Concrete schemes
+/// subclass this with whatever their labeling produces (a core::Labeling, a
+/// bit vector, a G² coloring, ...).
 struct Plan {
   virtual ~Plan() = default;
+
+  /// Approximate resident bytes of this plan — the unit of the PlanCache
+  /// byte budget.  Concrete plans override with their real payload size;
+  /// the default only charges the object header.
+  virtual std::size_t footprint() const noexcept { return 64; }
 };
 using PlanPtr = std::shared_ptr<const Plan>;
 
@@ -68,6 +74,9 @@ using PlanPtr = std::shared_ptr<const Plan>;
 /// observables), cacheable per (graph, scheme, source).
 struct CompiledPlan {
   virtual ~CompiledPlan() = default;
+
+  /// Approximate resident bytes (see Plan::footprint).
+  virtual std::size_t footprint() const noexcept { return 64; }
 };
 using CompiledPlanPtr = std::shared_ptr<const CompiledPlan>;
 
@@ -118,11 +127,40 @@ class Scheme {
   /// True iff `compile` lowers the execution to a replayable CompiledPlan.
   virtual bool can_compile() const noexcept { return false; }
 
+  /// The labeling identity this scheme's plans belong to.  Schemes whose
+  /// `label` computes the *same* construction share a family so one cached
+  /// (or stored) plan serves all of them: ack, common-round, and multi all
+  /// compute λ_ack and return "lambda-ack".  Default: the scheme's own name
+  /// (no sharing).  Schemes in one family must produce identical Plan
+  /// objects for identical (graph, source, options).
+  virtual std::string_view plan_family() const noexcept { return name(); }
+
   /// Cache identity of `label`: two specs with equal keys (for the same
-  /// graph) share one Plan.  The default covers source-anchored labelings;
-  /// schemes whose labeling ignores the source (B_arb) or the options
-  /// (baselines) override to widen sharing.
+  /// graph and plan family) share one Plan.  The default covers
+  /// source-anchored labelings; schemes whose labeling ignores the source
+  /// (B_arb) or the options (baselines) override to widen sharing.
   virtual std::string plan_key(NodeId source, const SchemeOptions& opt) const;
+
+  /// True iff the scheme implements the plan codec below, making its plans
+  /// (and compiled plans, when `can_compile`) persistable in a PlanStore.
+  virtual bool can_store_plans() const noexcept { return false; }
+
+  /// Serializes a plan into the store's byte format.  Only called when
+  /// `can_store_plans()`; the bytes must round-trip through `decode_plan`
+  /// into a plan whose executions are trace-for-trace identical.
+  virtual void encode_plan(const Plan& plan, support::ByteWriter& out) const;
+
+  /// Decodes `encode_plan` output.  Returns nullptr on malformed bytes
+  /// (the reader's failure flag, trailing bytes, or semantic violations) —
+  /// never throws on untrusted input.
+  virtual PlanPtr decode_plan(support::ByteReader& in) const;
+
+  /// Serializes a compiled plan (can_compile + can_store_plans only).
+  virtual void encode_compiled(const CompiledPlan& compiled,
+                               support::ByteWriter& out) const;
+
+  /// Decodes `encode_compiled` output; nullptr on malformed bytes.
+  virtual CompiledPlanPtr decode_compiled(support::ByteReader& in) const;
 
   /// The centralized half: computes the scheme's label assignment / plan.
   virtual PlanPtr label(const Graph& g, NodeId source,

@@ -18,6 +18,7 @@
 #include "onebit/labeler.hpp"
 #include "onebit/runner.hpp"
 #include "runtime/scheme.hpp"
+#include "support/bytes.hpp"
 #include "support/contracts.hpp"
 #include "support/rng.hpp"
 
@@ -39,12 +40,237 @@ std::vector<std::uint32_t> multi_schedule(const SchemeOptions& opt) {
 }
 
 // ---------------------------------------------------------------------------
+// Plan codecs: the PlanStore payload formats.  Every payload opens with a
+// one-byte shape tag, so a record that reaches the wrong decoder (renamed
+// file, family collision) fails the tag check instead of misparsing.  The
+// struct-level helpers below are shared by every scheme whose plan embeds
+// that struct; decoders return false on any reader failure or semantic
+// violation and never throw on untrusted bytes.
+// ---------------------------------------------------------------------------
+
+using support::ByteReader;
+using support::ByteWriter;
+
+constexpr std::uint8_t kTagLabeling = 0x4C;  // 'L': LabelingPlan
+constexpr std::uint8_t kTagArb = 0x41;       // 'A': ArbPlan
+constexpr std::uint8_t kTagOneBit = 0x4F;    // 'O': OneBitPlan
+constexpr std::uint8_t kTagColoring = 0x43;  // 'C': ColoringPlan
+constexpr std::uint8_t kTagEmpty = 0x45;     // 'E': EmptyPlan
+constexpr std::uint8_t kTagBReplay = 0x42;   // 'B': BCompiledPlan
+constexpr std::uint8_t kTagExec = 0x58;      // 'X': ExecCompiledPlan
+
+void encode_labels(const std::vector<core::Label>& labels, ByteWriter& out) {
+  out.u64(labels.size());
+  for (const core::Label& l : labels) out.u8(l.value());
+}
+
+bool decode_labels(ByteReader& in, std::vector<core::Label>& out) {
+  const std::uint64_t count = in.u64();
+  if (!in.ok() || count > in.remaining()) return false;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint8_t v = in.u8();
+    if (v > 7) return false;
+    out.push_back({(v & 4) != 0, (v & 2) != 0, (v & 1) != 0});
+  }
+  return in.ok();
+}
+
+void encode_node_sets(const std::vector<std::vector<NodeId>>& sets,
+                      ByteWriter& out) {
+  out.u64(sets.size());
+  for (const auto& set : sets) out.vec_u32(set);
+}
+
+bool decode_node_sets(ByteReader& in,
+                      std::vector<std::vector<NodeId>>& out) {
+  const std::uint64_t count = in.u64();
+  if (!in.ok() || count > in.remaining()) return false;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    out.push_back(in.vec_u32());
+    if (!in.ok()) return false;
+  }
+  return true;
+}
+
+void encode_stage_sets(const core::StageSets& s, ByteWriter& out) {
+  encode_node_sets(s.dom, out);
+  encode_node_sets(s.fresh, out);
+  encode_node_sets(s.frontier, out);
+  out.u32(s.ell);
+  out.vec_u32(s.stage_of);
+  out.u32(s.source);
+}
+
+bool decode_stage_sets(ByteReader& in, core::StageSets& out) {
+  if (!decode_node_sets(in, out.dom)) return false;
+  if (!decode_node_sets(in, out.fresh)) return false;
+  if (!decode_node_sets(in, out.frontier)) return false;
+  out.ell = in.u32();
+  out.stage_of = in.vec_u32();
+  out.source = in.u32();
+  return in.ok() && out.dom.size() == out.fresh.size() &&
+         out.dom.size() == out.frontier.size();
+}
+
+void encode_labeling(const core::Labeling& l, ByteWriter& out) {
+  encode_labels(l.labels, out);
+  encode_stage_sets(l.stages, out);
+  out.u32(l.source);
+  out.u32(l.z);
+}
+
+bool decode_labeling(ByteReader& in, core::Labeling& out) {
+  if (!decode_labels(in, out.labels)) return false;
+  if (!decode_stage_sets(in, out.stages)) return false;
+  out.source = in.u32();
+  out.z = in.u32();
+  return in.ok() && out.labels.size() == out.stages.stage_of.size();
+}
+
+std::size_t node_sets_bytes(const std::vector<std::vector<NodeId>>& sets) {
+  std::size_t bytes = sets.size() * sizeof(std::vector<NodeId>);
+  for (const auto& set : sets) bytes += set.size() * sizeof(NodeId);
+  return bytes;
+}
+
+std::size_t labeling_bytes(const core::Labeling& l) {
+  return l.labels.size() * sizeof(core::Label) +
+         node_sets_bytes(l.stages.dom) + node_sets_bytes(l.stages.fresh) +
+         node_sets_bytes(l.stages.frontier) +
+         l.stages.stage_of.size() * sizeof(std::uint32_t);
+}
+
+/// SchemeResult binary codec (counters only; the trace never persists).
+/// Field order matches the struct declaration.
+void encode_result(const SchemeResult& r, ByteWriter& out) {
+  out.boolean(r.ok);
+  out.boolean(r.all_informed);
+  out.boolean(r.labeling_found);
+  out.u64(r.rounds);
+  out.u64(r.completion_round);
+  out.u64(r.ack_round);
+  out.u64(r.bound);
+  out.u32(r.ell);
+  out.u32(r.special);
+  out.u64(r.max_stamp);
+  out.u64(r.done_round);
+  out.u64(r.T);
+  out.u64(r.last_learned);
+  out.u64(r.stay_count);
+  out.u64(r.data_tx_count);
+  out.u64(r.max_node_tx);
+  out.u64(r.tx_total);
+  out.u64(r.polls);
+  out.u32(r.attempts);
+  out.u32(r.ones);
+  out.u32(r.label_bits);
+  out.vec_u64(r.ack_rounds);
+  out.u64(r.rounds_per_message);
+}
+
+bool decode_result(ByteReader& in, SchemeResult& r) {
+  r.ok = in.boolean();
+  r.all_informed = in.boolean();
+  r.labeling_found = in.boolean();
+  r.rounds = in.u64();
+  r.completion_round = in.u64();
+  r.ack_round = in.u64();
+  r.bound = in.u64();
+  r.ell = in.u32();
+  r.special = in.u32();
+  r.max_stamp = in.u64();
+  r.done_round = in.u64();
+  r.T = in.u64();
+  r.last_learned = in.u64();
+  r.stay_count = in.u64();
+  r.data_tx_count = in.u64();
+  r.max_node_tx = in.u64();
+  r.tx_total = in.u64();
+  r.polls = in.u64();
+  r.attempts = in.u32();
+  r.ones = in.u32();
+  r.label_bits = in.u32();
+  r.ack_rounds = in.vec_u64();
+  r.rounds_per_message = in.u64();
+  return in.ok();
+}
+
+void encode_execution(const core::CompiledExecution& e, ByteWriter& out) {
+  out.u64(e.rounds);
+  out.vec_u32(e.offsets);
+  out.vec_u32(e.transmitters);
+  out.u64(e.messages.size());
+  for (const sim::Message& m : e.messages) {
+    out.u8(static_cast<std::uint8_t>(m.kind));
+    out.u8(m.phase);
+    out.u32(m.payload);
+    out.boolean(m.stamp.has_value());
+    if (m.stamp) out.u64(*m.stamp);
+  }
+}
+
+bool decode_execution(ByteReader& in, core::CompiledExecution& e) {
+  e.rounds = in.u64();
+  e.offsets = in.vec_u32();
+  e.transmitters = in.vec_u32();
+  const std::uint64_t count = in.u64();
+  if (!in.ok() || count > in.remaining()) return false;
+  e.messages.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    sim::Message m;
+    const std::uint8_t kind = in.u8();
+    if (kind > static_cast<std::uint8_t>(sim::MsgKind::kReady)) return false;
+    m.kind = static_cast<sim::MsgKind>(kind);
+    m.phase = in.u8();
+    m.payload = in.u32();
+    if (in.boolean()) m.stamp = in.u64();
+    e.messages.push_back(m);
+  }
+  // Shape invariants the replay path indexes by: offsets bracket every
+  // round, and the flat arrays are parallel.
+  if (!in.ok() || e.offsets.size() != e.rounds + 1) return false;
+  if (e.messages.size() != e.transmitters.size()) return false;
+  if (!e.offsets.empty() &&
+      (e.offsets.front() != 0 || e.offsets.back() != e.transmitters.size())) {
+    return false;
+  }
+  for (std::size_t i = 1; i < e.offsets.size(); ++i) {
+    if (e.offsets[i - 1] > e.offsets[i]) return false;
+  }
+  return true;
+}
+
+std::size_t execution_bytes(const core::CompiledExecution& e) {
+  return e.offsets.size() * sizeof(std::uint32_t) +
+         e.transmitters.size() * sizeof(NodeId) +
+         e.messages.size() * sizeof(sim::Message);
+}
+
+// ---------------------------------------------------------------------------
 // λ schemes: B, B_ack, common-round (one λ/λ_ack labeling as the plan)
 // ---------------------------------------------------------------------------
 
 struct LabelingPlan final : Plan {
   core::Labeling labeling;
+
+  std::size_t footprint() const noexcept override {
+    return sizeof(*this) + labeling_bytes(labeling);
+  }
 };
+
+void encode_labeling_plan(const Plan& plan, ByteWriter& out) {
+  out.u8(kTagLabeling);
+  encode_labeling(static_cast<const LabelingPlan&>(plan).labeling, out);
+}
+
+PlanPtr decode_labeling_plan(ByteReader& in) {
+  if (in.u8() != kTagLabeling || !in.ok()) return nullptr;
+  auto plan = std::make_shared<LabelingPlan>();
+  if (!decode_labeling(in, plan->labeling)) return nullptr;
+  return plan;
+}
 
 /// Algorithm B (Theorem 2.9): 2-bit labels, known source.
 class BScheme final : public Scheme {
@@ -55,6 +281,17 @@ class BScheme final : public Scheme {
            "(Theorem 2.9)";
   }
   bool can_compile() const noexcept override { return true; }
+  bool can_store_plans() const noexcept override { return true; }
+
+  void encode_plan(const Plan& plan, ByteWriter& out) const override {
+    encode_labeling_plan(plan, out);
+  }
+  PlanPtr decode_plan(ByteReader& in) const override {
+    return decode_labeling_plan(in);
+  }
+  void encode_compiled(const CompiledPlan& compiled,
+                       ByteWriter& out) const override;
+  CompiledPlanPtr decode_compiled(ByteReader& in) const override;
 
   PlanPtr label(const Graph& g, NodeId source,
                 const SchemeOptions& opt) const override {
@@ -117,7 +354,30 @@ struct BCompiledPlan final : CompiledPlan {
   PlanPtr plan;  ///< keeps the labeling alive
   std::uint32_t mu = 0;
   SchemeResult result;  ///< counters-level observables, replay-free
+
+  std::size_t footprint() const noexcept override {
+    return sizeof(*this) + (plan ? plan->footprint() : 0);
+  }
 };
+
+void BScheme::encode_compiled(const CompiledPlan& compiled,
+                              ByteWriter& out) const {
+  const auto& c = static_cast<const BCompiledPlan&>(compiled);
+  out.u8(kTagBReplay);
+  encode_labeling_plan(*c.plan, out);
+  out.u32(c.mu);
+  encode_result(c.result, out);
+}
+
+CompiledPlanPtr BScheme::decode_compiled(ByteReader& in) const {
+  if (in.u8() != kTagBReplay || !in.ok()) return nullptr;
+  auto out = std::make_shared<BCompiledPlan>();
+  out->plan = decode_labeling_plan(in);
+  if (out->plan == nullptr) return nullptr;
+  out->mu = in.u32();
+  if (!decode_result(in, out->result)) return nullptr;
+  return out;
+}
 
 CompiledPlanPtr BScheme::compile(const Graph& g, NodeId, const PlanPtr& plan,
                                  const SchemeOptions& opt,
@@ -179,6 +439,22 @@ class AckScheme final : public Scheme {
            "(Theorem 3.9)";
   }
   bool can_compile() const noexcept override { return true; }
+  bool can_store_plans() const noexcept override { return true; }
+
+  /// One λ_ack construction serves B_ack, common-round, and multi.
+  std::string_view plan_family() const noexcept override {
+    return "lambda-ack";
+  }
+
+  void encode_plan(const Plan& plan, ByteWriter& out) const override {
+    encode_labeling_plan(plan, out);
+  }
+  PlanPtr decode_plan(ByteReader& in) const override {
+    return decode_labeling_plan(in);
+  }
+  void encode_compiled(const CompiledPlan& compiled,
+                       ByteWriter& out) const override;
+  CompiledPlanPtr decode_compiled(ByteReader& in) const override;
 
   PlanPtr label(const Graph& g, NodeId source,
                 const SchemeOptions& opt) const override {
@@ -245,7 +521,43 @@ struct ExecCompiledPlan final : CompiledPlan {
   PlanPtr plan;
   core::CompiledExecution exec;
   SchemeResult result;
+
+  std::size_t footprint() const noexcept override {
+    return sizeof(*this) + (plan ? plan->footprint() : 0) +
+           execution_bytes(exec);
+  }
 };
+
+/// Shared ExecCompiledPlan codec: the nested plan is encoded through the
+/// owning scheme's own plan codec (its tag byte self-describes), so ack and
+/// arb compile to the same container with different plan payloads.
+void encode_exec_compiled(const Scheme& scheme, const CompiledPlan& compiled,
+                          ByteWriter& out) {
+  const auto& c = static_cast<const ExecCompiledPlan&>(compiled);
+  out.u8(kTagExec);
+  scheme.encode_plan(*c.plan, out);
+  encode_execution(c.exec, out);
+  encode_result(c.result, out);
+}
+
+CompiledPlanPtr decode_exec_compiled(const Scheme& scheme, ByteReader& in) {
+  if (in.u8() != kTagExec || !in.ok()) return nullptr;
+  auto out = std::make_shared<ExecCompiledPlan>();
+  out->plan = scheme.decode_plan(in);
+  if (out->plan == nullptr) return nullptr;
+  if (!decode_execution(in, out->exec)) return nullptr;
+  if (!decode_result(in, out->result)) return nullptr;
+  return out;
+}
+
+void AckScheme::encode_compiled(const CompiledPlan& compiled,
+                                ByteWriter& out) const {
+  encode_exec_compiled(*this, compiled, out);
+}
+
+CompiledPlanPtr AckScheme::decode_compiled(ByteReader& in) const {
+  return decode_exec_compiled(*this, in);
+}
 
 CompiledPlanPtr AckScheme::compile(const Graph& g, NodeId,
                                    const PlanPtr& plan,
@@ -301,6 +613,18 @@ class CommonRoundScheme final : public Scheme {
   std::string_view name() const noexcept override { return "common-round"; }
   std::string_view description() const noexcept override {
     return "Common-completion-round construction on top of B_ack (paper §3)";
+  }
+  bool can_store_plans() const noexcept override { return true; }
+
+  std::string_view plan_family() const noexcept override {
+    return "lambda-ack";
+  }
+
+  void encode_plan(const Plan& plan, ByteWriter& out) const override {
+    encode_labeling_plan(plan, out);
+  }
+  PlanPtr decode_plan(ByteReader& in) const override {
+    return decode_labeling_plan(in);
   }
 
   PlanPtr label(const Graph& g, NodeId source,
@@ -362,6 +686,14 @@ class CommonRoundScheme final : public Scheme {
 
 struct ArbPlan final : Plan {
   core::ArbLabeling labeling;
+
+  std::size_t footprint() const noexcept override {
+    return sizeof(*this) + labeling.labels.size() * sizeof(core::Label) +
+           node_sets_bytes(labeling.stages.dom) +
+           node_sets_bytes(labeling.stages.fresh) +
+           node_sets_bytes(labeling.stages.frontier) +
+           labeling.stages.stage_of.size() * sizeof(std::uint32_t);
+  }
 };
 
 class ArbScheme final : public Scheme {
@@ -372,6 +704,36 @@ class ArbScheme final : public Scheme {
            "(paper §4)";
   }
   bool can_compile() const noexcept override { return true; }
+  bool can_store_plans() const noexcept override { return true; }
+
+  void encode_plan(const Plan& plan, ByteWriter& out) const override {
+    const auto& p = static_cast<const ArbPlan&>(plan);
+    out.u8(kTagArb);
+    encode_labels(p.labeling.labels, out);
+    out.u32(p.labeling.coordinator);
+    out.u32(p.labeling.z);
+    encode_stage_sets(p.labeling.stages, out);
+  }
+  PlanPtr decode_plan(ByteReader& in) const override {
+    if (in.u8() != kTagArb || !in.ok()) return nullptr;
+    auto plan = std::make_shared<ArbPlan>();
+    if (!decode_labels(in, plan->labeling.labels)) return nullptr;
+    plan->labeling.coordinator = in.u32();
+    plan->labeling.z = in.u32();
+    if (!decode_stage_sets(in, plan->labeling.stages)) return nullptr;
+    if (plan->labeling.labels.size() !=
+        plan->labeling.stages.stage_of.size()) {
+      return nullptr;
+    }
+    return plan;
+  }
+  void encode_compiled(const CompiledPlan& compiled,
+                       ByteWriter& out) const override {
+    encode_exec_compiled(*this, compiled, out);
+  }
+  CompiledPlanPtr decode_compiled(ByteReader& in) const override {
+    return decode_exec_compiled(*this, in);
+  }
 
   /// λ_arb depends on the coordinator, not the (unknown) source — the
   /// paper's whole point — so every source on a graph shares one plan.
@@ -501,6 +863,18 @@ class MultiScheme final : public Scheme {
     return "Consecutive acknowledged broadcasts over one λ_ack labeling "
            "(paper §1.2)";
   }
+  bool can_store_plans() const noexcept override { return true; }
+
+  std::string_view plan_family() const noexcept override {
+    return "lambda-ack";
+  }
+
+  void encode_plan(const Plan& plan, ByteWriter& out) const override {
+    encode_labeling_plan(plan, out);
+  }
+  PlanPtr decode_plan(ByteReader& in) const override {
+    return decode_labeling_plan(in);
+  }
 
   PlanPtr label(const Graph& g, NodeId source,
                 const SchemeOptions& opt) const override {
@@ -569,6 +943,10 @@ class MultiScheme final : public Scheme {
 struct OneBitPlan final : Plan {
   onebit::OneBitResult search;
   NodeId z = graph::kNoNode;  ///< acknowledged variant only
+
+  std::size_t footprint() const noexcept override {
+    return sizeof(*this) + search.bits.size() / 8;
+  }
 };
 
 onebit::OneBitOptions onebit_options(const SchemeOptions& opt) {
@@ -588,6 +966,35 @@ std::uint32_t count_ones(const std::vector<bool>& bits) {
 /// Shared base: the randomized one-bit labeling search as the plan.
 class OneBitSchemeBase : public Scheme {
  public:
+  bool can_store_plans() const noexcept override { return true; }
+
+  void encode_plan(const Plan& plan, ByteWriter& out) const override {
+    const auto& p = static_cast<const OneBitPlan&>(plan);
+    out.u8(kTagOneBit);
+    out.boolean(p.search.ok);
+    out.vec_bool(p.search.bits);
+    out.u32(p.search.attempts);
+    out.u64(p.search.completion_round);
+    out.u32(p.search.stages);
+    out.u32(p.z);
+  }
+  PlanPtr decode_plan(ByteReader& in) const override {
+    if (in.u8() != kTagOneBit || !in.ok()) return nullptr;
+    auto plan = std::make_shared<OneBitPlan>();
+    plan->search.ok = in.boolean();
+    plan->search.bits = in.vec_bool();
+    plan->search.attempts = in.u32();
+    plan->search.completion_round = in.u64();
+    plan->search.stages = in.u32();
+    plan->z = in.u32();
+    if (!in.ok()) return nullptr;
+    if (plan->search.ok && plan->z != graph::kNoNode &&
+        plan->z >= plan->search.bits.size()) {
+      return nullptr;
+    }
+    return plan;
+  }
+
   std::string plan_key(NodeId source,
                        const SchemeOptions& opt) const override {
     std::string key = "src";
@@ -737,8 +1144,19 @@ class OneBitAckScheme final : public OneBitSchemeBase {
 
 struct EmptyPlan final : Plan {};
 
+void encode_empty_plan(const Plan&, ByteWriter& out) { out.u8(kTagEmpty); }
+
+PlanPtr decode_empty_plan(ByteReader& in) {
+  if (in.u8() != kTagEmpty || !in.ok()) return nullptr;
+  return std::make_shared<EmptyPlan>();
+}
+
 struct ColoringPlan final : Plan {
   graph::Coloring coloring;
+
+  std::size_t footprint() const noexcept override {
+    return sizeof(*this) + coloring.color.size() * sizeof(std::uint32_t);
+  }
 };
 
 class RoundRobinScheme final : public Scheme {
@@ -750,6 +1168,13 @@ class RoundRobinScheme final : public Scheme {
   }
   std::string plan_key(NodeId, const SchemeOptions&) const override {
     return {};  // label-free: one plan per graph
+  }
+  bool can_store_plans() const noexcept override { return true; }
+  void encode_plan(const Plan& plan, ByteWriter& out) const override {
+    encode_empty_plan(plan, out);
+  }
+  PlanPtr decode_plan(ByteReader& in) const override {
+    return decode_empty_plan(in);
   }
 
   PlanPtr label(const Graph&, NodeId, const SchemeOptions&) const override {
@@ -793,6 +1218,24 @@ class ColorRobinScheme final : public Scheme {
   }
   std::string plan_key(NodeId, const SchemeOptions&) const override {
     return {};  // the coloring only depends on the graph
+  }
+  bool can_store_plans() const noexcept override { return true; }
+  void encode_plan(const Plan& plan, ByteWriter& out) const override {
+    const auto& p = static_cast<const ColoringPlan&>(plan);
+    out.u8(kTagColoring);
+    out.vec_u32(p.coloring.color);
+    out.u32(p.coloring.count);
+  }
+  PlanPtr decode_plan(ByteReader& in) const override {
+    if (in.u8() != kTagColoring || !in.ok()) return nullptr;
+    auto plan = std::make_shared<ColoringPlan>();
+    plan->coloring.color = in.vec_u32();
+    plan->coloring.count = in.u32();
+    if (!in.ok()) return nullptr;
+    for (const std::uint32_t c : plan->coloring.color) {
+      if (c >= plan->coloring.count) return nullptr;
+    }
+    return plan;
   }
 
   PlanPtr label(const Graph& g, NodeId, const SchemeOptions&) const override {
@@ -843,6 +1286,13 @@ class DecayScheme final : public Scheme {
   std::string plan_key(NodeId, const SchemeOptions&) const override {
     return {};  // label-free; the seed parameterizes protocols, not a plan
   }
+  bool can_store_plans() const noexcept override { return true; }
+  void encode_plan(const Plan& plan, ByteWriter& out) const override {
+    encode_empty_plan(plan, out);
+  }
+  PlanPtr decode_plan(ByteReader& in) const override {
+    return decode_empty_plan(in);
+  }
 
   PlanPtr label(const Graph&, NodeId, const SchemeOptions&) const override {
     return std::make_shared<EmptyPlan>();
@@ -886,6 +1336,13 @@ class BeepScheme final : public Scheme {
   bool needs_collision_detection() const noexcept override { return true; }
   std::string plan_key(NodeId, const SchemeOptions&) const override {
     return {};  // anonymous: no labeling at all
+  }
+  bool can_store_plans() const noexcept override { return true; }
+  void encode_plan(const Plan& plan, ByteWriter& out) const override {
+    encode_empty_plan(plan, out);
+  }
+  PlanPtr decode_plan(ByteReader& in) const override {
+    return decode_empty_plan(in);
   }
 
   PlanPtr label(const Graph&, NodeId, const SchemeOptions&) const override {

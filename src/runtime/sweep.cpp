@@ -2,31 +2,93 @@
 
 #include <utility>
 
+#include "graph/generators.hpp"
 #include "parallel/parallel_for.hpp"
 #include "support/contracts.hpp"
 
 namespace radiocast::runtime {
 
-PlanPtr PlanCache::find_plan(const std::string& key) const {
+namespace {
+
+/// Tags that merge both entry kinds into one recency order.
+constexpr char kPlanTag = 'P';
+constexpr char kCompiledTag = 'C';
+
+std::string tagged(char tag, const std::string& key) {
+  std::string out(1, tag);
+  out += key;
+  return out;
+}
+
+}  // namespace
+
+PlanPtr PlanCache::find_plan(const std::string& key) {
   const std::lock_guard<std::mutex> lock(mu_);
   const auto it = plans_.find(key);
-  return it == plans_.end() ? nullptr : it->second;
+  if (it == plans_.end()) return nullptr;
+  touch(it->second.lru);
+  return it->second.value;
 }
 
 void PlanCache::put_plan(const std::string& key, PlanPtr plan) {
+  RC_EXPECTS(plan != nullptr);
   const std::lock_guard<std::mutex> lock(mu_);
-  plans_.emplace(key, std::move(plan));
+  if (plans_.count(key) != 0) return;  // first writer wins, like emplace
+  Entry<PlanPtr> entry;
+  entry.footprint = plan->footprint();
+  entry.value = std::move(plan);
+  lru_.push_front(tagged(kPlanTag, key));
+  entry.lru = lru_.begin();
+  bytes_ += entry.footprint;
+  plans_.emplace(key, std::move(entry));
+  evict_over_budget(lru_.front());
 }
 
-CompiledPlanPtr PlanCache::find_compiled(const std::string& key) const {
+CompiledPlanPtr PlanCache::find_compiled(const std::string& key) {
   const std::lock_guard<std::mutex> lock(mu_);
   const auto it = compiled_.find(key);
-  return it == compiled_.end() ? nullptr : it->second;
+  if (it == compiled_.end()) return nullptr;
+  touch(it->second.lru);
+  return it->second.value;
 }
 
 void PlanCache::put_compiled(const std::string& key, CompiledPlanPtr plan) {
+  RC_EXPECTS(plan != nullptr);
   const std::lock_guard<std::mutex> lock(mu_);
-  compiled_.emplace(key, std::move(plan));
+  if (compiled_.count(key) != 0) return;
+  Entry<CompiledPlanPtr> entry;
+  entry.footprint = plan->footprint();
+  entry.value = std::move(plan);
+  lru_.push_front(tagged(kCompiledTag, key));
+  entry.lru = lru_.begin();
+  bytes_ += entry.footprint;
+  compiled_.emplace(key, std::move(entry));
+  evict_over_budget(lru_.front());
+}
+
+void PlanCache::touch(std::list<std::string>::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it);
+}
+
+void PlanCache::evict_over_budget(const std::string& keep) {
+  if (budget_ == 0) return;
+  while (bytes_ > budget_ && lru_.size() > 1) {
+    const std::string victim = lru_.back();
+    if (victim == keep) break;  // never evict the entry being inserted
+    lru_.pop_back();
+    const std::string key = victim.substr(1);
+    if (victim[0] == kPlanTag) {
+      const auto it = plans_.find(key);
+      bytes_ -= it->second.footprint;
+      plans_.erase(it);
+      ++stats_.plan_evictions;
+    } else {
+      const auto it = compiled_.find(key);
+      bytes_ -= it->second.footprint;
+      compiled_.erase(it);
+      ++stats_.compiled_evictions;
+    }
+  }
 }
 
 void PlanCache::count_plan_lookup(bool hit) {
@@ -37,6 +99,32 @@ void PlanCache::count_plan_lookup(bool hit) {
 void PlanCache::count_compiled_lookup(bool hit) {
   const std::lock_guard<std::mutex> lock(mu_);
   (hit ? stats_.compiled_hits : stats_.compiled_misses) += 1;
+}
+
+void PlanCache::count_plan_store_hit() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.plan_store_hits;
+}
+
+void PlanCache::count_compiled_store_hit() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.compiled_store_hits;
+}
+
+void PlanCache::set_byte_budget(std::size_t bytes) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  budget_ = bytes;
+  evict_over_budget(lru_.empty() ? std::string() : lru_.front());
+}
+
+std::size_t PlanCache::byte_budget() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return budget_;
+}
+
+std::size_t PlanCache::bytes() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
 }
 
 PlanCacheStats PlanCache::stats() const {
@@ -58,24 +146,57 @@ void PlanCache::clear() {
   const std::lock_guard<std::mutex> lock(mu_);
   plans_.clear();
   compiled_.clear();
+  lru_.clear();
+  bytes_ = 0;
   stats_ = {};
 }
 
-std::size_t SweepRunner::add_graph(graph::Graph g) {
-  graphs_.push_back(std::move(g));
-  return graphs_.size() - 1;
+GraphRef SweepRunner::add_graph(graph::Graph g, std::string generator) {
+  GraphRef ref;
+  ref.hash = graph::canonical_hash(g);
+  ref.generator = std::move(generator);
+  graphs_.emplace(ref.hash, std::move(g));
+  if (!ref.generator.empty()) {
+    generator_hashes_.emplace(ref.generator, ref.hash);
+  }
+  return ref;
 }
 
-const graph::Graph& SweepRunner::graph(std::size_t index) const {
-  RC_EXPECTS(index < graphs_.size());
-  return graphs_[index];
+std::uint64_t SweepRunner::resolve_hash(const GraphRef& ref) {
+  if (ref.hash != 0 && graphs_.count(ref.hash) != 0) return ref.hash;
+  RC_EXPECTS_MSG(!ref.generator.empty(),
+                 "graph ref is unknown and carries no generator descriptor");
+  // Generator-only refs are the daemon's hot path: memoize descriptor ->
+  // hash so a batch of specs naming the same generator materializes (and
+  // canonically hashes) the graph once, not once per spec.
+  const auto memo = generator_hashes_.find(ref.generator);
+  std::uint64_t hash = 0;
+  if (memo != generator_hashes_.end()) {
+    hash = memo->second;
+  } else {
+    graph::Graph g = graph::from_descriptor(ref.generator);
+    hash = graph::canonical_hash(g);
+    graphs_.emplace(hash, std::move(g));
+    generator_hashes_.emplace(ref.generator, hash);
+  }
+  RC_EXPECTS_MSG(ref.hash == 0 || ref.hash == hash,
+                 "graph ref hash does not match its generator descriptor");
+  return hash;
+}
+
+const graph::Graph& SweepRunner::resolve(const GraphRef& ref) {
+  return graphs_.at(resolve_hash(ref));
 }
 
 std::vector<SchemeResult> SweepRunner::run(
     const std::vector<ExperimentSpec>& specs) {
-  // Resolve every spec up front: scheme pointer, plan key, compiled key.
+  // Resolve every spec up front: scheme pointer, graph, plan key, compiled
+  // key.  Plans are keyed by the scheme's *plan family*, so schemes that
+  // compute the same labeling (ack / common-round / multi all build λ_ack)
+  // share one cache and store entry.
   struct Resolved {
     const Scheme* scheme = nullptr;
+    const graph::Graph* graph = nullptr;
     std::string plan_key;
     std::string compiled_key;  ///< empty = engine path
     PlanPtr plan;
@@ -88,17 +209,22 @@ std::vector<SchemeResult> SweepRunner::run(
     Resolved& r = resolved[i];
     r.scheme = registry.find(spec.scheme);
     RC_EXPECTS_MSG(r.scheme != nullptr, "unregistered scheme in sweep spec");
-    RC_EXPECTS_MSG(spec.graph < graphs_.size(),
-                   "sweep spec references an unregistered graph");
-    RC_EXPECTS(spec.source < graphs_[spec.graph].node_count());
-    std::string plan_key("g");
-    plan_key += std::to_string(spec.graph);
+    const std::uint64_t graph_hash = resolve_hash(spec.graph);
+    r.graph = &graphs_.at(graph_hash);
+    RC_EXPECTS(spec.source < r.graph->node_count());
+    if (spec.config.plan_cache_bytes != 0) {
+      cache_.set_byte_budget(spec.config.plan_cache_bytes);
+    }
+    std::string plan_key("h");
+    plan_key += graph::hash_hex(graph_hash);
     plan_key += "|";
-    plan_key += spec.scheme;
+    plan_key += r.scheme->plan_family();
     plan_key += "|";
     plan_key += r.scheme->plan_key(spec.source, spec.options);
     if (spec.config.compiled && r.scheme->can_compile()) {
       std::string compiled_key(plan_key);
+      compiled_key += "|";
+      compiled_key += spec.scheme;
       compiled_key += "|src";
       compiled_key += std::to_string(spec.source);
       compiled_key += "|mu";
@@ -110,10 +236,12 @@ std::vector<SchemeResult> SweepRunner::run(
     r.plan_key = std::move(plan_key);
   }
 
-  // Phase 1: compute every missing labeling exactly once.  Misses are
-  // deduplicated by key (first spec wins the computation slot); the
+  // Phase 1: load or compute every missing labeling exactly once.  Misses
+  // are deduplicated by key (first spec wins the computation slot); the
   // parallel loop only touches distinct keys, so "exactly once per cache
-  // key" holds structurally rather than by locking.
+  // key" holds structurally rather than by locking.  With a store attached,
+  // a key found on disk is decoded instead of computed (a store hit, not a
+  // miss), and computed plans are written through.
   std::vector<std::size_t> plan_work;  // spec index owning a distinct key
   {
     std::unordered_map<std::string, std::size_t> first_owner;
@@ -123,6 +251,19 @@ std::vector<SchemeResult> SweepRunner::run(
       if (r.plan != nullptr) {
         cache_.count_plan_lookup(true);
         continue;
+      }
+      if (store_ != nullptr && r.scheme->can_store_plans()) {
+        const auto bytes = store_->get(PlanStoreKind::kPlan, r.plan_key,
+                                       r.scheme->plan_family());
+        if (bytes) {
+          support::ByteReader reader(*bytes);
+          r.plan = r.scheme->decode_plan(reader);
+        }
+        if (r.plan != nullptr) {
+          cache_.put_plan(r.plan_key, r.plan);
+          cache_.count_plan_store_hit();
+          continue;
+        }
       }
       const auto [it, inserted] = first_owner.emplace(r.plan_key, i);
       if (inserted) {
@@ -137,15 +278,23 @@ std::vector<SchemeResult> SweepRunner::run(
     const std::size_t i = plan_work[w];
     const ExperimentSpec& spec = specs[i];
     Resolved& r = resolved[i];
-    r.plan = r.scheme->label(graphs_[spec.graph], spec.source, spec.options);
+    r.plan = r.scheme->label(*r.graph, spec.source, spec.options);
     cache_.put_plan(r.plan_key, r.plan);
+    if (store_ != nullptr && r.scheme->can_store_plans()) {
+      support::ByteWriter writer;
+      r.scheme->encode_plan(*r.plan, writer);
+      store_->put(PlanStoreKind::kPlan, r.plan_key, r.scheme->plan_family(),
+                  writer.bytes());
+    }
     return 0;
   });
   for (Resolved& r : resolved) {
     if (r.plan == nullptr) r.plan = cache_.find_plan(r.plan_key);
   }
 
-  // Phase 2: lower every missing compiled execution exactly once.
+  // Phase 2: load or lower every missing compiled execution exactly once.
+  // Compiled entries are keyed per scheme (their layouts differ), so the
+  // store records them under the scheme name rather than the plan family.
   std::vector<std::size_t> compile_work;
   {
     std::unordered_map<std::string, std::size_t> first_owner;
@@ -156,6 +305,19 @@ std::vector<SchemeResult> SweepRunner::run(
       if (r.compiled != nullptr) {
         cache_.count_compiled_lookup(true);
         continue;
+      }
+      if (store_ != nullptr && r.scheme->can_store_plans()) {
+        const auto bytes = store_->get(PlanStoreKind::kCompiled,
+                                       r.compiled_key, specs[i].scheme);
+        if (bytes) {
+          support::ByteReader reader(*bytes);
+          r.compiled = r.scheme->decode_compiled(reader);
+        }
+        if (r.compiled != nullptr) {
+          cache_.put_compiled(r.compiled_key, r.compiled);
+          cache_.count_compiled_store_hit();
+          continue;
+        }
       }
       const auto [it, inserted] = first_owner.emplace(r.compiled_key, i);
       if (inserted) {
@@ -170,9 +332,15 @@ std::vector<SchemeResult> SweepRunner::run(
     const std::size_t i = compile_work[w];
     const ExperimentSpec& spec = specs[i];
     Resolved& r = resolved[i];
-    r.compiled = r.scheme->compile(graphs_[spec.graph], spec.source, r.plan,
+    r.compiled = r.scheme->compile(*r.graph, spec.source, r.plan,
                                    spec.options, spec.config);
     cache_.put_compiled(r.compiled_key, r.compiled);
+    if (store_ != nullptr && r.scheme->can_store_plans()) {
+      support::ByteWriter writer;
+      r.scheme->encode_compiled(*r.compiled, writer);
+      store_->put(PlanStoreKind::kCompiled, r.compiled_key, spec.scheme,
+                  writer.bytes());
+    }
     return 0;
   });
   for (Resolved& r : resolved) {
@@ -186,12 +354,12 @@ std::vector<SchemeResult> SweepRunner::run(
   return par::parallel_map(pool_, specs.size(), [&](std::size_t i) {
     const ExperimentSpec& spec = specs[i];
     const Resolved& r = resolved[i];
-    const graph::Graph& g = graphs_[spec.graph];
     if (r.compiled != nullptr) {
-      return r.scheme->replay(g, spec.source, *r.compiled, spec.config);
+      return r.scheme->replay(*r.graph, spec.source, *r.compiled,
+                              spec.config);
     }
-    return run_with_plan(*r.scheme, g, spec.source, r.plan, spec.options,
-                         spec.config);
+    return run_with_plan(*r.scheme, *r.graph, spec.source, r.plan,
+                         spec.options, spec.config);
   });
 }
 

@@ -6,57 +6,99 @@
 /// executor makes that the system's hot path — a batch of
 /// (scheme × graph × source × config) specs runs on the project thread pool
 /// with a keyed `PlanCache`: labelings are computed exactly once per
-/// (graph, scheme, plan-key) and compiled executions exactly once per
+/// (graph, plan-family, plan-key) and compiled executions exactly once per
 /// (graph, scheme, source, µ), then shared read-only across the batch and
 /// across subsequent batches (the warm-cache regime the sweep_throughput
 /// bench gates).  Results always arrive in spec order, so batch output is
 /// byte-identical at any thread count.
+///
+/// Specs address graphs by value, not by process-local index: a `GraphRef`
+/// carries the canonical content hash (graph/hash.hpp) plus an optional
+/// generator descriptor, so the same spec is meaningful across a socket, a
+/// restart, or a different process — the daemon (`serve::Server`)
+/// materializes graphs it has never been sent from the descriptor alone.
+/// With a `PlanStore` attached, cached plans survive restarts: misses
+/// consult the store before computing, computed plans are written through,
+/// and byte-budget LRU evictions fall back to disk instead of recompute.
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "graph/hash.hpp"
 #include "parallel/thread_pool.hpp"
 #include "runtime/config.hpp"
+#include "runtime/plan_store.hpp"
 #include "runtime/scheme.hpp"
 
 namespace radiocast::runtime {
 
-/// One experiment: a registered scheme on a registered graph.
+/// A graph addressed by value.  `hash` is the canonical content hash
+/// (`graph::canonical_hash`); `generator` is an optional
+/// `graph::from_descriptor` spelling that lets a process materialize the
+/// graph without being sent its edges.  A ref with hash 0 and a non-empty
+/// generator resolves by materializing and hashing the generated graph.
+struct GraphRef {
+  std::uint64_t hash = 0;
+  std::string generator;
+
+  friend bool operator==(const GraphRef&, const GraphRef&) = default;
+};
+
+/// One experiment: a registered scheme on a content-addressed graph.
 struct ExperimentSpec {
-  std::string scheme;      ///< registry name ("b", "ack", "arb", ...)
-  std::size_t graph = 0;   ///< index from SweepRunner::add_graph
+  std::string scheme;  ///< registry name ("b", "ack", "arb", ...)
+  GraphRef graph;
   NodeId source = 0;
   SchemeOptions options;
   ExecutionConfig config;
   std::string label;  ///< free-form display tag (never part of a cache key)
 };
 
-/// Cache traffic counters.  A "miss" is a computation (exactly one per
-/// distinct key, however many specs share it); a "hit" is a spec served an
-/// already-computed entry — including specs later in the same batch.
+/// Cache traffic counters.  A "miss" is a labeling construction (exactly one
+/// per distinct key, however many specs share it); a "hit" is a spec served
+/// an already-computed entry — including specs later in the same batch; a
+/// "store hit" is an entry decoded from the attached `PlanStore` instead of
+/// constructed (the warm-restart path: zero misses, all store hits).
 struct PlanCacheStats {
   std::uint64_t plan_hits = 0;
   std::uint64_t plan_misses = 0;
+  std::uint64_t plan_store_hits = 0;
+  std::uint64_t plan_evictions = 0;
   std::uint64_t compiled_hits = 0;
   std::uint64_t compiled_misses = 0;
+  std::uint64_t compiled_store_hits = 0;
+  std::uint64_t compiled_evictions = 0;
 };
 
-/// Keyed store of shared read-only plans.  The SweepRunner computes missing
-/// entries in a dedicated batch phase, so no locking happens on the
-/// execution hot path; the mutex only guards the map itself.
+/// Keyed store of shared read-only plans with an optional byte budget.
+/// The SweepRunner computes missing entries in a dedicated batch phase, so
+/// no locking happens on the execution hot path; the mutex only guards the
+/// map itself.  With a non-zero budget, inserting past it evicts the
+/// least-recently-used entries (plans and compiled plans share one budget
+/// and one recency order); the newest entry is never evicted, so a single
+/// oversized plan still caches.
 class PlanCache {
  public:
-  PlanPtr find_plan(const std::string& key) const;
+  PlanPtr find_plan(const std::string& key);
   void put_plan(const std::string& key, PlanPtr plan);
-  CompiledPlanPtr find_compiled(const std::string& key) const;
+  CompiledPlanPtr find_compiled(const std::string& key);
   void put_compiled(const std::string& key, CompiledPlanPtr plan);
 
   void count_plan_lookup(bool hit);
   void count_compiled_lookup(bool hit);
+  void count_plan_store_hit();
+  void count_compiled_store_hit();
+
+  /// Sets the byte budget (0 = unlimited) and evicts down to it.
+  void set_byte_budget(std::size_t bytes);
+  std::size_t byte_budget() const;
+  /// Sum of `footprint()` over every resident entry.
+  std::size_t bytes() const;
 
   PlanCacheStats stats() const;
   std::size_t plan_count() const;
@@ -64,41 +106,83 @@ class PlanCache {
   void clear();
 
  private:
+  /// One resident entry: the payload, its byte charge, and its position in
+  /// the shared recency list (front = most recently used).
+  template <typename Ptr>
+  struct Entry {
+    Ptr value;
+    std::size_t footprint = 0;
+    std::list<std::string>::iterator lru;  ///< into lru_ ("P|" / "C|" key)
+  };
+
+  void touch(std::list<std::string>::iterator it);
+  void evict_over_budget(const std::string& keep);
+
   mutable std::mutex mu_;
-  std::unordered_map<std::string, PlanPtr> plans_;
-  std::unordered_map<std::string, CompiledPlanPtr> compiled_;
+  std::unordered_map<std::string, Entry<PlanPtr>> plans_;
+  std::unordered_map<std::string, Entry<CompiledPlanPtr>> compiled_;
+  std::list<std::string> lru_;  ///< tagged keys, most recent first
+  std::size_t bytes_ = 0;
+  std::size_t budget_ = 0;
   PlanCacheStats stats_;
 };
 
-/// Executes spec batches over a registered graph table with a persistent
-/// plan cache.  Not itself thread-safe: one batch at a time; the batch's
-/// internal work is parallelized on the caller-supplied pool.
+/// Executes spec batches over a content-addressed graph table with a
+/// persistent plan cache.  Not itself thread-safe: one batch at a time; the
+/// batch's internal work is parallelized on the caller-supplied pool.
 class SweepRunner {
  public:
   /// \param pool shared worker pool (also usable by other subsystems; the
   ///        runner only submits through parallel_map and always drains).
   explicit SweepRunner(par::ThreadPool& pool) : pool_(pool) {}
 
-  /// Registers a graph; specs address it by the returned index.
-  std::size_t add_graph(graph::Graph g);
-  const graph::Graph& graph(std::size_t index) const;
+  /// Registers a graph and returns its content-addressed ref (`generator`
+  /// is the optional descriptor recorded on the ref for portability).
+  /// Registering the same graph twice is idempotent.
+  GraphRef add_graph(graph::Graph g, std::string generator = {});
+
+  /// Resolves a ref to its graph: by hash when the graph is registered,
+  /// otherwise by materializing `ref.generator` (registering the result).
+  /// Generator descriptors are memoized, so a batch of generator-only refs
+  /// materializes each distinct graph once.  A ref with neither a known
+  /// hash nor a generator, or whose generator produces a graph with a
+  /// different hash, violates a precondition.
+  const graph::Graph& resolve(const GraphRef& ref);
+
+  /// `resolve`, but returns the graph's canonical content hash (the plan
+  /// cache/store key prefix) without rehashing.
+  std::uint64_t resolve_hash(const GraphRef& ref);
+
+  bool has_graph(std::uint64_t hash) const {
+    return graphs_.count(hash) != 0;
+  }
   std::size_t graph_count() const noexcept { return graphs_.size(); }
 
-  /// Runs the batch: resolves schemes, computes every missing plan and
-  /// compiled execution exactly once (in parallel over distinct cache
-  /// keys), then executes all specs in parallel.  Results are returned in
-  /// spec order; for a fixed batch they are identical on any thread count.
-  /// Every spec's scheme name must be registered and its graph index valid.
+  /// Attaches an on-disk plan store (nullptr detaches).  Plan misses then
+  /// consult the store before computing, and computed plans are written
+  /// through, so a new runner over the same store starts warm.
+  void attach_store(PlanStore* store) { store_ = store; }
+  PlanStore* store() const noexcept { return store_; }
+
+  /// Runs the batch: resolves schemes and graphs, loads or computes every
+  /// missing plan and compiled execution exactly once (in parallel over
+  /// distinct cache keys), then executes all specs in parallel.  Results
+  /// are returned in spec order; for a fixed batch they are identical on
+  /// any thread count.  Every spec's scheme name must be registered and its
+  /// graph ref resolvable.
   std::vector<SchemeResult> run(const std::vector<ExperimentSpec>& specs);
 
+  PlanCache& cache() noexcept { return cache_; }
   const PlanCache& cache() const noexcept { return cache_; }
   PlanCacheStats cache_stats() const { return cache_.stats(); }
   void clear_cache() { cache_.clear(); }
 
  private:
   par::ThreadPool& pool_;
-  std::vector<graph::Graph> graphs_;
+  std::unordered_map<std::uint64_t, graph::Graph> graphs_;
+  std::unordered_map<std::string, std::uint64_t> generator_hashes_;
   PlanCache cache_;
+  PlanStore* store_ = nullptr;
 };
 
 }  // namespace radiocast::runtime

@@ -1,0 +1,470 @@
+#include "runtime/wire.hpp"
+
+#include <cstring>
+#include <limits>
+
+#include "graph/hash.hpp"
+
+namespace radiocast::runtime::wire {
+
+namespace {
+
+using support::Json;
+
+/// Field-level decode helpers.  All follow the same shape: absent (null)
+/// leaves the default in place and succeeds; present-but-wrong-type fails
+/// with the field name in the error.
+
+bool read_u64(const Json& j, const char* field, std::uint64_t& out,
+              std::string& error) {
+  const Json& v = j.get(field);
+  if (v.is_null()) return true;
+  if (v.kind() != Json::Kind::kUInt) {
+    error = std::string("field \"") + field + "\" must be an unsigned integer";
+    return false;
+  }
+  out = v.as_uint();
+  return true;
+}
+
+template <typename T>
+bool read_uint_as(const Json& j, const char* field, T& out,
+                  std::string& error) {
+  std::uint64_t wide = out;
+  if (!read_u64(j, field, wide, error)) return false;
+  if (wide > std::numeric_limits<T>::max()) {
+    error = std::string("field \"") + field + "\" is out of range";
+    return false;
+  }
+  out = static_cast<T>(wide);
+  return true;
+}
+
+bool read_bool(const Json& j, const char* field, bool& out,
+               std::string& error) {
+  const Json& v = j.get(field);
+  if (v.is_null()) return true;
+  if (v.kind() != Json::Kind::kBool) {
+    error = std::string("field \"") + field + "\" must be a boolean";
+    return false;
+  }
+  out = v.as_bool();
+  return true;
+}
+
+bool read_string(const Json& j, const char* field, std::string& out,
+                 std::string& error) {
+  const Json& v = j.get(field);
+  if (v.is_null()) return true;
+  if (v.kind() != Json::Kind::kString) {
+    error = std::string("field \"") + field + "\" must be a string";
+    return false;
+  }
+  out = v.as_string();
+  return true;
+}
+
+bool check_version(const Json& j, std::string& error) {
+  std::uint64_t v = kWireVersion;
+  if (!read_u64(j, "v", v, error)) return false;
+  if (v > kWireVersion) {
+    error = "wire version " + std::to_string(v) +
+            " is newer than supported version " +
+            std::to_string(kWireVersion);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Json to_json(const GraphRef& ref) {
+  Json j(Json::Object{});
+  if (ref.hash != 0) j.set("hash", Json(graph::hash_hex(ref.hash)));
+  if (!ref.generator.empty()) j.set("gen", Json(ref.generator));
+  return j;
+}
+
+Decoded<GraphRef> graph_ref_from_json(const Json& j) {
+  Decoded<GraphRef> out;
+  if (j.kind() != Json::Kind::kObject) {
+    out.error = "graph ref must be an object";
+    return out;
+  }
+  std::string hash_text;
+  if (!read_string(j, "hash", hash_text, out.error)) return out;
+  if (!hash_text.empty()) {
+    out.value.hash = graph::parse_hash_hex(hash_text);
+    if (out.value.hash == 0) {
+      out.error = "field \"hash\" must be 16 lowercase hex digits";
+      return out;
+    }
+  }
+  if (!read_string(j, "gen", out.value.generator, out.error)) return out;
+  if (out.value.hash == 0 && out.value.generator.empty()) {
+    out.error = "graph ref needs a \"hash\" or a \"gen\" descriptor";
+    return out;
+  }
+  out.ok = true;
+  return out;
+}
+
+Json to_json(const SchemeOptions& options) {
+  const SchemeOptions defaults;
+  Json j(Json::Object{});
+  if (options.mu != defaults.mu) j.set("mu", Json(std::uint64_t{options.mu}));
+  if (options.policy != defaults.policy) {
+    j.set("policy",
+          Json(std::uint64_t{static_cast<std::uint8_t>(options.policy)}));
+  }
+  if (options.seed != defaults.seed) j.set("seed", Json(options.seed));
+  if (options.coordinator != defaults.coordinator) {
+    j.set("coordinator", Json(std::uint64_t{options.coordinator}));
+  }
+  if (!options.payloads.empty()) {
+    Json payloads(Json::Array{});
+    for (const std::uint32_t p : options.payloads) {
+      payloads.push_back(Json(std::uint64_t{p}));
+    }
+    j.set("payloads", std::move(payloads));
+  }
+  if (options.frame_bits != defaults.frame_bits) {
+    j.set("frame_bits", Json(std::uint64_t{options.frame_bits}));
+  }
+  if (options.max_attempts != defaults.max_attempts) {
+    j.set("max_attempts", Json(std::uint64_t{options.max_attempts}));
+  }
+  if (options.max_stages != defaults.max_stages) {
+    j.set("max_stages", Json(options.max_stages));
+  }
+  return j;
+}
+
+Decoded<SchemeOptions> options_from_json(const Json& j) {
+  Decoded<SchemeOptions> out;
+  if (j.is_null()) {  // absent block = all defaults
+    out.ok = true;
+    return out;
+  }
+  if (j.kind() != Json::Kind::kObject) {
+    out.error = "options must be an object";
+    return out;
+  }
+  SchemeOptions& o = out.value;
+  std::uint64_t policy = static_cast<std::uint8_t>(o.policy);
+  if (!read_uint_as(j, "mu", o.mu, out.error)) return out;
+  if (!read_u64(j, "policy", policy, out.error)) return out;
+  if (policy > static_cast<std::uint8_t>(core::DomPolicy::kMaxFresh)) {
+    out.error = "field \"policy\" is not a DomPolicy value";
+    return out;
+  }
+  o.policy = static_cast<core::DomPolicy>(policy);
+  if (!read_u64(j, "seed", o.seed, out.error)) return out;
+  if (!read_uint_as(j, "coordinator", o.coordinator, out.error)) return out;
+  const Json& payloads = j.get("payloads");
+  if (!payloads.is_null()) {
+    if (payloads.kind() != Json::Kind::kArray) {
+      out.error = "field \"payloads\" must be an array";
+      return out;
+    }
+    for (const Json& p : payloads.as_array()) {
+      if (p.kind() != Json::Kind::kUInt ||
+          p.as_uint() > std::numeric_limits<std::uint32_t>::max()) {
+        out.error = "field \"payloads\" must hold u32 values";
+        return out;
+      }
+      o.payloads.push_back(static_cast<std::uint32_t>(p.as_uint()));
+    }
+  }
+  if (!read_uint_as(j, "frame_bits", o.frame_bits, out.error)) return out;
+  if (!read_uint_as(j, "max_attempts", o.max_attempts, out.error)) return out;
+  if (!read_u64(j, "max_stages", o.max_stages, out.error)) return out;
+  out.ok = true;
+  return out;
+}
+
+Json to_json(const ExecutionConfig& config) {
+  const ExecutionConfig defaults;
+  Json j(Json::Object{});
+  if (config.backend != defaults.backend) {
+    j.set("backend", Json(std::string(sim::to_string(config.backend))));
+  }
+  if (config.dispatch != defaults.dispatch) {
+    j.set("dispatch", Json(std::string(sim::to_string(config.dispatch))));
+  }
+  if (config.threads != defaults.threads) {
+    j.set("threads", Json(std::uint64_t{config.threads}));
+  }
+  if (config.compiled) j.set("compiled", Json(true));
+  if (config.collision_detection) j.set("cd", Json(true));
+  if (config.trace == sim::TraceLevel::kFull) {
+    j.set("trace", Json(std::string("full")));
+  }
+  if (config.max_rounds != defaults.max_rounds) {
+    j.set("max_rounds", Json(config.max_rounds));
+  }
+  if (config.plan_cache_bytes != defaults.plan_cache_bytes) {
+    j.set("plan_cache_bytes", Json(std::uint64_t{config.plan_cache_bytes}));
+  }
+  return j;
+}
+
+Decoded<ExecutionConfig> config_from_json(const Json& j) {
+  Decoded<ExecutionConfig> out;
+  if (j.is_null()) {
+    out.ok = true;
+    return out;
+  }
+  if (j.kind() != Json::Kind::kObject) {
+    out.error = "config must be an object";
+    return out;
+  }
+  ExecutionConfig& c = out.value;
+  std::string backend;
+  std::string dispatch;
+  std::string trace;
+  if (!read_string(j, "backend", backend, out.error)) return out;
+  if (!backend.empty()) {
+    const auto parsed = sim::parse_backend(backend);
+    if (!parsed) {
+      out.error = "field \"backend\" is not a backend name: " + backend;
+      return out;
+    }
+    c.backend = *parsed;
+  }
+  if (!read_string(j, "dispatch", dispatch, out.error)) return out;
+  if (!dispatch.empty()) {
+    const auto parsed = sim::parse_dispatch(dispatch);
+    if (!parsed) {
+      out.error = "field \"dispatch\" is not a dispatch name: " + dispatch;
+      return out;
+    }
+    c.dispatch = *parsed;
+  }
+  if (!read_uint_as(j, "threads", c.threads, out.error)) return out;
+  if (!read_bool(j, "compiled", c.compiled, out.error)) return out;
+  if (!read_bool(j, "cd", c.collision_detection, out.error)) return out;
+  if (!read_string(j, "trace", trace, out.error)) return out;
+  if (!trace.empty()) {
+    if (trace == "counters") {
+      c.trace = sim::TraceLevel::kCounters;
+    } else if (trace == "full") {
+      c.trace = sim::TraceLevel::kFull;
+    } else {
+      out.error = "field \"trace\" must be \"counters\" or \"full\"";
+      return out;
+    }
+  }
+  if (!read_u64(j, "max_rounds", c.max_rounds, out.error)) return out;
+  if (!read_uint_as(j, "plan_cache_bytes", c.plan_cache_bytes, out.error)) {
+    return out;
+  }
+  out.ok = true;
+  return out;
+}
+
+Json to_json(const ExperimentSpec& spec) {
+  Json j(Json::Object{});
+  j.set("v", Json(kWireVersion));
+  j.set("scheme", Json(spec.scheme));
+  j.set("graph", to_json(spec.graph));
+  if (spec.source != 0) j.set("source", Json(std::uint64_t{spec.source}));
+  Json options = to_json(spec.options);
+  if (!options.as_object().empty()) j.set("options", std::move(options));
+  Json config = to_json(spec.config);
+  if (!config.as_object().empty()) j.set("config", std::move(config));
+  if (!spec.label.empty()) j.set("label", Json(spec.label));
+  return j;
+}
+
+Decoded<ExperimentSpec> spec_from_json(const Json& j) {
+  Decoded<ExperimentSpec> out;
+  if (j.kind() != Json::Kind::kObject) {
+    out.error = "spec must be an object";
+    return out;
+  }
+  if (!check_version(j, out.error)) return out;
+  ExperimentSpec& s = out.value;
+  if (!read_string(j, "scheme", s.scheme, out.error)) return out;
+  if (s.scheme.empty()) {
+    out.error = "spec needs a \"scheme\" name";
+    return out;
+  }
+  auto graph = graph_ref_from_json(j.get("graph"));
+  if (!graph.ok) {
+    out.error = std::move(graph.error);
+    return out;
+  }
+  s.graph = std::move(graph.value);
+  if (!read_uint_as(j, "source", s.source, out.error)) return out;
+  auto options = options_from_json(j.get("options"));
+  if (!options.ok) {
+    out.error = std::move(options.error);
+    return out;
+  }
+  s.options = std::move(options.value);
+  auto config = config_from_json(j.get("config"));
+  if (!config.ok) {
+    out.error = std::move(config.error);
+    return out;
+  }
+  s.config = config.value;
+  if (!read_string(j, "label", s.label, out.error)) return out;
+  out.ok = true;
+  return out;
+}
+
+Json to_json(const SchemeResult& result) {
+  Json j(Json::Object{});
+  j.set("v", Json(kWireVersion));
+  j.set("ok", Json(result.ok));
+  j.set("all_informed", Json(result.all_informed));
+  j.set("labeling_found", Json(result.labeling_found));
+  j.set("rounds", Json(result.rounds));
+  j.set("completion_round", Json(result.completion_round));
+  j.set("ack_round", Json(result.ack_round));
+  j.set("bound", Json(result.bound));
+  j.set("ell", Json(std::uint64_t{result.ell}));
+  if (result.special != graph::kNoNode) {
+    j.set("special", Json(std::uint64_t{result.special}));
+  }
+  j.set("max_stamp", Json(result.max_stamp));
+  j.set("done_round", Json(result.done_round));
+  j.set("T", Json(result.T));
+  j.set("last_learned", Json(result.last_learned));
+  j.set("stay_count", Json(result.stay_count));
+  j.set("data_tx_count", Json(result.data_tx_count));
+  j.set("max_node_tx", Json(result.max_node_tx));
+  j.set("tx_total", Json(result.tx_total));
+  j.set("polls", Json(result.polls));
+  j.set("attempts", Json(std::uint64_t{result.attempts}));
+  j.set("ones", Json(std::uint64_t{result.ones}));
+  j.set("label_bits", Json(std::uint64_t{result.label_bits}));
+  if (!result.ack_rounds.empty()) {
+    Json rounds(Json::Array{});
+    for (const std::uint64_t r : result.ack_rounds) rounds.push_back(Json(r));
+    j.set("ack_rounds", std::move(rounds));
+  }
+  j.set("rounds_per_message", Json(result.rounds_per_message));
+  return j;
+}
+
+Decoded<SchemeResult> result_from_json(const Json& j) {
+  Decoded<SchemeResult> out;
+  if (j.kind() != Json::Kind::kObject) {
+    out.error = "result must be an object";
+    return out;
+  }
+  if (!check_version(j, out.error)) return out;
+  SchemeResult& r = out.value;
+  if (!read_bool(j, "ok", r.ok, out.error)) return out;
+  if (!read_bool(j, "all_informed", r.all_informed, out.error)) return out;
+  if (!read_bool(j, "labeling_found", r.labeling_found, out.error)) return out;
+  if (!read_u64(j, "rounds", r.rounds, out.error)) return out;
+  if (!read_u64(j, "completion_round", r.completion_round, out.error)) {
+    return out;
+  }
+  if (!read_u64(j, "ack_round", r.ack_round, out.error)) return out;
+  if (!read_u64(j, "bound", r.bound, out.error)) return out;
+  if (!read_uint_as(j, "ell", r.ell, out.error)) return out;
+  if (!j.get("special").is_null() &&
+      !read_uint_as(j, "special", r.special, out.error)) {
+    return out;
+  }
+  if (!read_u64(j, "max_stamp", r.max_stamp, out.error)) return out;
+  if (!read_u64(j, "done_round", r.done_round, out.error)) return out;
+  if (!read_u64(j, "T", r.T, out.error)) return out;
+  if (!read_u64(j, "last_learned", r.last_learned, out.error)) return out;
+  if (!read_u64(j, "stay_count", r.stay_count, out.error)) return out;
+  if (!read_u64(j, "data_tx_count", r.data_tx_count, out.error)) return out;
+  if (!read_u64(j, "max_node_tx", r.max_node_tx, out.error)) return out;
+  if (!read_u64(j, "tx_total", r.tx_total, out.error)) return out;
+  if (!read_u64(j, "polls", r.polls, out.error)) return out;
+  if (!read_uint_as(j, "attempts", r.attempts, out.error)) return out;
+  if (!read_uint_as(j, "ones", r.ones, out.error)) return out;
+  if (!read_uint_as(j, "label_bits", r.label_bits, out.error)) return out;
+  const Json& rounds = j.get("ack_rounds");
+  if (!rounds.is_null()) {
+    if (rounds.kind() != Json::Kind::kArray) {
+      out.error = "field \"ack_rounds\" must be an array";
+      return out;
+    }
+    for (const Json& item : rounds.as_array()) {
+      if (item.kind() != Json::Kind::kUInt) {
+        out.error = "field \"ack_rounds\" must hold unsigned integers";
+        return out;
+      }
+      r.ack_rounds.push_back(item.as_uint());
+    }
+  }
+  if (!read_u64(j, "rounds_per_message", r.rounds_per_message, out.error)) {
+    return out;
+  }
+  out.ok = true;
+  return out;
+}
+
+std::string encode_spec(const ExperimentSpec& spec) {
+  return to_json(spec).dump();
+}
+
+Decoded<ExperimentSpec> decode_spec(std::string_view text) {
+  const auto parsed = support::parse_json(text);
+  if (!parsed.ok) {
+    Decoded<ExperimentSpec> out;
+    out.error = parsed.error;
+    return out;
+  }
+  return spec_from_json(parsed.value);
+}
+
+std::string encode_result(const SchemeResult& result) {
+  return to_json(result).dump();
+}
+
+Decoded<SchemeResult> decode_result(std::string_view text) {
+  const auto parsed = support::parse_json(text);
+  if (!parsed.ok) {
+    Decoded<SchemeResult> out;
+    out.error = parsed.error;
+    return out;
+  }
+  return result_from_json(parsed.value);
+}
+
+std::string frame(std::string_view payload) {
+  const std::uint32_t size = static_cast<std::uint32_t>(payload.size());
+  std::string out(4, '\0');
+  out[0] = static_cast<char>(size & 0xFF);
+  out[1] = static_cast<char>((size >> 8) & 0xFF);
+  out[2] = static_cast<char>((size >> 16) & 0xFF);
+  out[3] = static_cast<char>((size >> 24) & 0xFF);
+  out.append(payload);
+  return out;
+}
+
+void FrameReader::feed(std::string_view bytes) {
+  if (bad_) return;
+  buffer_.append(bytes);
+}
+
+std::optional<std::string> FrameReader::next() {
+  if (bad_ || buffer_.size() < 4) return std::nullopt;
+  const auto b = [&](std::size_t i) {
+    return static_cast<std::uint32_t>(
+        static_cast<unsigned char>(buffer_[i]));
+  };
+  const std::uint32_t size = b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
+  if (size > max_) {
+    bad_ = true;
+    return std::nullopt;
+  }
+  if (buffer_.size() < 4 + static_cast<std::size_t>(size)) {
+    return std::nullopt;
+  }
+  std::string payload = buffer_.substr(4, size);
+  buffer_.erase(0, 4 + static_cast<std::size_t>(size));
+  return payload;
+}
+
+}  // namespace radiocast::runtime::wire

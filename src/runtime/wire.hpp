@@ -1,0 +1,78 @@
+/// \file wire.hpp
+/// \brief Canonical, versioned JSON encoding of the spec API.
+///
+/// `ExperimentSpec` / `ExecutionConfig` / `SchemeResult` cross process
+/// boundaries: the serve daemon reads specs off a socket, the CI smoke
+/// client writes them from Python, and bench tooling diffs result dumps.
+/// This is the one wire spelling — canonical (sorted keys, no whitespace,
+/// defaults omitted) so equal values encode byte-identically, and versioned
+/// (`kWireVersion` rides on every spec and result) so a future field change
+/// is an explicit negotiation rather than a silent misread.  Decoding is
+/// strict about types and enum spellings but tolerant of absent fields
+/// (absent = default), which is what lets v1 readers accept minimal
+/// hand-written specs like {"scheme":"b","graph":{"gen":"path:8"}}.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "runtime/sweep.hpp"
+#include "support/json.hpp"
+
+namespace radiocast::runtime::wire {
+
+/// Version stamped on every encoded spec/result ("v"); decoders reject
+/// anything newer than they understand.
+inline constexpr std::uint64_t kWireVersion = 1;
+
+/// Decode outcome: `ok` plus either the value or a human-readable error.
+template <typename T>
+struct Decoded {
+  bool ok = false;
+  T value{};
+  std::string error;
+};
+
+support::Json to_json(const GraphRef& ref);
+support::Json to_json(const SchemeOptions& options);
+support::Json to_json(const ExecutionConfig& config);
+support::Json to_json(const ExperimentSpec& spec);  ///< carries "v"
+support::Json to_json(const SchemeResult& result);  ///< carries "v"; no trace
+
+Decoded<GraphRef> graph_ref_from_json(const support::Json& j);
+Decoded<SchemeOptions> options_from_json(const support::Json& j);
+Decoded<ExecutionConfig> config_from_json(const support::Json& j);
+Decoded<ExperimentSpec> spec_from_json(const support::Json& j);
+Decoded<SchemeResult> result_from_json(const support::Json& j);
+
+/// One-line convenience: canonical JSON text of a spec, and strict parse of
+/// one (parse errors and decode errors both land in `error`).
+std::string encode_spec(const ExperimentSpec& spec);
+Decoded<ExperimentSpec> decode_spec(std::string_view text);
+std::string encode_result(const SchemeResult& result);
+Decoded<SchemeResult> decode_result(std::string_view text);
+
+/// Frames a payload as u32 little-endian length + bytes (the serve socket
+/// format; see serve/server.hpp for the protocol running on top).
+std::string frame(std::string_view payload);
+
+/// Incremental de-framer: feed received bytes, pop complete payloads.
+/// Oversized frames (> max_frame_bytes) poison the reader — `bad()` goes
+/// true and no further payloads are produced; the connection should close.
+class FrameReader {
+ public:
+  explicit FrameReader(std::size_t max_frame_bytes = 1 << 26)
+      : max_(max_frame_bytes) {}
+
+  void feed(std::string_view bytes);
+  /// Pops the next complete payload, nullopt when more bytes are needed.
+  std::optional<std::string> next();
+  bool bad() const noexcept { return bad_; }
+
+ private:
+  std::string buffer_;
+  std::size_t max_;
+  bool bad_ = false;
+};
+
+}  // namespace radiocast::runtime::wire

@@ -1,0 +1,194 @@
+#include "serve/client.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace radiocast::serve {
+
+namespace {
+
+using support::Json;
+
+bool write_all(int fd, std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      frames_(std::move(other.frames_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    frames_ = std::move(other.frames_);
+  }
+  return *this;
+}
+
+bool Client::connect_unix(const std::string& path) {
+  close();
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return false;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  fd_ = fd;
+  return true;
+}
+
+bool Client::connect_tcp(std::uint16_t port) {
+  close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  // See Server::accept_loop: framed request/response traffic must not sit
+  // in Nagle's buffer waiting for a delayed ACK.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  return true;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  frames_ = runtime::wire::FrameReader();
+}
+
+bool Client::send(const Json& request) {
+  if (fd_ < 0) return false;
+  return write_all(fd_, runtime::wire::frame(request.dump()));
+}
+
+std::optional<Json> Client::receive() {
+  if (fd_ < 0) return std::nullopt;
+  char buf[64 * 1024];
+  while (true) {
+    if (const auto payload = frames_.next()) {
+      const auto parsed = support::parse_json(*payload);
+      if (!parsed.ok) return std::nullopt;
+      return parsed.value;
+    }
+    if (frames_.bad()) return std::nullopt;
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return std::nullopt;
+    frames_.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+  }
+}
+
+BatchOutcome Client::run_batch(
+    const std::vector<runtime::ExperimentSpec>& specs, std::uint64_t id) {
+  BatchOutcome out;
+  Json request(Json::Object{});
+  request.set("v", Json(runtime::wire::kWireVersion));
+  request.set("type", Json(std::string("batch")));
+  request.set("id", Json(id));
+  Json specs_json(Json::Array{});
+  for (const runtime::ExperimentSpec& spec : specs) {
+    specs_json.push_back(runtime::wire::to_json(spec));
+  }
+  request.set("specs", std::move(specs_json));
+  if (!send(request)) {
+    out.error = "send failed";
+    return out;
+  }
+  out.results.reserve(specs.size());
+  while (true) {
+    const auto frame = receive();
+    if (!frame) {
+      out.error = "connection closed mid-batch";
+      out.results.clear();
+      return out;
+    }
+    const std::string& type = frame->get("type").as_string();
+    if (type == "result") {
+      auto result = runtime::wire::result_from_json(frame->get("result"));
+      if (!result.ok) {
+        out.error = "bad result frame: " + result.error;
+        out.results.clear();
+        return out;
+      }
+      if (frame->get("index").as_uint() != out.results.size()) {
+        out.error = "result frames out of order";
+        out.results.clear();
+        return out;
+      }
+      out.results.push_back(std::move(result.value));
+      continue;
+    }
+    if (type == "done") {
+      out.done = *frame;
+      out.ok = out.results.size() == specs.size();
+      if (!out.ok) out.error = "done before all results arrived";
+      return out;
+    }
+    if (type == "error") {
+      out.error = frame->get("error").as_string();
+      out.results.clear();
+      return out;
+    }
+    out.error = "unexpected frame type: \"" + type + "\"";
+    out.results.clear();
+    return out;
+  }
+}
+
+bool Client::ping() {
+  Json request(Json::Object{});
+  request.set("v", Json(runtime::wire::kWireVersion));
+  request.set("type", Json(std::string("ping")));
+  if (!send(request)) return false;
+  const auto reply = receive();
+  return reply && reply->get("type").as_string() == "pong";
+}
+
+bool Client::shutdown_server() {
+  Json request(Json::Object{});
+  request.set("v", Json(runtime::wire::kWireVersion));
+  request.set("type", Json(std::string("shutdown")));
+  if (!send(request)) return false;
+  const auto reply = receive();
+  return reply && reply->get("type").as_string() == "bye";
+}
+
+}  // namespace radiocast::serve

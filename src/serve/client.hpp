@@ -1,0 +1,70 @@
+/// \file client.hpp
+/// \brief Blocking client for the radiocast_serve wire protocol.
+///
+/// Covers the three in-tree consumers — the serve tests, the
+/// serve_throughput bench (many concurrent clients hammering one server),
+/// and `radiocast_cli`-style tooling — with a deliberately small surface:
+/// connect, exchange one request/response, or run a whole spec batch and
+/// collect the in-order results.  The CI smoke driver speaks the same
+/// protocol from Python (tools/serve_client.py); this class is the C++
+/// reference implementation of that conversation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runtime/sweep.hpp"
+#include "runtime/wire.hpp"
+#include "support/json.hpp"
+
+namespace radiocast::serve {
+
+/// Outcome of a batch round trip: results in spec order on success, the
+/// server's (or transport's) error text otherwise.
+struct BatchOutcome {
+  bool ok = false;
+  std::vector<runtime::SchemeResult> results;
+  support::Json done;  ///< the final "done" frame (cache stats live here)
+  std::string error;
+};
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to a Unix-domain / loopback-TCP server; false on failure
+  /// (the client stays unconnected and reusable).
+  bool connect_unix(const std::string& path);
+  bool connect_tcp(std::uint16_t port);
+  bool connected() const noexcept { return fd_ >= 0; }
+  void close();
+
+  /// Sends one framed JSON request; false on a broken connection.
+  bool send(const support::Json& request);
+  /// Blocks for the next frame; nullopt on EOF or a framing error.
+  std::optional<support::Json> receive();
+
+  /// Sends a batch and collects the streamed results through "done".
+  BatchOutcome run_batch(const std::vector<runtime::ExperimentSpec>& specs,
+                         std::uint64_t id = 0);
+
+  /// Round-trips a ping; false if the server did not answer pong.
+  bool ping();
+
+  /// Requests server shutdown; true if "bye" came back.
+  bool shutdown_server();
+
+ private:
+  int fd_ = -1;
+  runtime::wire::FrameReader frames_;
+};
+
+}  // namespace radiocast::serve

@@ -1,0 +1,348 @@
+#include "serve/server.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "runtime/wire.hpp"
+#include "support/contracts.hpp"
+
+namespace radiocast::serve {
+
+namespace {
+
+using support::Json;
+
+Json make_frame(const char* type) {
+  Json j(Json::Object{});
+  j.set("v", Json(runtime::wire::kWireVersion));
+  j.set("type", Json(std::string(type)));
+  return j;
+}
+
+Json cache_stats_json(const runtime::PlanCacheStats& s) {
+  Json j(Json::Object{});
+  j.set("plan_hits", Json(s.plan_hits));
+  j.set("plan_misses", Json(s.plan_misses));
+  j.set("plan_store_hits", Json(s.plan_store_hits));
+  j.set("plan_evictions", Json(s.plan_evictions));
+  j.set("compiled_hits", Json(s.compiled_hits));
+  j.set("compiled_misses", Json(s.compiled_misses));
+  j.set("compiled_store_hits", Json(s.compiled_store_hits));
+  j.set("compiled_evictions", Json(s.compiled_evictions));
+  return j;
+}
+
+/// write() until done; false on a broken pipe / closed peer.
+bool write_all(int fd, std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(runtime::SweepRunner& runner, ServerOptions options)
+    : runner_(runner), options_(std::move(options)) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  RC_EXPECTS_MSG(!running(), "server already started");
+  int fd = -1;
+  if (!options_.unix_path.empty()) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    RC_EXPECTS_MSG(fd >= 0, "socket() failed");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    RC_EXPECTS_MSG(options_.unix_path.size() < sizeof(addr.sun_path),
+                   "unix socket path too long: " + options_.unix_path);
+    std::strncpy(addr.sun_path, options_.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(options_.unix_path.c_str());  // stale socket from a past run
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd);
+      RC_EXPECTS_MSG(false, "bind failed on " + options_.unix_path);
+    }
+  } else {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    RC_EXPECTS_MSG(fd >= 0, "socket() failed");
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(options_.tcp_port);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd);
+      RC_EXPECTS_MSG(false, "bind failed on loopback port " +
+                                std::to_string(options_.tcp_port));
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len);
+    bound_port_ = ntohs(bound.sin_port);
+  }
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
+    RC_EXPECTS_MSG(false, "listen failed");
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    listen_fd_ = fd;
+    running_ = true;
+    stopping_ = false;
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::stop() {
+  std::thread accept_thread;
+  std::vector<std::thread> workers;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (!running_ && accept_thread_.joinable() == false &&
+        workers_.empty()) {
+      return;
+    }
+    stopping_ = true;
+    if (listen_fd_ >= 0) {
+      ::shutdown(listen_fd_, SHUT_RDWR);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    for (const int fd : client_fds_) ::shutdown(fd, SHUT_RDWR);
+    accept_thread = std::move(accept_thread_);
+    workers = std::move(workers_);
+  }
+  if (accept_thread.joinable()) accept_thread.join();
+  for (std::thread& w : workers) {
+    if (!w.joinable()) continue;
+    // A shutdown request reaches stop() from its own connection thread;
+    // that thread cannot join itself, so it is released instead (it only
+    // has the fd teardown left to run).
+    if (w.get_id() == std::this_thread::get_id()) {
+      w.detach();
+    } else {
+      w.join();
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const int fd : client_fds_) ::close(fd);
+    client_fds_.clear();
+    running_ = false;
+  }
+  if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
+  stopped_cv_.notify_all();
+}
+
+void Server::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  stopped_cv_.wait(lock, [this] { return !running_; });
+}
+
+bool Server::running() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+ServerStats Server::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void Server::accept_loop() {
+  while (true) {
+    int listen_fd = -1;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return;
+      listen_fd = listen_fd_;
+    }
+    if (listen_fd < 0) return;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed by stop()
+    }
+    // Request/response framing over loopback: Nagle + delayed ACK adds tens
+    // of milliseconds per exchange; disable it.
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      ::close(fd);
+      return;
+    }
+    ++stats_.connections;
+    client_fds_.push_back(fd);
+    workers_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+}
+
+void Server::serve_connection(int fd) {
+  runtime::wire::FrameReader frames(options_.max_frame_bytes);
+  char buf[64 * 1024];
+  bool open = true;
+  while (open) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    frames.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+    if (frames.bad()) break;  // oversized frame: unrecoverable framing
+    while (open) {
+      const auto payload = frames.next();
+      if (!payload) break;
+      const auto parsed = support::parse_json(*payload);
+      if (!parsed.ok) {
+        send_error(fd, Json(), "bad JSON: " + parsed.error);
+        continue;
+      }
+      open = handle(fd, parsed.value);
+    }
+  }
+  ::shutdown(fd, SHUT_RDWR);
+  // The fd itself is closed by stop() (it stays in client_fds_ so shutdown
+  // can interrupt a blocked recv); nothing else to release here.
+  if (!open) stop();  // shutdown request: stop from outside the accept loop
+}
+
+bool Server::handle(int fd, const Json& request) {
+  const Json& id = request.get("id");
+  const std::uint64_t version = request.get("v").as_uint(1);
+  if (version > runtime::wire::kWireVersion) {
+    send_error(fd, id,
+               "wire version " + std::to_string(version) + " not supported");
+    return true;
+  }
+  const std::string& type = request.get("type").as_string();
+  if (type == "batch") {
+    handle_batch(fd, request);
+    return true;
+  }
+  if (type == "ping") {
+    Json pong = make_frame("pong");
+    if (!id.is_null()) pong.set("id", id);
+    send_json(fd, pong);
+    return true;
+  }
+  if (type == "stats") {
+    Json out = make_frame("stats");
+    if (!id.is_null()) out.set("id", id);
+    out.set("cache", cache_stats_json(runner_.cache_stats()));
+    out.set("graphs", Json(std::uint64_t{runner_.graph_count()}));
+    if (const runtime::PlanStore* store = runner_.store()) {
+      const auto s = store->stats();
+      Json store_json(Json::Object{});
+      store_json.set("dir", Json(store->directory()));
+      store_json.set("reads", Json(s.reads));
+      store_json.set("read_hits", Json(s.read_hits));
+      store_json.set("rejected", Json(s.rejected));
+      store_json.set("writes", Json(s.writes));
+      out.set("store", std::move(store_json));
+    }
+    const ServerStats s = stats();
+    Json server_json(Json::Object{});
+    server_json.set("connections", Json(s.connections));
+    server_json.set("batches", Json(s.batches));
+    server_json.set("specs_run", Json(s.specs_run));
+    server_json.set("errors", Json(s.errors));
+    out.set("server", std::move(server_json));
+    send_json(fd, out);
+    return true;
+  }
+  if (type == "shutdown") {
+    Json bye = make_frame("bye");
+    if (!id.is_null()) bye.set("id", id);
+    send_json(fd, bye);
+    return false;
+  }
+  send_error(fd, id, "unknown request type: \"" + type + "\"");
+  return true;
+}
+
+void Server::handle_batch(int fd, const Json& request) {
+  const Json& id = request.get("id");
+  const Json& specs_json = request.get("specs");
+  if (specs_json.kind() != Json::Kind::kArray) {
+    send_error(fd, id, "batch needs a \"specs\" array");
+    return;
+  }
+  // Decode and validate the whole batch before running any of it: a batch
+  // either runs completely or is rejected with the first offending index.
+  std::vector<runtime::ExperimentSpec> specs;
+  specs.reserve(specs_json.as_array().size());
+  for (std::size_t i = 0; i < specs_json.as_array().size(); ++i) {
+    auto decoded = runtime::wire::spec_from_json(specs_json.as_array()[i]);
+    if (!decoded.ok) {
+      send_error(fd, id,
+                 "spec " + std::to_string(i) + ": " + decoded.error);
+      return;
+    }
+    specs.push_back(std::move(decoded.value));
+  }
+
+  std::vector<runtime::SchemeResult> results;
+  runtime::PlanCacheStats stats_after;
+  try {
+    const std::lock_guard<std::mutex> lock(runner_mu_);
+    results = runner_.run(specs);
+    stats_after = runner_.cache_stats();
+  } catch (const ContractViolation& violation) {
+    // Unregistered scheme, unresolvable graph ref, out-of-range source...
+    // the batch is rejected, the connection and server stay up.
+    send_error(fd, id, violation.what());
+    return;
+  }
+
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    Json frame = make_frame("result");
+    if (!id.is_null()) frame.set("id", id);
+    frame.set("index", Json(std::uint64_t{i}));
+    frame.set("result", runtime::wire::to_json(results[i]));
+    send_json(fd, frame);
+  }
+  Json done = make_frame("done");
+  if (!id.is_null()) done.set("id", id);
+  done.set("count", Json(std::uint64_t{results.size()}));
+  done.set("stats", cache_stats_json(stats_after));
+  send_json(fd, done);
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.batches;
+  stats_.specs_run += results.size();
+}
+
+void Server::send_json(int fd, const Json& message) {
+  write_all(fd, runtime::wire::frame(message.dump()));
+}
+
+void Server::send_error(int fd, const Json& id, const std::string& error) {
+  Json frame = make_frame("error");
+  if (!id.is_null()) frame.set("id", id);
+  frame.set("error", Json(error));
+  send_json(fd, frame);
+  count_error();
+}
+
+void Server::count_error() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.errors;
+}
+
+}  // namespace radiocast::serve

@@ -1,0 +1,119 @@
+/// \file server.hpp
+/// \brief radiocast_serve's daemon core: a socket front end on SweepRunner.
+///
+/// The paper's schemes amortize one expensive labeling over arbitrarily many
+/// executions — an economy a batch CLI keeps discarding at process exit.
+/// `Server` holds the `SweepRunner` (and its `PlanCache` / `PlanStore`)
+/// alive behind a Unix or loopback-TCP socket and serves batched
+/// `ExperimentSpec` requests over it, so every client, and every restart
+/// with a plan store attached, starts from the warm regime.
+///
+/// Wire protocol (u32 little-endian length-prefixed JSON frames, see
+/// runtime/wire.hpp for the framing and the spec/result encodings):
+///
+///   -> {"v":1,"type":"batch","id":7,"specs":[<spec>...]}
+///   <- {"v":1,"type":"result","id":7,"index":0,"result":<result>}   (per
+///      spec, in spec order, streamed as soon as the batch finishes)
+///   <- {"v":1,"type":"done","id":7,"count":N,"stats":<cache stats>}
+///
+///   -> {"v":1,"type":"ping"}            <- {"v":1,"type":"pong"}
+///   -> {"v":1,"type":"stats"}           <- {"v":1,"type":"stats",...}
+///   -> {"v":1,"type":"shutdown"}        <- {"v":1,"type":"bye"}  (server
+///      then stops accepting and drains)
+///
+/// Any malformed frame, unknown type, undecodable spec, unregistered
+/// scheme, or contract violation while running answers
+/// {"v":1,"type":"error","id":...,"error":"..."} — the connection stays
+/// usable; only framing-level poison (oversized frame) closes it.
+///
+/// Concurrency: one accept thread plus one thread per connection.  Batches
+/// from different connections serialize on the runner mutex (`SweepRunner`
+/// is single-batch by contract; each batch still parallelizes internally on
+/// the runner's pool), so concurrent clients interleave at batch
+/// granularity and always observe a consistent cache.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/sweep.hpp"
+#include "support/json.hpp"
+
+namespace radiocast::serve {
+
+struct ServerOptions {
+  /// Unix-domain socket path; non-empty selects the Unix listener.
+  std::string unix_path;
+  /// Loopback TCP port; used when `unix_path` is empty (0 = ephemeral,
+  /// read the bound port back with `tcp_port()`).
+  std::uint16_t tcp_port = 0;
+  /// Frames larger than this poison the connection (decode bombs).
+  std::size_t max_frame_bytes = 1 << 26;
+};
+
+struct ServerStats {
+  std::uint64_t connections = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t specs_run = 0;
+  std::uint64_t errors = 0;  ///< error frames sent
+};
+
+class Server {
+ public:
+  /// The runner (graphs, cache, attached store) outlives the server.
+  Server(runtime::SweepRunner& runner, ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the socket and starts the accept thread.  Violates a
+  /// precondition when the address cannot be bound.
+  void start();
+
+  /// Stops accepting, closes every live connection, and joins all threads.
+  /// Idempotent; also invoked by the destructor.
+  void stop();
+
+  /// Blocks until stop() is called (from a shutdown request or another
+  /// thread).  The daemon main calls this after start().
+  void wait();
+
+  bool running() const;
+  /// The bound TCP port (valid after start() on a TCP listener).
+  std::uint16_t tcp_port() const noexcept { return bound_port_; }
+  const std::string& unix_path() const noexcept { return options_.unix_path; }
+  ServerStats stats() const;
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+  /// Handles one decoded request frame; returns false when the connection
+  /// asked the whole server to shut down.
+  bool handle(int fd, const support::Json& request);
+  void handle_batch(int fd, const support::Json& request);
+  void send_json(int fd, const support::Json& message);
+  void send_error(int fd, const support::Json& id, const std::string& error);
+  void count_error();
+
+  runtime::SweepRunner& runner_;
+  ServerOptions options_;
+  std::mutex runner_mu_;  ///< serializes batches across connections
+
+  mutable std::mutex mu_;  ///< guards everything below
+  ServerStats stats_;
+  bool running_ = false;
+  bool stopping_ = false;
+  int listen_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  std::vector<int> client_fds_;
+  std::condition_variable stopped_cv_;
+};
+
+}  // namespace radiocast::serve

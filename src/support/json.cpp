@@ -1,0 +1,410 @@
+#include "support/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace radiocast::support {
+
+namespace {
+
+const Json kNullJson;
+
+constexpr int kMaxDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonParseResult run() {
+    JsonParseResult out;
+    Json value;
+    if (!parse_value(value, 0)) {
+      out.error = error_.empty() ? "malformed JSON" : error_;
+      out.error += " at offset " + std::to_string(pos_);
+      return out;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      out.error = "trailing bytes after JSON value at offset " +
+                  std::to_string(pos_);
+      return out;
+    }
+    out.ok = true;
+    out.value = std::move(value);
+    return out;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool fail(const char* message) {
+    if (error_.empty()) error_ = message;
+    return false;
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_value(Json& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return parse_object(out, depth);
+      case '[':
+        return parse_array(out, depth);
+      case '"': {
+        std::string s;
+        if (!parse_string(s)) return false;
+        out = Json(std::move(s));
+        return true;
+      }
+      case 't':
+        if (text_.substr(pos_, 4) == "true") {
+          pos_ += 4;
+          out = Json(true);
+          return true;
+        }
+        return fail("bad literal");
+      case 'f':
+        if (text_.substr(pos_, 5) == "false") {
+          pos_ += 5;
+          out = Json(false);
+          return true;
+        }
+        return fail("bad literal");
+      case 'n':
+        if (text_.substr(pos_, 4) == "null") {
+          pos_ += 4;
+          out = Json(nullptr);
+          return true;
+        }
+        return fail("bad literal");
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_object(Json& out, int depth) {
+    ++pos_;  // '{'
+    Json::Object object;
+    skip_ws();
+    if (consume('}')) {
+      out = Json(std::move(object));
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return fail("expected object key");
+      skip_ws();
+      if (!consume(':')) return fail("expected ':'");
+      Json value;
+      if (!parse_value(value, depth + 1)) return false;
+      object[std::move(key)] = std::move(value);
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) break;
+      return fail("expected ',' or '}'");
+    }
+    out = Json(std::move(object));
+    return true;
+  }
+
+  bool parse_array(Json& out, int depth) {
+    ++pos_;  // '['
+    Json::Array array;
+    skip_ws();
+    if (consume(']')) {
+      out = Json(std::move(array));
+      return true;
+    }
+    while (true) {
+      Json value;
+      if (!parse_value(value, depth + 1)) return false;
+      array.push_back(std::move(value));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) break;
+      return fail("expected ',' or ']'");
+    }
+    out = Json(std::move(array));
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return fail("expected string");
+    out.clear();
+    while (true) {
+      if (pos_ >= text_.size()) return fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return fail("unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"':
+            out.push_back('"');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          case '/':
+            out.push_back('/');
+            break;
+          case 'b':
+            out.push_back('\b');
+            break;
+          case 'f':
+            out.push_back('\f');
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return fail("bad \\u escape");
+            std::uint32_t code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<std::uint32_t>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<std::uint32_t>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<std::uint32_t>(h - 'A' + 10);
+              } else {
+                return fail("bad \\u escape");
+              }
+            }
+            // UTF-8 encode the BMP code point (surrogates pass through as
+            // replacement-free bytes; the wire format never emits them).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return fail("bad escape");
+        }
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("control character in string");
+      }
+      out.push_back(c);
+    }
+  }
+
+  bool parse_number(Json& out) {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+      // fallthrough: sign forces the double arm
+    }
+    bool digits = false;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+      digits = true;
+    }
+    if (!digits) return fail("expected number");
+    bool integral = text_[start] != '-';
+    if (consume('.')) {
+      integral = false;
+      bool frac = false;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+        frac = true;
+      }
+      if (!frac) return fail("expected fraction digits");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      bool exp = false;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+        exp = true;
+      }
+      if (!exp) return fail("expected exponent digits");
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (integral) {
+      std::uint64_t v = 0;
+      const auto [ptr, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), v);
+      if (ec == std::errc() && ptr == token.data() + token.size()) {
+        out = Json(v);
+        return true;
+      }
+      return fail("integer out of range");
+    }
+    double v = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), v);
+    if (ec != std::errc() || ptr != token.data() + token.size()) {
+      return fail("bad number");
+    }
+    out = Json(v);
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+void dump_string(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void dump_value(const Json& v, std::string& out) {
+  switch (v.kind()) {
+    case Json::Kind::kNull:
+      out += "null";
+      break;
+    case Json::Kind::kBool:
+      out += v.as_bool() ? "true" : "false";
+      break;
+    case Json::Kind::kUInt:
+      out += std::to_string(v.as_uint());
+      break;
+    case Json::Kind::kNumber: {
+      const double d = v.as_number();
+      if (std::isfinite(d)) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", d);
+        out += buf;
+      } else {
+        out += "null";  // JSON has no Inf/NaN
+      }
+      break;
+    }
+    case Json::Kind::kString:
+      dump_string(v.as_string(), out);
+      break;
+    case Json::Kind::kArray: {
+      out.push_back('[');
+      bool first = true;
+      for (const Json& item : v.as_array()) {
+        if (!first) out.push_back(',');
+        first = false;
+        dump_value(item, out);
+      }
+      out.push_back(']');
+      break;
+    }
+    case Json::Kind::kObject: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : v.as_object()) {
+        if (!first) out.push_back(',');
+        first = false;
+        dump_string(key, out);
+        out.push_back(':');
+        dump_value(value, out);
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+const Json& Json::get(const std::string& key) const {
+  if (kind_ != Kind::kObject) return kNullJson;
+  const auto it = object_.find(key);
+  return it == object_.end() ? kNullJson : it->second;
+}
+
+Json& Json::set(const std::string& key, Json value) {
+  if (kind_ != Kind::kObject) {
+    *this = Json(Object{});
+  }
+  return object_[key] = std::move(value);
+}
+
+void Json::push_back(Json value) {
+  if (kind_ != Kind::kArray) {
+    *this = Json(Array{});
+  }
+  array_.push_back(std::move(value));
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_value(*this, out);
+  return out;
+}
+
+JsonParseResult parse_json(std::string_view text) {
+  return Parser(text).run();
+}
+
+}  // namespace radiocast::support

@@ -1,0 +1,113 @@
+/// \file json.hpp
+/// \brief Minimal JSON value model, parser, and serializer.
+///
+/// The wire protocol (`runtime/wire.hpp`) speaks length-prefixed JSON lines,
+/// so the library needs a JSON layer with two properties the usual tricks
+/// (printf-style emission, regex scraping) lack: untrusted input must fail
+/// cleanly with a position-carrying error instead of crashing, and 64-bit
+/// integers (graph hashes, round counts, seeds) must round-trip exactly.
+/// `Json` therefore keeps unsigned integers in a dedicated arm — a number
+/// token without sign, fraction, or exponent parses as `std::uint64_t` and
+/// serializes back digit for digit; everything else is a double.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace radiocast::support {
+
+/// One JSON value.  Objects preserve no insertion order (std::map), which
+/// makes serialization canonical: equal values produce equal text.
+class Json {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kUInt,    ///< non-negative integer token, exact to 64 bits
+    kNumber,  ///< any other number (negative, fractional, exponent)
+    kString,
+    kArray,
+    kObject,
+  };
+
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  Json() = default;
+  Json(std::nullptr_t) {}  // NOLINT(runtime/explicit) — mirrors JSON null
+  explicit Json(bool v) : kind_(Kind::kBool), bool_(v) {}
+  explicit Json(std::uint64_t v) : kind_(Kind::kUInt), uint_(v) {}
+  explicit Json(double v) : kind_(Kind::kNumber), number_(v) {}
+  explicit Json(std::string v) : kind_(Kind::kString), string_(std::move(v)) {}
+  explicit Json(std::string_view v) : Json(std::string(v)) {}
+  explicit Json(const char* v) : Json(std::string(v)) {}
+  explicit Json(Array v) : kind_(Kind::kArray), array_(std::move(v)) {}
+  explicit Json(Object v) : kind_(Kind::kObject), object_(std::move(v)) {}
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  bool is_uint() const noexcept { return kind_ == Kind::kUInt; }
+  bool is_number() const noexcept {
+    return kind_ == Kind::kNumber || kind_ == Kind::kUInt;
+  }
+  bool is_string() const noexcept { return kind_ == Kind::kString; }
+  bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  bool is_object() const noexcept { return kind_ == Kind::kObject; }
+
+  bool as_bool(bool fallback = false) const noexcept {
+    return is_bool() ? bool_ : fallback;
+  }
+  std::uint64_t as_uint(std::uint64_t fallback = 0) const noexcept {
+    return is_uint() ? uint_ : fallback;
+  }
+  double as_number(double fallback = 0.0) const noexcept {
+    if (kind_ == Kind::kUInt) return static_cast<double>(uint_);
+    return kind_ == Kind::kNumber ? number_ : fallback;
+  }
+  const std::string& as_string() const noexcept { return string_; }
+  const Array& as_array() const noexcept { return array_; }
+  const Object& as_object() const noexcept { return object_; }
+
+  /// Object member lookup; null reference when absent or not an object.
+  const Json& get(const std::string& key) const;
+
+  /// Object member assignment (converts this value to an object if needed).
+  Json& set(const std::string& key, Json value);
+
+  /// Appends to the array arm (converts to an array if needed).
+  void push_back(Json value);
+
+  /// Compact canonical serialization (no whitespace, sorted keys, UTF-8
+  /// passthrough with control characters escaped).
+  std::string dump() const;
+
+  friend bool operator==(const Json&, const Json&) = default;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::uint64_t uint_ = 0;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Parse outcome: a value on success, a position-carrying message on failure.
+struct JsonParseResult {
+  bool ok = false;
+  Json value;
+  std::string error;  ///< non-empty iff !ok
+};
+
+/// Parses exactly one JSON value spanning the whole input (trailing
+/// whitespace allowed, trailing tokens rejected).  Never throws; malformed
+/// input (including over-deep nesting) returns ok = false.
+JsonParseResult parse_json(std::string_view text);
+
+}  // namespace radiocast::support

@@ -206,10 +206,10 @@ const std::set<std::string> kExpectedScenarios = {
     "construction",  "coordinator_choice",  "dispatch_scaling",
     "dom_policies",  "engine_backends",     "fig1",
     "impossibility", "labels",              "message_size",
-    "multi_message", "onebit",              "sharded_scaling",
-    "sim_throughput", "sweep_throughput"};
+    "multi_message", "onebit",              "serve_throughput",
+    "sharded_scaling", "sim_throughput",    "sweep_throughput"};
 
-TEST(BenchRegistry, ListsAllTwentyScenarios) {
+TEST(BenchRegistry, ListsAllTwentyOneScenarios) {
   std::set<std::string> names;
   for (const auto& s : registry()) names.insert(s.name);
   EXPECT_EQ(names, kExpectedScenarios);
@@ -246,10 +246,10 @@ TEST(BenchFilter, NameSubstringSelects) {
 TEST(BenchFilter, ExactTagSelects) {
   std::set<std::string> names;
   for (const auto& s : select("micro")) names.insert(s.name);
-  EXPECT_EQ(names, (std::set<std::string>{"construction", "dispatch_scaling",
-                                          "engine_backends",
-                                          "sharded_scaling", "sim_throughput",
-                                          "sweep_throughput"}));
+  EXPECT_EQ(names, (std::set<std::string>{
+                       "construction", "dispatch_scaling", "engine_backends",
+                       "serve_throughput", "sharded_scaling", "sim_throughput",
+                       "sweep_throughput"}));
   // Tags match exactly: a tag prefix selects nothing by itself.
   EXPECT_TRUE(select("micr").empty());
 }
@@ -263,14 +263,16 @@ TEST(BenchFilter, CommaSeparatedTermsUnion) {
 
 TEST(BenchFilter, SmokeTagCoversAllScenariosExceptScaling) {
   // The scaling scenarios (sharded_scaling, dispatch_scaling,
-  // sweep_throughput) raise their instance sizes to n >= 4096..16384 —
-  // deliberately excluded from the smoke tier (CI runs them explicitly).
+  // sweep_throughput, serve_throughput) raise their instance sizes to
+  // n >= 4096..16384 — deliberately excluded from the smoke tier (CI runs
+  // them explicitly).
   std::set<std::string> names;
   for (const auto& s : select("smoke")) names.insert(s.name);
   auto expected = kExpectedScenarios;
   expected.erase("sharded_scaling");
   expected.erase("dispatch_scaling");
   expected.erase("sweep_throughput");
+  expected.erase("serve_throughput");
   EXPECT_EQ(names, expected);
 }
 

@@ -274,7 +274,7 @@ std::vector<std::string> run_suite_batch(std::size_t threads) {
   for (const char* name : {"b", "ack", "arb"}) {
     ExperimentSpec spec;
     spec.scheme = name;
-    spec.graph = 0;
+    spec.graph = specs.front().graph;
     spec.source = 0;
     spec.config = compiled_cfg;
     spec.label = std::string("compiled/") + name;
@@ -298,7 +298,7 @@ TEST(SweepRunner, BatchOutputIsIdenticalAtAnyThreadCount) {
 TEST(SweepRunner, PlanCacheComputesEachKeyOnceAndCountsHits) {
   par::ThreadPool pool(4);
   runtime::SweepRunner runner(pool);
-  const std::size_t g = runner.add_graph(graph::path(10));
+  const runtime::GraphRef g = runner.add_graph(graph::path(10));
 
   const auto spec = [&](const char* scheme, graph::NodeId source) {
     ExperimentSpec s;
@@ -354,13 +354,66 @@ TEST(SweepRunner, PlanCacheComputesEachKeyOnceAndCountsHits) {
   EXPECT_EQ(runner.cache_stats().plan_hits, 0u);
 }
 
-TEST(SweepRunner, GraphsAreAddressableAndValidated) {
+TEST(SweepRunner, GraphsAreContentAddressed) {
   par::ThreadPool pool(2);
   runtime::SweepRunner runner(pool);
-  const auto idx = runner.add_graph(graph::cycle(8));
-  EXPECT_EQ(idx, 0u);
-  EXPECT_EQ(runner.graph(idx).node_count(), 8u);
+  const runtime::GraphRef ref = runner.add_graph(graph::cycle(8));
+  EXPECT_NE(ref.hash, 0u);
+  EXPECT_TRUE(runner.has_graph(ref.hash));
+  EXPECT_EQ(runner.resolve(ref).node_count(), 8u);
   EXPECT_EQ(runner.graph_count(), 1u);
+
+  // Registering the same graph again is idempotent — content addressing.
+  const runtime::GraphRef again = runner.add_graph(graph::cycle(8));
+  EXPECT_EQ(again.hash, ref.hash);
+  EXPECT_EQ(runner.graph_count(), 1u);
+
+  // A ref the runner has never seen materializes from its descriptor.
+  runtime::GraphRef by_gen;
+  by_gen.generator = "star:6";
+  EXPECT_EQ(runner.resolve(by_gen).node_count(), 6u);
+  EXPECT_EQ(runner.graph_count(), 2u);
+
+  // A hash that matches neither a registered graph nor the descriptor is
+  // a contract violation, not a silent wrong-graph execution.
+  runtime::GraphRef wrong;
+  wrong.hash = 0xdeadbeefdeadbeefull;
+  wrong.generator = "star:6";
+  EXPECT_THROW(runner.resolve(wrong), ContractViolation);
+  runtime::GraphRef unknown;
+  unknown.hash = 0x1234u;
+  EXPECT_THROW(runner.resolve(unknown), ContractViolation);
+}
+
+TEST(SweepRunner, LambdaAckFamilySharesOneLabelingAcrossSchemes) {
+  par::ThreadPool pool(4);
+  runtime::SweepRunner runner(pool);
+  const runtime::GraphRef g = runner.add_graph(graph::grid(4, 4));
+
+  // ack, common-round, and multi all construct λ_ack: one labeling must
+  // serve all three (the cache-stats oracle for plan-family keying).
+  std::vector<ExperimentSpec> batch;
+  for (const char* scheme : {"ack", "common-round", "multi"}) {
+    ExperimentSpec s;
+    s.scheme = scheme;
+    s.graph = g;
+    s.source = 0;
+    batch.push_back(std::move(s));
+  }
+  const auto results = runner.run(batch);
+  for (const auto& r : results) EXPECT_TRUE(r.ok);
+  const auto stats = runner.cache_stats();
+  EXPECT_EQ(stats.plan_misses, 1u);
+  EXPECT_EQ(stats.plan_hits, 2u);
+  EXPECT_EQ(runner.cache().plan_count(), 1u);
+
+  // B's λ is a different construction and must NOT share the family.
+  ExperimentSpec b;
+  b.scheme = "b";
+  b.graph = g;
+  b.source = 0;
+  runner.run({b});
+  EXPECT_EQ(runner.cache_stats().plan_misses, 2u);
 }
 
 }  // namespace

@@ -1,0 +1,321 @@
+// The serve daemon end to end, in process: a Server on an ephemeral
+// loopback port (or a Unix socket) and real Client connections.
+//  - batch results match a local SweepRunner run byte for byte;
+//  - the server materializes graphs it has never been sent, from the
+//    GraphRef generator alone;
+//  - protocol errors (unknown type, unknown scheme, malformed spec, bad
+//    version) answer error frames and leave the connection usable;
+//  - concurrent clients serialize at batch granularity without torn
+//    results (TSan runs this suite via the `threaded` label);
+//  - shutdown drains cleanly, and a restarted server over the same plan
+//    store answers its first batch with zero labeling constructions.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/experiments.hpp"
+#include "graph/generators.hpp"
+#include "parallel/thread_pool.hpp"
+#include "runtime/plan_store.hpp"
+#include "runtime/sweep.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "support/json.hpp"
+
+namespace radiocast {
+namespace {
+
+using serve::Client;
+using serve::Server;
+using serve::ServerOptions;
+using support::Json;
+
+std::vector<runtime::ExperimentSpec> demo_specs() {
+  std::vector<runtime::ExperimentSpec> specs;
+  for (const char* scheme : {"b", "ack", "arb", "round-robin"}) {
+    runtime::ExperimentSpec spec;
+    spec.scheme = scheme;
+    spec.graph.generator = "grid:3:4";
+    spec.source = 1;
+    specs.push_back(std::move(spec));
+  }
+  runtime::ExperimentSpec compiled;
+  compiled.scheme = "b";
+  compiled.graph.generator = "grid:3:4";
+  compiled.config.compiled = true;
+  specs.push_back(std::move(compiled));
+  return specs;
+}
+
+TEST(Serve, PingPongOverEphemeralTcp) {
+  par::ThreadPool pool(2);
+  runtime::SweepRunner runner(pool);
+  Server server(runner, ServerOptions{});
+  server.start();
+  ASSERT_TRUE(server.running());
+  ASSERT_NE(server.tcp_port(), 0);
+
+  Client client;
+  ASSERT_TRUE(client.connect_tcp(server.tcp_port()));
+  EXPECT_TRUE(client.ping());
+  EXPECT_TRUE(client.ping());  // the connection is reusable
+  client.close();
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(Serve, BatchMatchesLocalRunAndMaterializesGraphs) {
+  const auto specs = demo_specs();
+
+  // Local ground truth.
+  par::ThreadPool local_pool(2);
+  runtime::SweepRunner local(local_pool);
+  const auto expected = analysis::format_sweep(specs, local.run(specs));
+
+  // The server's runner has never seen the graph: the batch's GraphRef
+  // generator descriptors must be enough.
+  par::ThreadPool pool(2);
+  runtime::SweepRunner runner(pool);
+  Server server(runner, ServerOptions{});
+  server.start();
+  EXPECT_EQ(runner.graph_count(), 0u);
+
+  Client client;
+  ASSERT_TRUE(client.connect_tcp(server.tcp_port()));
+  const auto outcome = client.run_batch(specs, /*id=*/42);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  ASSERT_EQ(outcome.results.size(), specs.size());
+  EXPECT_EQ(analysis::format_sweep(specs, outcome.results), expected);
+  EXPECT_EQ(runner.graph_count(), 1u);
+  EXPECT_EQ(outcome.done.get("id").as_uint(), 42u);
+  EXPECT_EQ(outcome.done.get("count").as_uint(), specs.size());
+  EXPECT_GT(outcome.done.get("stats").get("plan_misses").as_uint(), 0u);
+
+  // A second identical batch is served from the warm cache.
+  const auto warm = client.run_batch(specs, /*id=*/43);
+  ASSERT_TRUE(warm.ok) << warm.error;
+  const auto warm_stats = warm.done.get("stats");
+  EXPECT_EQ(warm_stats.get("plan_misses").as_uint(),
+            outcome.done.get("stats").get("plan_misses").as_uint());
+  EXPECT_GT(warm_stats.get("plan_hits").as_uint(), 0u);
+
+  const auto server_stats = server.stats();
+  EXPECT_EQ(server_stats.batches, 2u);
+  EXPECT_EQ(server_stats.specs_run, 2 * specs.size());
+  EXPECT_EQ(server_stats.errors, 0u);
+}
+
+TEST(Serve, UnixSocketServesBatches) {
+  const std::string path = ::testing::TempDir() + "radiocast_serve_test.sock";
+  std::filesystem::remove(path);
+  par::ThreadPool pool(2);
+  runtime::SweepRunner runner(pool);
+  ServerOptions options;
+  options.unix_path = path;
+  Server server(runner, options);
+  server.start();
+
+  Client client;
+  ASSERT_TRUE(client.connect_unix(path));
+  runtime::ExperimentSpec spec;
+  spec.scheme = "ack";
+  spec.graph.generator = "star:9";
+  const auto outcome = client.run_batch({spec});
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  ASSERT_EQ(outcome.results.size(), 1u);
+  EXPECT_TRUE(outcome.results[0].ok);
+
+  server.stop();
+  EXPECT_FALSE(std::filesystem::exists(path)) << "socket file not cleaned up";
+}
+
+TEST(Serve, ProtocolErrorsAnswerErrorFramesAndKeepTheConnection) {
+  par::ThreadPool pool(2);
+  runtime::SweepRunner runner(pool);
+  Server server(runner, ServerOptions{});
+  server.start();
+  Client client;
+  ASSERT_TRUE(client.connect_tcp(server.tcp_port()));
+
+  const auto expect_error = [&](Json request, const char* what) {
+    ASSERT_TRUE(client.send(request)) << what;
+    const auto reply = client.receive();
+    ASSERT_TRUE(reply.has_value()) << what;
+    EXPECT_EQ(reply->get("type").as_string(), "error") << what;
+    EXPECT_FALSE(reply->get("error").as_string().empty()) << what;
+  };
+
+  Json unknown(Json::Object{});
+  unknown.set("v", Json(std::uint64_t{1}));
+  unknown.set("type", Json(std::string("frobnicate")));
+  expect_error(unknown, "unknown type");
+
+  Json future(Json::Object{});
+  future.set("v", Json(std::uint64_t{99}));
+  future.set("type", Json(std::string("ping")));
+  expect_error(future, "future version");
+
+  // A batch with one bad spec is rejected atomically: no partial results.
+  runtime::ExperimentSpec good;
+  good.scheme = "b";
+  good.graph.generator = "path:6";
+  runtime::ExperimentSpec bad;
+  bad.scheme = "no-such-scheme";
+  bad.graph.generator = "path:6";
+
+  Json batch(Json::Object{});
+  batch.set("v", Json(std::uint64_t{1}));
+  batch.set("type", Json(std::string("batch")));
+  Json specs(Json::Array{});
+  specs.push_back(runtime::wire::to_json(good));
+  specs.push_back(runtime::wire::to_json(bad));
+  batch.set("specs", specs);
+  expect_error(batch, "unregistered scheme in batch");
+  EXPECT_EQ(server.stats().batches, 0u);
+
+  Json malformed(Json::Object{});
+  malformed.set("v", Json(std::uint64_t{1}));
+  malformed.set("type", Json(std::string("batch")));
+  malformed.set("specs", Json(std::string("not an array")));
+  expect_error(malformed, "specs not an array");
+
+  // After all that abuse the connection still serves real work.
+  EXPECT_TRUE(client.ping());
+  const auto ok_run = client.run_batch({good});
+  EXPECT_TRUE(ok_run.ok) << ok_run.error;
+  EXPECT_GE(server.stats().errors, 4u);
+}
+
+TEST(Serve, StatsFrameReportsCacheAndServerCounters) {
+  par::ThreadPool pool(2);
+  runtime::SweepRunner runner(pool);
+  Server server(runner, ServerOptions{});
+  server.start();
+  Client client;
+  ASSERT_TRUE(client.connect_tcp(server.tcp_port()));
+
+  runtime::ExperimentSpec spec;
+  spec.scheme = "b";
+  spec.graph.generator = "cycle:10";
+  ASSERT_TRUE(client.run_batch({spec}).ok);
+
+  Json request(Json::Object{});
+  request.set("v", Json(std::uint64_t{1}));
+  request.set("type", Json(std::string("stats")));
+  ASSERT_TRUE(client.send(request));
+  const auto reply = client.receive();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->get("type").as_string(), "stats");
+  EXPECT_EQ(reply->get("cache").get("plan_misses").as_uint(), 1u);
+  EXPECT_EQ(reply->get("server").get("batches").as_uint(), 1u);
+  EXPECT_EQ(reply->get("server").get("specs_run").as_uint(), 1u);
+}
+
+TEST(Serve, ConcurrentClientsAllGetConsistentResults) {
+  const auto specs = demo_specs();
+  par::ThreadPool local_pool(2);
+  runtime::SweepRunner local(local_pool);
+  const auto expected = analysis::format_sweep(specs, local.run(specs));
+
+  par::ThreadPool pool(4);
+  runtime::SweepRunner runner(pool);
+  Server server(runner, ServerOptions{});
+  server.start();
+
+  constexpr int kClients = 6;
+  std::vector<std::string> errors(kClients);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      Client client;
+      if (!client.connect_tcp(server.tcp_port())) {
+        errors[c] = "connect failed";
+        return;
+      }
+      for (int round = 0; round < 3; ++round) {
+        const auto outcome =
+            client.run_batch(specs, static_cast<std::uint64_t>(c));
+        if (!outcome.ok) {
+          errors[c] = outcome.error.empty() ? "batch failed" : outcome.error;
+          return;
+        }
+        if (analysis::format_sweep(specs, outcome.results) != expected) {
+          errors[c] = "results diverged";
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(errors[c], "") << "client " << c;
+  }
+  EXPECT_EQ(server.stats().batches, kClients * 3u);
+
+  // The labeling was still computed exactly once per distinct key.
+  const auto stats = runner.cache_stats();
+  EXPECT_EQ(stats.plan_misses, 5u);  // b@1, b@0 (compiled), lambda-ack,
+                                     // arb, round-robin on one graph
+}
+
+TEST(Serve, ShutdownRequestStopsTheServer) {
+  par::ThreadPool pool(2);
+  runtime::SweepRunner runner(pool);
+  Server server(runner, ServerOptions{});
+  server.start();
+  Client client;
+  ASSERT_TRUE(client.connect_tcp(server.tcp_port()));
+  EXPECT_TRUE(client.shutdown_server());
+  server.wait();
+  EXPECT_FALSE(server.running());
+  // New connections are refused once stopped.
+  Client late;
+  EXPECT_FALSE(late.connect_tcp(server.tcp_port()) && late.ping());
+}
+
+TEST(Serve, WarmRestartThroughTheDaemonSkipsAllConstruction) {
+  const std::string dir = ::testing::TempDir() + "radiocast_serve_store";
+  std::filesystem::remove_all(dir);
+  const auto specs = demo_specs();
+
+  std::vector<std::string> cold_lines;
+  {
+    par::ThreadPool pool(2);
+    runtime::PlanStore store(dir);
+    runtime::SweepRunner runner(pool);
+    runner.attach_store(&store);
+    Server server(runner, ServerOptions{});
+    server.start();
+    Client client;
+    ASSERT_TRUE(client.connect_tcp(server.tcp_port()));
+    const auto outcome = client.run_batch(specs);
+    ASSERT_TRUE(outcome.ok) << outcome.error;
+    cold_lines = analysis::format_sweep(specs, outcome.results);
+    EXPECT_GT(outcome.done.get("stats").get("plan_misses").as_uint(), 0u);
+    server.stop();
+  }
+
+  // Restart: new pool, runner, server — only the store directory survives.
+  par::ThreadPool pool(2);
+  runtime::PlanStore store(dir);
+  runtime::SweepRunner runner(pool);
+  runner.attach_store(&store);
+  Server server(runner, ServerOptions{});
+  server.start();
+  Client client;
+  ASSERT_TRUE(client.connect_tcp(server.tcp_port()));
+  const auto outcome = client.run_batch(specs);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  const auto stats = outcome.done.get("stats");
+  EXPECT_EQ(stats.get("plan_misses").as_uint(), 0u)
+      << "warm restart must not construct any labeling";
+  EXPECT_EQ(stats.get("compiled_misses").as_uint(), 0u);
+  EXPECT_GT(stats.get("plan_store_hits").as_uint(), 0u);
+  EXPECT_EQ(analysis::format_sweep(specs, outcome.results), cold_lines);
+}
+
+}  // namespace
+}  // namespace radiocast

@@ -1,0 +1,290 @@
+// The spec API's wire layer:
+//  - the minimal JSON model (exact u64 round-trips, canonical sorted-key
+//    dumps, position-carrying parse errors, depth limits);
+//  - versioned spec/config/result encodings: defaults omitted, absent
+//    fields decode to defaults, wrong types and future versions rejected
+//    with field-naming errors;
+//  - u32-LE length-prefix framing, including split feeds and the
+//    oversized-frame poison.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "graph/generators.hpp"
+#include "graph/hash.hpp"
+#include "runtime/wire.hpp"
+#include "support/json.hpp"
+
+namespace radiocast {
+namespace {
+
+using runtime::ExecutionConfig;
+using runtime::ExperimentSpec;
+using runtime::GraphRef;
+using runtime::SchemeOptions;
+using runtime::SchemeResult;
+using support::Json;
+using support::parse_json;
+
+TEST(Json, UInt64RoundTripsExactly) {
+  const std::uint64_t big = 0xffffffffffffffffull;
+  Json v(big);
+  const auto parsed = parse_json(v.dump());
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_TRUE(parsed.value.is_uint());
+  EXPECT_EQ(parsed.value.as_uint(), big);
+  EXPECT_EQ(v.dump(), "18446744073709551615");
+}
+
+TEST(Json, CanonicalDumpSortsKeysAndOmitsWhitespace) {
+  const auto parsed = parse_json("{ \"b\" : 1 , \"a\" : [ true , null ] }");
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.value.dump(), "{\"a\":[true,null],\"b\":1}");
+}
+
+TEST(Json, StringEscapesRoundTrip) {
+  Json v(std::string("line\none\ttab \"quoted\" back\\slash"));
+  const auto parsed = parse_json(v.dump());
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.value.as_string(), v.as_string());
+  const auto unicode = parse_json("\"gr\\u00fc\\u00dfe\"");
+  ASSERT_TRUE(unicode.ok);
+  EXPECT_EQ(unicode.value.as_string(), "gr\xc3\xbc\xc3\x9f"
+                                       "e");
+}
+
+TEST(Json, MalformedInputFailsWithPosition) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "tru", "\"unterminated", "1 2",
+        "{\"a\":1,}", "nul", "\"bad\\q\"", "01e"}) {
+    const auto parsed = parse_json(bad);
+    EXPECT_FALSE(parsed.ok) << "accepted: " << bad;
+    EXPECT_FALSE(parsed.error.empty());
+  }
+  // Negative and fractional numbers are doubles, not uints.
+  const auto negative = parse_json("-5");
+  ASSERT_TRUE(negative.ok);
+  EXPECT_FALSE(negative.value.is_uint());
+  EXPECT_DOUBLE_EQ(negative.value.as_number(), -5.0);
+}
+
+TEST(Json, DepthLimitRejectsBombs) {
+  std::string bomb(100, '[');
+  bomb += std::string(100, ']');
+  EXPECT_FALSE(parse_json(bomb).ok);
+}
+
+TEST(Wire, GraphRefRoundTripsByHashAndGenerator) {
+  GraphRef ref;
+  ref.hash = graph::canonical_hash(graph::grid(3, 5));
+  ref.generator = "grid:3:5";
+  const auto decoded =
+      runtime::wire::graph_ref_from_json(runtime::wire::to_json(ref));
+  ASSERT_TRUE(decoded.ok) << decoded.error;
+  EXPECT_EQ(decoded.value, ref);
+
+  // Generator-only refs are valid (the daemon materializes them).
+  const auto gen_only = parse_json("{\"gen\":\"path:8\"}");
+  ASSERT_TRUE(gen_only.ok);
+  const auto by_gen = runtime::wire::graph_ref_from_json(gen_only.value);
+  ASSERT_TRUE(by_gen.ok) << by_gen.error;
+  EXPECT_EQ(by_gen.value.hash, 0u);
+  EXPECT_EQ(by_gen.value.generator, "path:8");
+
+  // But a ref with neither hash nor generator addresses nothing.
+  const auto empty = parse_json("{}");
+  ASSERT_TRUE(empty.ok);
+  EXPECT_FALSE(runtime::wire::graph_ref_from_json(empty.value).ok);
+
+  // Malformed hashes are rejected, not parsed as zero.
+  const auto bad_hash = parse_json("{\"hash\":\"zzzz\"}");
+  ASSERT_TRUE(bad_hash.ok);
+  EXPECT_FALSE(runtime::wire::graph_ref_from_json(bad_hash.value).ok);
+}
+
+TEST(Wire, SpecDefaultsAreOmittedAndRestored) {
+  ExperimentSpec spec;
+  spec.scheme = "b";
+  spec.graph.generator = "cycle:12";
+  const std::string text = runtime::wire::encode_spec(spec);
+  // Only the non-default fields appear.
+  EXPECT_EQ(text,
+            "{\"graph\":{\"gen\":\"cycle:12\"},\"scheme\":\"b\",\"v\":1}");
+  const auto decoded = runtime::wire::decode_spec(text);
+  ASSERT_TRUE(decoded.ok) << decoded.error;
+  EXPECT_EQ(decoded.value.scheme, spec.scheme);
+  EXPECT_EQ(decoded.value.graph, spec.graph);
+  EXPECT_EQ(decoded.value.source, 0u);
+  EXPECT_EQ(decoded.value.options.mu, SchemeOptions{}.mu);
+  EXPECT_FALSE(decoded.value.config.compiled);
+}
+
+TEST(Wire, SpecWithEveryKnobRoundTrips) {
+  ExperimentSpec spec;
+  spec.scheme = "multi";
+  spec.graph.hash = 0x0123456789abcdefull;
+  spec.graph.generator = "torus:4:4";
+  spec.source = 3;
+  spec.options.mu = 7;
+  spec.options.policy = core::DomPolicy::kGreedyCover;
+  spec.options.seed = 99;
+  spec.options.coordinator = 2;
+  spec.options.payloads = {5, 6, 7};
+  spec.options.frame_bits = 12;
+  spec.options.max_attempts = 9;
+  spec.options.max_stages = 1234;
+  spec.config.backend = sim::BackendKind::kBit;
+  spec.config.dispatch = sim::DispatchKind::kActiveSet;
+  spec.config.threads = 4;
+  spec.config.compiled = true;
+  spec.config.collision_detection = true;
+  spec.config.trace = sim::TraceLevel::kFull;
+  spec.config.max_rounds = 5000;
+  spec.config.plan_cache_bytes = 1 << 20;
+  spec.label = "torus/multi";
+
+  const auto decoded =
+      runtime::wire::decode_spec(runtime::wire::encode_spec(spec));
+  ASSERT_TRUE(decoded.ok) << decoded.error;
+  const ExperimentSpec& d = decoded.value;
+  EXPECT_EQ(d.scheme, spec.scheme);
+  EXPECT_EQ(d.graph, spec.graph);
+  EXPECT_EQ(d.source, spec.source);
+  EXPECT_EQ(d.options.mu, spec.options.mu);
+  EXPECT_EQ(d.options.policy, spec.options.policy);
+  EXPECT_EQ(d.options.seed, spec.options.seed);
+  EXPECT_EQ(d.options.coordinator, spec.options.coordinator);
+  EXPECT_EQ(d.options.payloads, spec.options.payloads);
+  EXPECT_EQ(d.options.frame_bits, spec.options.frame_bits);
+  EXPECT_EQ(d.options.max_attempts, spec.options.max_attempts);
+  EXPECT_EQ(d.options.max_stages, spec.options.max_stages);
+  EXPECT_EQ(d.config.backend, spec.config.backend);
+  EXPECT_EQ(d.config.dispatch, spec.config.dispatch);
+  EXPECT_EQ(d.config.threads, spec.config.threads);
+  EXPECT_EQ(d.config.compiled, spec.config.compiled);
+  EXPECT_EQ(d.config.collision_detection, spec.config.collision_detection);
+  EXPECT_EQ(d.config.trace, spec.config.trace);
+  EXPECT_EQ(d.config.max_rounds, spec.config.max_rounds);
+  EXPECT_EQ(d.config.plan_cache_bytes, spec.config.plan_cache_bytes);
+  EXPECT_EQ(d.label, spec.label);
+
+  // Canonical encoding: encode(decode(encode(x))) == encode(x).
+  EXPECT_EQ(runtime::wire::encode_spec(d), runtime::wire::encode_spec(spec));
+}
+
+TEST(Wire, DecodeRejectsBadSpecsWithFieldErrors) {
+  const auto expect_error = [](const char* text, const char* needle) {
+    const auto decoded = runtime::wire::decode_spec(text);
+    EXPECT_FALSE(decoded.ok) << "accepted: " << text;
+    EXPECT_NE(decoded.value.scheme, "never-filled");
+    EXPECT_NE(decoded.error.find(needle), std::string::npos)
+        << "error \"" << decoded.error << "\" lacks \"" << needle << "\"";
+  };
+  expect_error("{\"v\":99,\"scheme\":\"b\",\"graph\":{\"gen\":\"path:4\"}}",
+               "version");
+  expect_error("{\"graph\":{\"gen\":\"path:4\"}}", "scheme");
+  expect_error("{\"scheme\":\"b\"}", "graph");
+  expect_error(
+      "{\"scheme\":\"b\",\"graph\":{\"gen\":\"path:4\"},\"source\":-1}",
+      "source");
+  expect_error(
+      "{\"scheme\":\"b\",\"graph\":{\"gen\":\"path:4\"},"
+      "\"config\":{\"backend\":\"warp\"}}",
+      "backend");
+  expect_error(
+      "{\"scheme\":\"b\",\"graph\":{\"gen\":\"path:4\"},"
+      "\"config\":{\"trace\":\"verbose\"}}",
+      "trace");
+  expect_error(
+      "{\"scheme\":\"b\",\"graph\":{\"gen\":\"path:4\"},"
+      "\"options\":{\"policy\":77}}",
+      "policy");
+}
+
+TEST(Wire, ResultRoundTripsAllCounters) {
+  SchemeResult r;
+  r.ok = true;
+  r.all_informed = true;
+  r.rounds = 41;
+  r.completion_round = 37;
+  r.ack_round = 40;
+  r.bound = 61;
+  r.ell = 9;
+  r.special = 17;
+  r.max_stamp = 40;
+  r.done_round = 82;
+  r.T = 41;
+  r.last_learned = 80;
+  r.stay_count = 12;
+  r.data_tx_count = 30;
+  r.max_node_tx = 4;
+  r.tx_total = 42;
+  r.polls = 1234;
+  r.attempts = 3;
+  r.ones = 8;
+  r.label_bits = 3;
+  r.ack_rounds = {40, 81, 122};
+  r.rounds_per_message = 41;
+
+  const auto decoded =
+      runtime::wire::decode_result(runtime::wire::encode_result(r));
+  ASSERT_TRUE(decoded.ok) << decoded.error;
+  const SchemeResult& d = decoded.value;
+  EXPECT_EQ(d.ok, r.ok);
+  EXPECT_EQ(d.all_informed, r.all_informed);
+  EXPECT_EQ(d.labeling_found, r.labeling_found);
+  EXPECT_EQ(d.rounds, r.rounds);
+  EXPECT_EQ(d.completion_round, r.completion_round);
+  EXPECT_EQ(d.ack_round, r.ack_round);
+  EXPECT_EQ(d.bound, r.bound);
+  EXPECT_EQ(d.ell, r.ell);
+  EXPECT_EQ(d.special, r.special);
+  EXPECT_EQ(d.max_stamp, r.max_stamp);
+  EXPECT_EQ(d.done_round, r.done_round);
+  EXPECT_EQ(d.T, r.T);
+  EXPECT_EQ(d.last_learned, r.last_learned);
+  EXPECT_EQ(d.stay_count, r.stay_count);
+  EXPECT_EQ(d.data_tx_count, r.data_tx_count);
+  EXPECT_EQ(d.max_node_tx, r.max_node_tx);
+  EXPECT_EQ(d.tx_total, r.tx_total);
+  EXPECT_EQ(d.polls, r.polls);
+  EXPECT_EQ(d.attempts, r.attempts);
+  EXPECT_EQ(d.ones, r.ones);
+  EXPECT_EQ(d.label_bits, r.label_bits);
+  EXPECT_EQ(d.ack_rounds, r.ack_rounds);
+  EXPECT_EQ(d.rounds_per_message, r.rounds_per_message);
+}
+
+TEST(Wire, FramingSurvivesArbitrarySplits) {
+  const std::string a = runtime::wire::frame("{\"x\":1}");
+  const std::string b = runtime::wire::frame("");
+  const std::string c = runtime::wire::frame(std::string(1000, 'y'));
+  const std::string stream = a + b + c;
+
+  // Feed the byte stream one byte at a time: frame boundaries must not
+  // depend on read sizes.
+  runtime::wire::FrameReader reader;
+  std::vector<std::string> got;
+  for (const char byte : stream) {
+    reader.feed(std::string_view(&byte, 1));
+    while (const auto payload = reader.next()) got.push_back(*payload);
+  }
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], "{\"x\":1}");
+  EXPECT_EQ(got[1], "");
+  EXPECT_EQ(got[2], std::string(1000, 'y'));
+  EXPECT_FALSE(reader.bad());
+}
+
+TEST(Wire, OversizedFramePoisonsTheReader) {
+  runtime::wire::FrameReader reader(/*max_frame_bytes=*/16);
+  reader.feed(runtime::wire::frame(std::string(17, 'z')));
+  EXPECT_EQ(reader.next(), std::nullopt);
+  EXPECT_TRUE(reader.bad());
+  // Poison is sticky: further feeds produce nothing.
+  reader.feed(runtime::wire::frame("ok"));
+  EXPECT_EQ(reader.next(), std::nullopt);
+}
+
+}  // namespace
+}  // namespace radiocast

@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Minimal radiocast_serve client — the CI smoke driver.
+
+Speaks the daemon's wire protocol (u32 little-endian length-prefixed JSON
+frames, see src/serve/server.hpp) from the Python standard library alone.
+Subcommands:
+
+  batch     send a spec batch and print the "done" frame's cache stats as
+            JSON on stdout; non-zero exit if any spec fails to return
+  stats     print the server's stats frame
+  shutdown  request a clean server shutdown (expects "bye")
+
+Connection: --unix PATH or --tcp PORT (loopback).
+
+Examples:
+  python3 tools/serve_client.py --tcp 7171 batch \
+      --scheme b --scheme ack --graph grid:8:8 --count 100
+  python3 tools/serve_client.py --tcp 7171 stats
+  python3 tools/serve_client.py --tcp 7171 shutdown
+"""
+
+import argparse
+import json
+import socket
+import struct
+import sys
+
+WIRE_VERSION = 1
+
+
+class Connection:
+    """A framed JSON conversation with one radiocast_serve daemon."""
+
+    def __init__(self, sock):
+        self.sock = sock
+        self.buffer = b""
+
+    @classmethod
+    def open(cls, unix_path=None, tcp_port=None):
+        if unix_path:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.connect(unix_path)
+        else:
+            sock = socket.create_connection(("127.0.0.1", tcp_port))
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return cls(sock)
+
+    def send(self, message):
+        payload = json.dumps(message, separators=(",", ":")).encode()
+        self.sock.sendall(struct.pack("<I", len(payload)) + payload)
+
+    def receive(self):
+        while True:
+            if len(self.buffer) >= 4:
+                (length,) = struct.unpack("<I", self.buffer[:4])
+                if len(self.buffer) >= 4 + length:
+                    payload = self.buffer[4 : 4 + length]
+                    self.buffer = self.buffer[4 + length :]
+                    return json.loads(payload)
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("server closed the connection")
+            self.buffer += chunk
+
+
+def make_specs(args):
+    """One spec per (scheme, source) until --count specs exist."""
+    specs = []
+    source = 0
+    while len(specs) < args.count:
+        for scheme in args.scheme:
+            if len(specs) >= args.count:
+                break
+            spec = {
+                "v": WIRE_VERSION,
+                "scheme": scheme,
+                "graph": {"gen": args.graph},
+            }
+            if source:
+                spec["source"] = source % args.sources
+            if args.compiled:
+                spec["config"] = {"compiled": True}
+            specs.append(spec)
+            source += 1
+    return specs
+
+
+def cmd_batch(conn, args):
+    specs = make_specs(args)
+    conn.send(
+        {"v": WIRE_VERSION, "type": "batch", "id": args.id, "specs": specs}
+    )
+    results = 0
+    while True:
+        frame = conn.receive()
+        kind = frame.get("type")
+        if kind == "result":
+            if frame.get("index") != results:
+                print(f"out-of-order result: {frame}", file=sys.stderr)
+                return 1
+            results += 1
+        elif kind == "done":
+            if frame.get("count") != len(specs) or results != len(specs):
+                print(f"short batch: {results}/{len(specs)}", file=sys.stderr)
+                return 1
+            print(json.dumps(frame.get("stats", {}), sort_keys=True))
+            return 0
+        elif kind == "error":
+            print(f"server error: {frame.get('error')}", file=sys.stderr)
+            return 1
+        else:
+            print(f"unexpected frame: {frame}", file=sys.stderr)
+            return 1
+
+
+def cmd_stats(conn, _args):
+    conn.send({"v": WIRE_VERSION, "type": "stats"})
+    frame = conn.receive()
+    if frame.get("type") != "stats":
+        print(f"unexpected frame: {frame}", file=sys.stderr)
+        return 1
+    print(json.dumps(frame, sort_keys=True))
+    return 0
+
+
+def cmd_shutdown(conn, _args):
+    conn.send({"v": WIRE_VERSION, "type": "shutdown"})
+    frame = conn.receive()
+    if frame.get("type") != "bye":
+        print(f"unexpected frame: {frame}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    target = parser.add_mutually_exclusive_group(required=True)
+    target.add_argument("--unix", help="Unix-domain socket path")
+    target.add_argument("--tcp", type=int, help="loopback TCP port")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    batch = sub.add_parser("batch", help="run a spec batch")
+    batch.add_argument(
+        "--scheme",
+        action="append",
+        default=None,
+        help="scheme name (repeatable; default: b, ack, arb)",
+    )
+    batch.add_argument("--graph", default="grid:8:8", help="graph descriptor")
+    batch.add_argument("--count", type=int, default=10, help="specs to send")
+    batch.add_argument(
+        "--sources", type=int, default=4, help="distinct sources to cycle"
+    )
+    batch.add_argument(
+        "--compiled", action="store_true", help="use the compiled fast path"
+    )
+    batch.add_argument("--id", type=int, default=1, help="batch id")
+
+    sub.add_parser("stats", help="print server stats")
+    sub.add_parser("shutdown", help="stop the server")
+
+    args = parser.parse_args()
+    if args.command == "batch" and not args.scheme:
+        args.scheme = ["b", "ack", "arb"]
+
+    conn = Connection.open(unix_path=args.unix, tcp_port=args.tcp)
+    handler = {
+        "batch": cmd_batch,
+        "stats": cmd_stats,
+        "shutdown": cmd_shutdown,
+    }[args.command]
+    return handler(conn, args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
