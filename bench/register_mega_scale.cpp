@@ -1,0 +1,170 @@
+// Macro-bench P5 — the million-node regime: streaming construction, parallel
+// labeling, parallel square coloring, and a hybrid-backend broadcast on a
+// sparse G(n, p) with average degree 8.  Families:
+//  - mega/build: sparse_gnp_connected via geometric-skip sampling + sorted
+//    runs (never materializes more than O(m)); ok iff connected-sized CSR.
+//  - mega/label/tN (N in 1,2,4,8): label_broadcast with N construction
+//    threads; every row must be byte-identical to the t1 labeling, and the
+//    acceptance row (t8, n >= 10^6) must be >= 3x faster than t1 — asserted
+//    only when the host has >= 8 hardware threads (recorded otherwise).
+//  - mega/color/tN (N in 1,8): square_coloring equality across thread counts.
+//  - mega/broadcast: run_broadcast under kAuto (hybrid backend at this
+//    scale); ok iff all informed within the 2n-3 bound.
+// Wall budgets are per-node linear envelopes (~5x a 1-core measurement), so
+// the scenario is a completes-within-budget gate at any ladder size.
+// Sizes below 100000 are raised to 100000: this scenario only measures the
+// regime past the 64 MiB bitmap cap.
+#include "harness.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/labeling.hpp"
+#include "core/runner.hpp"
+#include "graph/coloring.hpp"
+#include "graph/generators.hpp"
+#include "sim/backend.hpp"
+#include "support/rng.hpp"
+
+namespace radiocast::bench {
+namespace {
+
+constexpr std::uint32_t kMinNodes = 100000;
+constexpr std::uint32_t kAcceptanceNodes = 1000000;
+constexpr double kAvgDegree = 8.0;
+constexpr double kAcceptanceSpeedup = 3.0;
+
+// Per-node wall budgets in nanoseconds (generous linear envelopes; the
+// single-core measurement at n = 10^6 sits ~5x below each).
+constexpr std::uint64_t kBuildBudgetPerNode = 2000;
+constexpr std::uint64_t kLabelBudgetPerNode = 6000;
+constexpr std::uint64_t kColorBudgetPerNode = 6000;
+constexpr std::uint64_t kBroadcastBudgetPerNode = 12000;
+
+std::uint64_t budget_ns(std::uint32_t n, std::uint64_t per_node) {
+  return per_node * n + 500000000ull;  // +0.5 s floor for tiny ladders
+}
+
+bool same_labeling(const core::Labeling& a, const core::Labeling& b) {
+  return a.labels == b.labels && a.z == b.z && a.source == b.source &&
+         a.stages.dom == b.stages.dom && a.stages.fresh == b.stages.fresh;
+}
+
+void run(Context& ctx) {
+  const auto hw = sim::resolve_thread_count(0);
+
+  std::vector<std::uint32_t> sizes;
+  for (const std::uint32_t s : ctx.sizes()) {
+    const std::uint32_t n = std::max(kMinNodes, s);
+    if (std::find(sizes.begin(), sizes.end(), n) == sizes.end()) {
+      sizes.push_back(n);
+    }
+  }
+
+  for (const std::uint32_t n : sizes) {
+    // --- mega/build: streamed sparse generator -------------------------
+    graph::Graph g;
+    {
+      Sample s;
+      s.family = "mega/build";
+      s.wall_ns = time_ns([&] {
+        Rng rng(n);
+        g = graph::sparse_gnp_connected(n, kAvgDegree, rng);
+      });
+      s.n = g.node_count();
+      s.m = g.edge_count();
+      s.ok = g.node_count() == n &&
+             s.wall_ns <= budget_ns(n, kBuildBudgetPerNode);
+      ctx.record(std::move(s));
+    }
+
+    // --- mega/label/tN: parallel labeling construction -----------------
+    core::Labeling reference;
+    std::uint64_t t1_wall = 0;
+    for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+      core::Labeling labeling;
+      core::LabelingOptions opt;
+      opt.threads = threads;
+      const std::uint64_t wall =
+          time_ns([&] { labeling = core::label_broadcast(g, 0, opt); });
+      if (threads == 1) {
+        reference = std::move(labeling);
+        t1_wall = wall;
+      }
+      const bool identical =
+          threads == 1 || same_labeling(labeling, reference);
+      const double speedup =
+          wall ? static_cast<double>(t1_wall) / static_cast<double>(wall)
+               : 0.0;
+
+      Sample s;
+      s.family = "mega/label/t" + std::to_string(threads);
+      s.n = n;
+      s.m = g.edge_count();
+      s.wall_ns = wall;
+      s.ok = identical && wall <= budget_ns(n, kLabelBudgetPerNode);
+      s.extra = {{"speedup_vs_t1", speedup},
+                 {"ell", static_cast<double>(reference.stages.ell)},
+                 {"hw_threads", static_cast<double>(hw)}};
+      // Acceptance: >= 3x at 8 construction threads on the 10^6-node row,
+      // gated on the host actually having >= 8 hardware threads.
+      if (threads == 8 && hw >= 8 && n >= kAcceptanceNodes) {
+        s.ok = s.ok && speedup >= kAcceptanceSpeedup;
+      }
+      ctx.record(std::move(s));
+    }
+
+    // --- mega/color/tN: parallel square coloring ------------------------
+    graph::Coloring color1;
+    for (const std::size_t threads : {1u, 8u}) {
+      graph::Coloring coloring;
+      const std::uint64_t wall =
+          time_ns([&] { coloring = graph::square_coloring(g, threads); });
+      if (threads == 1) color1 = std::move(coloring);
+      const bool identical =
+          threads == 1 || (coloring.color == color1.color &&
+                           coloring.count == color1.count);
+
+      Sample s;
+      s.family = "mega/color/t" + std::to_string(threads);
+      s.n = n;
+      s.m = g.edge_count();
+      s.wall_ns = wall;
+      s.ok = identical && wall <= budget_ns(n, kColorBudgetPerNode);
+      s.extra = {{"colors", static_cast<double>(color1.count)}};
+      ctx.record(std::move(s));
+    }
+
+    // --- mega/broadcast: end-to-end under kAuto (hybrid at this scale) --
+    {
+      core::BroadcastRun run;
+      core::RunOptions opt;
+      opt.backend = ctx.backend();
+      opt.dispatch = ctx.dispatch();
+      opt.threads = ctx.threads();
+      Sample s;
+      s.family = "mega/broadcast";
+      s.n = n;
+      s.m = g.edge_count();
+      s.wall_ns = time_ns([&] { run = core::run_broadcast(g, 0, opt); });
+      s.rounds = run.completion_round;
+      s.transmissions = run.data_tx_count + run.stay_count;
+      s.ok = run.all_informed && run.completion_round <= run.bound &&
+             s.wall_ns <= budget_ns(n, kBroadcastBudgetPerNode);
+      s.extra = {{"bound", static_cast<double>(run.bound)},
+                 {"ell", static_cast<double>(run.ell)}};
+      ctx.record(std::move(s));
+    }
+  }
+}
+
+const bool registered = register_scenario(
+    {"mega_scale",
+     "million-node regime: streamed build, parallel labeling, hybrid "
+     "broadcast",
+     {"scaling"},
+     &run});
+
+}  // namespace
+}  // namespace radiocast::bench

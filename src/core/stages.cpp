@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <limits>
 #include <numeric>
+#include <utility>
+
+#include "parallel/chunked.hpp"
 
 namespace radiocast::core {
 
@@ -20,6 +23,7 @@ const char* to_string(DomPolicy p) {
 }
 
 bool StageSets::in_any_dom(NodeId v) const {
+  if (!dom_member.empty()) return dom_member[v] != 0;
   for (const auto& d : dom) {
     if (std::binary_search(d.begin(), d.end(), v)) return true;
   }
@@ -65,10 +69,23 @@ void order_candidates(std::vector<NodeId>& cand,
   }
 }
 
+/// Minimum items per chunk before a pass fans out.  Below this the fan-out
+/// overhead exceeds the work; the chunk layout (and therefore the output)
+/// never depends on it beyond "inline vs. pooled".
+constexpr std::size_t kStageGrain = 2048;
+
+/// Fills StageSets::dom_member from the finished DOM levels.
+void finalize_dom_member(StageSets& s, std::uint32_t n) {
+  s.dom_member.assign(n, 0);
+  for (const auto& d : s.dom) {
+    for (const NodeId v : d) s.dom_member[v] = 1;
+  }
+}
+
 }  // namespace
 
 StageSets build_stage_sets(const Graph& g, NodeId source, DomPolicy policy,
-                           std::uint64_t seed) {
+                           std::uint64_t seed, par::ThreadPool* pool) {
   const std::uint32_t n = g.node_count();
   RC_EXPECTS(source < n);
 
@@ -101,6 +118,7 @@ StageSets build_stage_sets(const Graph& g, NodeId source, DomPolicy policy,
       out.fresh.clear();
       out.frontier.clear();
     }
+    finalize_dom_member(out, n);
     return out;
   }
 
@@ -109,22 +127,26 @@ StageSets build_stage_sets(const Graph& g, NodeId source, DomPolicy policy,
   std::vector<std::uint32_t> cover(n, 0);
   std::vector<bool> is_fresh(n, false);
   std::vector<bool> kept(n, false);
+  // cand_stamp[v] == stage marks v as a candidate this stage (no resets).
+  std::vector<std::uint32_t> cand_stamp(n, 0);
+  // has_private[v]: removal-pass preprocessing result (parallel path only).
+  std::vector<std::uint8_t> has_private;
 
-  // FRONTIER_2 seed: uninformed neighbours of informed nodes.  Maintained
+  // FRONTIER_2 seed: uninformed nodes adjacent to an informed one.  Gather
+  // direction (one writer per node) so the scan can fan out; maintained
   // incrementally from NEW_{i-1} below.
   std::vector<NodeId> frontier;
-  {
-    std::vector<bool> seen(n, false);
-    for (NodeId v = 0; v < n; ++v) {
-      if (!informed[v]) continue;
-      for (const NodeId w : g.neighbors(v)) {
-        if (!informed[w] && !seen[w]) {
-          seen[w] = true;
-          frontier.push_back(w);
+  par::collect_chunks<NodeId>(
+      pool, n, kStageGrain, frontier, [&](std::size_t i, auto& part) {
+        const NodeId v = static_cast<NodeId>(i);
+        if (informed[v]) return;
+        for (const NodeId w : g.neighbors(v)) {
+          if (informed[w]) {
+            part.push_back(v);
+            return;
+          }
         }
-      }
-    }
-  }
+      });
 
   for (std::uint32_t stage = 2;; ++stage) {
     RC_ASSERT_MSG(stage <= n, "Lemma 2.6 violated: more than n stages");
@@ -141,19 +163,28 @@ StageSets build_stage_sets(const Graph& g, NodeId source, DomPolicy policy,
     for (const NodeId v : dom_prev) {
       cand.push_back(v);
       is_fresh[v] = false;
+      cand_stamp[v] = stage;
     }
     for (const NodeId v : new_prev) {
       cand.push_back(v);
       is_fresh[v] = true;
+      cand_stamp[v] = stage;
     }
 
-    // Cover counts over the frontier; Lemma 2.5: every frontier node is
-    // dominated by some candidate.
-    for (const NodeId v : cand) {
-      for (const NodeId w : g.neighbors(v)) {
-        if (in_frontier[w]) ++cover[w];
-      }
-    }
+    // Cover counts over the frontier, gather direction (cover[y] = |Γ(y) ∩
+    // cand|, one writer per y); Lemma 2.5: every frontier node is dominated
+    // by some candidate.
+    par::for_chunks(pool, frontier.size(), kStageGrain,
+                    [&](std::size_t, std::size_t begin, std::size_t end) {
+                      for (std::size_t j = begin; j < end; ++j) {
+                        const NodeId y = frontier[j];
+                        std::uint32_t c = 0;
+                        for (const NodeId w : g.neighbors(y)) {
+                          c += cand_stamp[w] == stage ? 1u : 0u;
+                        }
+                        cover[y] = c;
+                      }
+                    });
     for (const NodeId y : frontier) {
       RC_ASSERT_MSG(cover[y] >= 1,
                     "Lemma 2.5 violated: undominated frontier node");
@@ -187,19 +218,40 @@ StageSets build_stage_sets(const Graph& g, NodeId source, DomPolicy policy,
     if (policy == DomPolicy::kGreedyCover) {
       // Greedy max-coverage selection, then a minimalization pass.
       std::vector<bool> covered(n, false);
-      std::vector<NodeId> pool = cand;
+      std::vector<NodeId> pool_nodes = cand;
       std::size_t uncovered_left = frontier.size();
       while (uncovered_left > 0) {
+        // Chunked arg-max: per-chunk (gain, position) maxima under the
+        // sequential strict-> first-wins rule, combined in chunk order —
+        // the winner is the same candidate the sequential scan picks.
+        const std::size_t slots =
+            par::chunk_slots(pool, pool_nodes.size(), kStageGrain);
+        std::vector<std::pair<std::uint32_t, std::size_t>> chunk_best(
+            slots, {0, pool_nodes.size()});
+        par::for_chunks(
+            pool, pool_nodes.size(), kStageGrain,
+            [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+              std::uint32_t top_gain = 0;
+              std::size_t top_pos = pool_nodes.size();
+              for (std::size_t pos = begin; pos < end; ++pos) {
+                const NodeId v = pool_nodes[pos];
+                std::uint32_t gain = 0;
+                for (const NodeId w : g.neighbors(v)) {
+                  if (in_frontier[w] && !covered[w]) ++gain;
+                }
+                if (gain > top_gain) {
+                  top_gain = gain;
+                  top_pos = pos;
+                }
+              }
+              chunk_best[chunk] = {top_gain, top_pos};
+            });
         NodeId best = graph::kNoNode;
         std::uint32_t best_gain = 0;
-        for (const NodeId v : pool) {
-          std::uint32_t gain = 0;
-          for (const NodeId w : g.neighbors(v)) {
-            if (in_frontier[w] && !covered[w]) ++gain;
-          }
+        for (const auto& [gain, pos] : chunk_best) {
           if (gain > best_gain) {
             best_gain = gain;
-            best = v;
+            best = pool_nodes[pos];
           }
         }
         RC_ASSERT(best != graph::kNoNode);
@@ -210,7 +262,7 @@ StageSets build_stage_sets(const Graph& g, NodeId source, DomPolicy policy,
             --uncovered_left;
           }
         }
-        std::erase(pool, best);
+        std::erase(pool_nodes, best);
       }
       // Recompute cover w.r.t. the selection, then minimalize.
       for (const NodeId y : frontier) cover[y] = 0;
@@ -230,29 +282,55 @@ StageSets build_stage_sets(const Graph& g, NodeId source, DomPolicy policy,
       std::vector<bool> picked(n, false);
       std::size_t uncovered_left = frontier.size();
       while (uncovered_left > 0) {
+        // Chunked arg-max over (score, gain0) with the sequential
+        // lexicographic strict-improvement tie-break, combined in chunk
+        // order — picks the same candidate as the sequential scan.
+        struct Best {
+          std::int64_t score = std::numeric_limits<std::int64_t>::min();
+          std::uint32_t gain = 0;
+          NodeId v = graph::kNoNode;
+        };
+        const std::size_t slots =
+            par::chunk_slots(pool, cand.size(), kStageGrain);
+        std::vector<Best> chunk_best(slots);
+        par::for_chunks(
+            pool, cand.size(), kStageGrain,
+            [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+              Best top;
+              for (std::size_t pos = begin; pos < end; ++pos) {
+                const NodeId v = cand[pos];
+                if (picked[v]) continue;
+                std::uint32_t gain0 = 0, lose1 = 0;
+                for (const NodeId w : g.neighbors(v)) {
+                  if (!in_frontier[w]) continue;
+                  if (cover[w] == 0) {
+                    ++gain0;
+                  } else if (cover[w] == 1) {
+                    ++lose1;
+                  }
+                }
+                if (gain0 == 0) continue;  // no covering progress
+                const auto score = static_cast<std::int64_t>(gain0) -
+                                   static_cast<std::int64_t>(lose1);
+                if (score > top.score ||
+                    (score == top.score && gain0 > top.gain)) {
+                  top.score = score;
+                  top.gain = gain0;
+                  top.v = v;
+                }
+              }
+              chunk_best[chunk] = top;
+            });
         NodeId best = graph::kNoNode;
         std::int64_t best_score = std::numeric_limits<std::int64_t>::min();
         std::uint32_t best_gain = 0;
-        for (const NodeId v : cand) {
-          if (picked[v]) continue;
-          std::uint32_t gain0 = 0, lose1 = 0;
-          for (const NodeId w : g.neighbors(v)) {
-            if (!in_frontier[w]) continue;
-            if (cover[w] == 0) {
-              ++gain0;
-            } else if (cover[w] == 1) {
-              ++lose1;
-            }
-          }
-          if (gain0 == 0) continue;  // no covering progress
-          const auto score =
-              static_cast<std::int64_t>(gain0) -
-              static_cast<std::int64_t>(lose1);
-          if (score > best_score ||
-              (score == best_score && gain0 > best_gain)) {
-            best_score = score;
-            best_gain = gain0;
-            best = v;
+        for (const auto& top : chunk_best) {
+          if (top.v == graph::kNoNode) continue;
+          if (top.score > best_score ||
+              (top.score == best_score && top.gain > best_gain)) {
+            best_score = top.score;
+            best_gain = top.gain;
+            best = top.v;
           }
         }
         RC_ASSERT(best != graph::kNoNode);
@@ -268,6 +346,30 @@ StageSets build_stage_sets(const Graph& g, NodeId source, DomPolicy policy,
       dom_cur = minimalize_ascending(std::move(dom_cur));
     } else {
       order_candidates(cand, is_fresh, policy, rng);
+      // Removal-pass preprocessing (pooled path only): a candidate with a
+      // frontier neighbour already at cover < 2 can never become removable —
+      // removals only decrease cover counts — so the sequential pass below
+      // can keep it without rescanning its neighbourhood.  The flag merely
+      // short-circuits scans whose outcome is fixed; kept-set unchanged.
+      const bool preprocess =
+          par::chunk_slots(pool, cand.size(), kStageGrain) > 1;
+      if (preprocess) {
+        if (has_private.empty()) has_private.assign(n, 0);
+        par::for_chunks(pool, cand.size(), kStageGrain,
+                        [&](std::size_t, std::size_t begin, std::size_t end) {
+                          for (std::size_t pos = begin; pos < end; ++pos) {
+                            const NodeId v = cand[pos];
+                            std::uint8_t flag = 0;
+                            for (const NodeId w : g.neighbors(v)) {
+                              if (in_frontier[w] && cover[w] < 2) {
+                                flag = 1;
+                                break;
+                              }
+                            }
+                            has_private[v] = flag;
+                          }
+                        });
+      }
       // One removal pass yields a minimal set: removability ("all my frontier
       // neighbours have >= 2 remaining dominators") is monotone — removals only
       // decrease cover counts, so a node that is kept can never become
@@ -275,10 +377,14 @@ StageSets build_stage_sets(const Graph& g, NodeId source, DomPolicy policy,
       for (const NodeId v : cand) kept[v] = false;
       for (const NodeId v : cand) {
         bool removable = true;
-        for (const NodeId w : g.neighbors(v)) {
-          if (in_frontier[w] && cover[w] < 2) {
-            removable = false;
-            break;
+        if (preprocess && has_private[v]) {
+          removable = false;
+        } else {
+          for (const NodeId w : g.neighbors(v)) {
+            if (in_frontier[w] && cover[w] < 2) {
+              removable = false;
+              break;
+            }
           }
         }
         if (removable) {
@@ -297,9 +403,11 @@ StageSets build_stage_sets(const Graph& g, NodeId source, DomPolicy policy,
 
     // NEW_stage = frontier nodes with exactly one DOM_stage neighbour.
     std::vector<NodeId> new_cur;
-    for (const NodeId y : frontier) {
-      if (cover[y] == 1) new_cur.push_back(y);
-    }
+    par::collect_chunks<NodeId>(pool, frontier.size(), kStageGrain, new_cur,
+                                [&](std::size_t j, auto& part) {
+                                  const NodeId y = frontier[j];
+                                  if (cover[y] == 1) part.push_back(y);
+                                });
     RC_ASSERT_MSG(!new_cur.empty(), "Lemma 2.4 violated: no progress");
 
     out.dom.push_back(dom_cur);
@@ -319,27 +427,31 @@ StageSets build_stage_sets(const Graph& g, NodeId source, DomPolicy policy,
 
     if (informed_count == n) {
       out.ell = stage + 1;
+      finalize_dom_member(out, n);
       return out;
     }
 
     // FRONTIER_{stage+1} = (FRONTIER_stage \ NEW_stage) ∪ (Γ(NEW_stage) ∩
-    // UNINF).
+    // UNINF).  Collected with duplicates across the two chunked passes,
+    // then sort + unique — the same set the sequential seen-array dedup
+    // produced (the loop-top sort already normalized the order).
     std::vector<NodeId> next_frontier;
-    std::vector<bool> seen(n, false);
-    for (const NodeId v : frontier) {
-      if (!informed[v] && !seen[v]) {
-        seen[v] = true;
-        next_frontier.push_back(v);
-      }
-    }
-    for (const NodeId v : new_cur) {
-      for (const NodeId w : g.neighbors(v)) {
-        if (!informed[w] && !seen[w]) {
-          seen[w] = true;
-          next_frontier.push_back(w);
-        }
-      }
-    }
+    par::collect_chunks<NodeId>(pool, frontier.size(), kStageGrain,
+                                next_frontier, [&](std::size_t j, auto& part) {
+                                  const NodeId v = frontier[j];
+                                  if (!informed[v]) part.push_back(v);
+                                });
+    par::collect_chunks<NodeId>(pool, new_cur.size(), kStageGrain,
+                                next_frontier, [&](std::size_t j, auto& part) {
+                                  for (const NodeId w :
+                                       g.neighbors(new_cur[j])) {
+                                    if (!informed[w]) part.push_back(w);
+                                  }
+                                });
+    std::sort(next_frontier.begin(), next_frontier.end());
+    next_frontier.erase(
+        std::unique(next_frontier.begin(), next_frontier.end()),
+        next_frontier.end());
     frontier = std::move(next_frontier);
     dom_prev = std::move(dom_cur);
     new_prev = std::move(new_cur);

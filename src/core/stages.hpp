@@ -22,6 +22,10 @@
 #include "graph/graph.hpp"
 #include "support/rng.hpp"
 
+namespace radiocast::par {
+class ThreadPool;
+}  // namespace radiocast::par
+
 namespace radiocast::core {
 
 using graph::Graph;
@@ -63,6 +67,10 @@ struct StageSets {
   std::uint32_t ell = 0;                      ///< smallest i with INF_i = V
   /// stage_of[v] = the unique i with v ∈ NEW_i (Corollary 2.7); 0 for source.
   std::vector<std::uint32_t> stage_of;
+  /// dom_member[v] = 1 iff v ∈ DOM_i for some i.  Filled by
+  /// `build_stage_sets`; hand-assembled or decoded StageSets may leave it
+  /// empty, in which case `in_any_dom` falls back to scanning the DOM levels.
+  std::vector<std::uint8_t> dom_member;
   NodeId source = graph::kNoNode;
 
   /// Round in which v first receives µ under algorithm B: 2·stage_of[v] − 1.
@@ -72,15 +80,23 @@ struct StageSets {
     return 2ull * stage_of[v] - 1;
   }
 
-  /// True iff v ∈ DOM_i for some i (the x1 bit of λ).
+  /// True iff v ∈ DOM_i for some i (the x1 bit of λ).  O(1) via `dom_member`
+  /// when present, O(Σ log|DOM_i|) fallback otherwise.
   bool in_any_dom(NodeId v) const;
 };
 
 /// Builds the stage sets.  Requires a connected graph (Lemma 2.4's progress
 /// guarantee needs connectivity; violated inputs trigger a contract failure).
+///
+/// When `pool` is non-null the per-stage passes (cover counts, removal-pass
+/// preprocessing, NEW_i filtering, frontier expansion, greedy arg-max scans)
+/// fan out over its workers; the output is byte-identical to the sequential
+/// path at any thread count (fixed chunk layout, chunk-order combination,
+/// exact tie-break preservation — see parallel/chunked.hpp).
 StageSets build_stage_sets(const Graph& g, NodeId source,
                            DomPolicy policy = DomPolicy::kAscendingId,
-                           std::uint64_t seed = 0);
+                           std::uint64_t seed = 0,
+                           par::ThreadPool* pool = nullptr);
 
 /// Structural validation of already-built stage sets against the definition:
 /// Facts 2.1/2.2, Lemma 2.3 disjointness, Corollary 2.7 partition, domination

@@ -30,20 +30,20 @@ Graph star(std::uint32_t n) {
 
 Graph complete(std::uint32_t n) {
   RC_EXPECTS(n >= 1);
-  GraphBuilder b(n);
-  b.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
-  for (NodeId u = 0; u < n; ++u)
-    for (NodeId v = u + 1; v < n; ++v) b.add_edge(u, v);
-  return std::move(b).build();
+  // Streamed: K_n has Θ(n²) pairs, so the pair-list builder would hold an
+  // extra 8 bytes per edge on top of the final CSR arrays.
+  return GraphBuilder::from_sorted_stream(n, [n](auto&& edge) {
+    for (NodeId u = 0; u < n; ++u)
+      for (NodeId v = u + 1; v < n; ++v) edge(u, v);
+  });
 }
 
 Graph complete_bipartite(std::uint32_t a, std::uint32_t b_) {
   RC_EXPECTS(a >= 1 && b_ >= 1);
-  GraphBuilder b(a + b_);
-  b.reserve(static_cast<std::size_t>(a) * b_);
-  for (NodeId u = 0; u < a; ++u)
-    for (NodeId v = a; v < a + b_; ++v) b.add_edge(u, v);
-  return std::move(b).build();
+  return GraphBuilder::from_sorted_stream(a + b_, [a, b_](auto&& edge) {
+    for (NodeId u = 0; u < a; ++u)
+      for (NodeId v = a; v < a + b_; ++v) edge(u, v);
+  });
 }
 
 Graph grid(std::uint32_t rows, std::uint32_t cols) {
@@ -202,6 +202,62 @@ Graph gnp_connected(std::uint32_t n, double p, Rng& rng) {
   }
   // Stitch components: connect a random member of each non-root component to a
   // random already-connected vertex.  Deterministic given the seed.
+  std::vector<NodeId> reps;
+  for (NodeId v = 0; v < n; ++v)
+    if (uf.find(v) == v) reps.push_back(v);
+  for (std::size_t i = 1; i < reps.size(); ++i) {
+    const NodeId other = reps[rng.below(i)];
+    b.add_edge(reps[i], other);
+    uf.unite(reps[i], other);
+  }
+  return std::move(b).build();
+}
+
+Graph sparse_gnp_connected(std::uint32_t n, double avg_degree, Rng& rng) {
+  RC_EXPECTS(n >= 1);
+  RC_EXPECTS(avg_degree >= 0.0);
+  const double p =
+      n > 1 ? std::min(avg_degree / static_cast<double>(n - 1), 1.0) : 0.0;
+  if (p >= 1.0) return complete(n);
+  GraphBuilder b(n);
+  UnionFind uf(n);
+  if (p > 0.0 && n > 1) {
+    // Geometric skip sampling (Batagelj–Brandes): instead of n(n-1)/2
+    // Bernoulli trials, jump straight between successful pairs.  Pairs are
+    // visited in increasing linear upper-triangle index — lexicographic
+    // (u, v) order — so each buffered chunk is a presorted run and build()
+    // merges them without a global sort.
+    const double log1mp = std::log1p(-p);
+    const std::uint64_t total = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+    constexpr std::size_t kChunk = std::size_t{1} << 16;
+    std::vector<std::pair<NodeId, NodeId>> chunk;
+    chunk.reserve(kChunk);
+    NodeId u = 0;
+    std::uint64_t row_start = 0;  // linear index of pair (u, u + 1)
+    std::uint64_t pos = 0;        // pairs consumed so far
+    for (;;) {
+      const double skip = std::floor(std::log1p(-rng.uniform()) / log1mp);
+      // Compared as doubles so an astronomically long skip cannot overflow
+      // the position counter; >= means the next hit lands past the end.
+      if (skip >= static_cast<double>(total - pos)) break;
+      pos += 1 + static_cast<std::uint64_t>(skip);
+      const std::uint64_t idx = pos - 1;  // 0-based index of this hit
+      while (idx >= row_start + (n - 1 - u)) {
+        row_start += n - 1 - u;
+        ++u;
+      }
+      const auto v = static_cast<NodeId>(u + 1 + (idx - row_start));
+      chunk.emplace_back(u, v);
+      uf.unite(u, v);
+      if (chunk.size() == kChunk) {
+        b.add_sorted_run(chunk);
+        chunk.clear();
+      }
+    }
+    if (!chunk.empty()) b.add_sorted_run(chunk);
+  }
+  // Stitch components exactly like gnp_connected: chain each later
+  // representative to a random already-connected one.
   std::vector<NodeId> reps;
   for (NodeId v = 0; v < n; ++v)
     if (uf.find(v) == v) reps.push_back(v);
@@ -425,6 +481,10 @@ Graph from_descriptor(const std::string& descriptor) {
   if (family == "gnp" && args == 3) {
     Rng rng(num(3));
     return gnp_connected(num(1), real(2), rng);
+  }
+  if (family == "sgnp" && args == 3) {
+    Rng rng(num(3));
+    return sparse_gnp_connected(num(1), real(2), rng);
   }
   if (family == "disk" && args == 3) {
     Rng rng(num(3));

@@ -65,6 +65,15 @@ Graph lollipop(std::uint32_t clique, std::uint32_t tail);
 /// the result is connected for every seed.
 Graph gnp_connected(std::uint32_t n, double p, Rng& rng);
 
+/// Sparse Erdős–Rényi G(n, p) with p = avg_degree / (n - 1), sampled by
+/// geometric skips (Batagelj–Brandes) so construction costs O(m + components)
+/// instead of n(n-1)/2 Bernoulli trials, then stitched to connectivity the
+/// same way as `gnp_connected`.  Hits stream into the builder as presorted
+/// runs, so peak memory stays O(m) — this is the million-node workload
+/// generator.  Distinct RNG consumption from `gnp_connected`, so the two
+/// families produce different graphs for the same seed.
+Graph sparse_gnp_connected(std::uint32_t n, double avg_degree, Rng& rng);
+
 /// Random geometric (unit-disk) graph: n points in the unit square, edges
 /// within `radius`.  Components are chained via their closest point pairs, so
 /// the result stays geometrically plausible and connected.
@@ -93,7 +102,7 @@ Graph figure1();
 ///   path:N | cycle:N | star:N | complete:N | bipartite:A:B | grid:R:C |
 ///   torus:R:C | hypercube:D | wheel:N | petersen | tree:N:SEED |
 ///   balanced-tree:ARITY:DEPTH | caterpillar:SPINE:LEGS | lollipop:K:TAIL |
-///   gnp:N:P:SEED | disk:N:RADIUS:SEED | sp:EDGES:SEED |
+///   gnp:N:P:SEED | sgnp:N:DEG:SEED | disk:N:RADIUS:SEED | sp:EDGES:SEED |
 ///   clustered:CLUSTERS:SIZE:P:SEED | figure1
 /// Randomized families are deterministic in their SEED argument.  Malformed
 /// descriptors violate a precondition (ContractViolation).

@@ -71,6 +71,12 @@ class GraphBuilder {
   /// Adds the undirected edge {u, v}.  u != v required.
   GraphBuilder& add_edge(NodeId u, NodeId v);
 
+  /// Appends a presorted run of edges: every pair must satisfy u < v < n and
+  /// the run must be strictly increasing lexicographically.  `build()` merges
+  /// recorded runs pairwise (O(m log runs)) instead of re-sorting the whole
+  /// edge list, so chunked streaming generators never pay a global sort.
+  GraphBuilder& add_sorted_run(std::span<const std::pair<NodeId, NodeId>> run);
+
   /// Pre-allocates for `edge_count` edges (dense generators).
   void reserve(std::size_t edge_count) { edges_.reserve(edge_count); }
 
@@ -80,9 +86,57 @@ class GraphBuilder {
   /// by constructing a new one.
   Graph build() &&;
 
+  /// Two-pass streaming CSR construction with O(n) working memory beyond the
+  /// final graph: `produce(edge)` is invoked exactly twice and must emit the
+  /// same strictly increasing lexicographic sequence of `edge(u, v)` calls
+  /// (u < v < n) both times — first to count degrees, then to fill rows.  No
+  /// edge-pair list is ever materialized, so dense families (clique,
+  /// complete bipartite) skip the O(n²)-pair builder entirely.
+  template <typename Producer>
+  static Graph from_sorted_stream(std::uint32_t n, Producer&& produce) {
+    Graph g;
+    g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+    std::size_t edge_count = 0;
+    {
+      std::pair<NodeId, NodeId> prev{0, 0};
+      bool first = true;
+      produce([&](NodeId u, NodeId v) {
+        RC_EXPECTS_MSG(u < v && v < n,
+                       "stream edges must satisfy u < v < node_count");
+        const std::pair<NodeId, NodeId> e{u, v};
+        RC_EXPECTS_MSG(first || prev < e,
+                       "stream edges must be strictly increasing");
+        first = false;
+        prev = e;
+        ++g.offsets_[u + 1];
+        ++g.offsets_[v + 1];
+        ++edge_count;
+      });
+    }
+    for (std::size_t i = 1; i < g.offsets_.size(); ++i) {
+      g.offsets_[i] += g.offsets_[i - 1];
+    }
+    g.adj_.resize(edge_count * 2);
+    std::vector<std::uint32_t> cursor(g.offsets_.begin(),
+                                      g.offsets_.end() - 1);
+    std::size_t refill = 0;
+    produce([&](NodeId u, NodeId v) {
+      g.adj_[cursor[u]++] = v;
+      g.adj_[cursor[v]++] = u;
+      ++refill;
+    });
+    RC_ASSERT_MSG(refill == edge_count,
+                  "stream producer emitted a different sequence on pass two");
+    // Per-vertex lists are sorted by the same argument as build(): lower
+    // neighbours arrive ascending before higher neighbours ascending.
+    return g;
+  }
+
  private:
   std::uint32_t n_;
   std::vector<std::pair<NodeId, NodeId>> edges_;
+  /// [begin, end) spans of `edges_` appended via add_sorted_run.
+  std::vector<std::pair<std::size_t, std::size_t>> runs_;
 };
 
 }  // namespace radiocast::graph

@@ -35,7 +35,7 @@ FlagOutcome parse_execution_flag(std::string_view flag, const char* value,
                                  bool allow_compiled, ExecutionConfig& config);
 
 /// The accepted `--backend` values, for usage strings:
-/// "auto, scalar, bit, or sharded" (plus ", or compiled" when allowed).
+/// "auto, scalar, bit, sharded, or hybrid" (plus compiled when allowed).
 std::string backend_flag_values(bool allow_compiled);
 
 /// The accepted `--dispatch` values, for usage strings.

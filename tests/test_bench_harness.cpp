@@ -205,11 +205,12 @@ const std::set<std::string> kExpectedScenarios = {
     "broadcast_time", "collision_detection", "common_round",
     "construction",  "coordinator_choice",  "dispatch_scaling",
     "dom_policies",  "engine_backends",     "fig1",
-    "impossibility", "labels",              "message_size",
-    "multi_message", "onebit",              "serve_throughput",
-    "sharded_scaling", "sim_throughput",    "sweep_throughput"};
+    "impossibility", "labels",              "mega_scale",
+    "message_size",  "multi_message",       "onebit",
+    "serve_throughput", "sharded_scaling",  "sim_throughput",
+    "sweep_throughput"};
 
-TEST(BenchRegistry, ListsAllTwentyOneScenarios) {
+TEST(BenchRegistry, ListsAllTwentyTwoScenarios) {
   std::set<std::string> names;
   for (const auto& s : registry()) names.insert(s.name);
   EXPECT_EQ(names, kExpectedScenarios);
@@ -263,9 +264,9 @@ TEST(BenchFilter, CommaSeparatedTermsUnion) {
 
 TEST(BenchFilter, SmokeTagCoversAllScenariosExceptScaling) {
   // The scaling scenarios (sharded_scaling, dispatch_scaling,
-  // sweep_throughput, serve_throughput) raise their instance sizes to
-  // n >= 4096..16384 — deliberately excluded from the smoke tier (CI runs
-  // them explicitly).
+  // sweep_throughput, serve_throughput, mega_scale) raise their instance
+  // sizes to n >= 4096..100000 — deliberately excluded from the smoke tier
+  // (CI runs them explicitly).
   std::set<std::string> names;
   for (const auto& s : select("smoke")) names.insert(s.name);
   auto expected = kExpectedScenarios;
@@ -273,6 +274,7 @@ TEST(BenchFilter, SmokeTagCoversAllScenariosExceptScaling) {
   expected.erase("dispatch_scaling");
   expected.erase("sweep_throughput");
   expected.erase("serve_throughput");
+  expected.erase("mega_scale");
   EXPECT_EQ(names, expected);
 }
 

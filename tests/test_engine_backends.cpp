@@ -1,6 +1,7 @@
 // Differential tests for the pluggable engine backends: the scalar CSR walk,
-// the bit-parallel dense stepper, the sharded multi-core stepper, and the
-// compiled schedule replays (Lemma 2.8 for B, the stamped-chain predictions
+// the bit-parallel dense stepper, the sharded multi-core stepper, the hybrid
+// CSR-scatter stepper (past the bitmap memory cap), and the compiled
+// schedule replays (Lemma 2.8 for B, the stamped-chain predictions
 // for B_ack and B_arb) must be bit-exact — identical per-round traces
 // (transmissions, deliveries, collisions), identical first-data receptions,
 // ack rounds, tx/rx counters, and stamp accounting — on randomized graphs,
@@ -204,6 +205,31 @@ TEST(BackendSelection, ShardedNameRoundTrips) {
   EXPECT_FALSE(sim::parse_backend("shard").has_value());
 }
 
+TEST(BackendSelection, HybridNameRoundTrips) {
+  EXPECT_STREQ(sim::to_string(sim::BackendKind::kHybrid), "hybrid");
+  ASSERT_TRUE(sim::parse_backend("hybrid").has_value());
+  EXPECT_EQ(*sim::parse_backend("hybrid"), sim::BackendKind::kHybrid);
+  EXPECT_FALSE(sim::parse_backend("hyb").has_value());
+}
+
+TEST(BackendSelection, AutoPicksHybridPastTheBitmapCap) {
+  // n = 65536 would need a 512 MiB bitmap — past kBitBackendMemoryCap the
+  // auto rule keeps shard-style stepping alive via the hybrid backend
+  // instead of silently degrading to the scalar walk.
+  const Graph big = graph::path(65536);
+  EXPECT_EQ(sim::choose_backend(big, sim::BackendKind::kAuto),
+            sim::BackendKind::kHybrid);
+  EXPECT_EQ(sim::choose_backend(big, sim::BackendKind::kAuto, 8),
+            sim::BackendKind::kHybrid);
+  EXPECT_EQ(sim::make_engine_backend(big, sim::BackendKind::kAuto)->kind(),
+            sim::BackendKind::kHybrid);
+  // Over the cap but below kHybridAutoMinNodes the scalar walk still wins
+  // (too small to amortize the shard machinery).
+  const Graph mid = graph::path(30000);
+  EXPECT_EQ(sim::choose_backend(mid, sim::BackendKind::kAuto),
+            sim::BackendKind::kScalar);
+}
+
 TEST(BackendSelection, AutoUpgradesToShardedOnBigDenseGraphsWithThreads) {
   // Dense enough for bit (avg degree >= n/64 words) and n >= the sharded
   // threshold: kAuto upgrades iff at least two workers are available.
@@ -307,6 +333,53 @@ TEST(BackendDifferential, RandomTrafficScalarVsSharded) {
 TEST(BackendDifferential, RandomTrafficScalarVsShardedWithCollisionDetection) {
   run_random_traffic_differential(/*collision_detection=*/true, 0xD00D,
                                   sim::BackendKind::kSharded, /*threads=*/4);
+}
+
+TEST(BackendDifferential, RandomTrafficScalarVsHybrid) {
+  run_random_traffic_differential(/*collision_detection=*/false, 0x4B1D,
+                                  sim::BackendKind::kHybrid, /*threads=*/2);
+}
+
+TEST(BackendDifferential, RandomTrafficScalarVsHybridWithCollisionDetection) {
+  run_random_traffic_differential(/*collision_detection=*/true, 0xFADE,
+                                  sim::BackendKind::kHybrid, /*threads=*/3);
+}
+
+TEST(BackendDifferential, HybridDenseSlicesMatchScalarOnClique) {
+  // complete(512) saturates every shard word, so every transmitter row is
+  // admitted as a dense slice — exercising the word-fold resolution path
+  // and its heard-bit attribution pass at several thread counts.
+  const Graph g = graph::complete(512);
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    sim::HybridEngine probe(g, threads);
+    EXPECT_GT(probe.dense_slice_words(), 0u) << threads;
+    sim::Engine scalar(
+        g, hash_talkers(g.node_count(), 99, 3),
+        {sim::TraceLevel::kFull, true, sim::BackendKind::kScalar});
+    sim::Engine hybrid(
+        g, hash_talkers(g.node_count(), 99, 3),
+        {sim::TraceLevel::kFull, true, sim::BackendKind::kHybrid, threads});
+    for (int r = 0; r < 12; ++r) EXPECT_EQ(scalar.step(), hybrid.step());
+    expect_engines_equal(scalar, hybrid,
+                         "clique hybrid t" + std::to_string(threads));
+  }
+}
+
+TEST(BackendDifferential, HybridBroadcastAtBitmapScale) {
+  // A sparse graph past the bitmap cap, end-to-end: kAuto resolves to the
+  // hybrid backend and must reproduce the scalar run exactly.
+  Rng rng(123);
+  const Graph g = graph::sparse_gnp_connected(70000, 6.0, rng);
+  core::RunOptions opt;
+  const auto hybrid = core::run_broadcast(g, 0, opt);  // kAuto → hybrid
+  EXPECT_TRUE(hybrid.all_informed);
+  EXPECT_LE(hybrid.completion_round, hybrid.bound);
+  opt.backend = sim::BackendKind::kScalar;
+  const auto scalar = core::run_broadcast(g, 0, opt);
+  EXPECT_EQ(hybrid.completion_round, scalar.completion_round);
+  EXPECT_EQ(hybrid.data_tx_count, scalar.data_tx_count);
+  EXPECT_EQ(hybrid.stay_count, scalar.stay_count);
+  EXPECT_EQ(hybrid.max_node_tx, scalar.max_node_tx);
 }
 
 // ---------------------------------------------------------------------------
