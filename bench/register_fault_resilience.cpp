@@ -1,0 +1,136 @@
+// Graceful degradation under faults: the paper's schemes assume a perfect
+// radio layer — this scenario measures what each one actually does when the
+// layer drops deliveries.  Plain B replays Lemma 2.8's fixed schedule, so a
+// single lost delivery on a path severs the frontier forever; B_ack's
+// resilient mode (SchemeOptions::resilient) retries data on the frontier
+// and acks on the way back, trading round inflation for completion.  The
+// gate: at 10% edge loss on a path with n >= 256, resilient B_ack still
+// reaches full broadcast (and closes the ack) while plain B does not.
+#include "harness.hpp"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "graph/generators.hpp"
+#include "runtime/scheme.hpp"
+#include "sim/faults.hpp"
+
+namespace radiocast::bench {
+namespace {
+
+/// Nodes that ever received a data message, plus the source itself.
+double completion_rate(const runtime::SchemeResult& run, std::uint32_t n) {
+  std::set<graph::NodeId> informed{0};
+  for (const auto& round : run.trace.rounds()) {
+    for (const auto& d : round.deliveries) informed.insert(d.first);
+  }
+  return static_cast<double>(informed.size()) / static_cast<double>(n);
+}
+
+void run(Context& ctx) {
+  // The degradation gap needs a long path (one lost frontier hop kills
+  // plain B); clamp the ladder up so the gate always sees n >= 256.
+  const std::uint32_t n = std::max(256u, ctx.sizes().back());
+  const graph::Graph g = graph::path(n);
+
+  const runtime::Scheme* b = runtime::SchemeRegistry::instance().find("b");
+  const runtime::Scheme* ack = runtime::SchemeRegistry::instance().find("ack");
+
+  runtime::SchemeOptions plain_opt;
+  runtime::SchemeOptions resilient_opt;
+  resilient_opt.resilient = true;
+  const runtime::PlanPtr b_plan = b->label(g, 0, plain_opt);
+  const runtime::PlanPtr ack_plan = ack->label(g, 0, resilient_opt);
+
+  // Loss ladder in ppm: 0, 2%, 5%, 10%.  Deterministic seed so the perf
+  // trajectory (and the snapshot gate) sees one fixed loss process.
+  constexpr std::uint64_t kLossLadder[] = {0, 20000, 50000, 100000};
+  std::uint64_t b_base_rounds = 0;
+  std::uint64_t ack_base_rounds = 0;
+
+  for (const std::uint64_t loss_ppm : kLossLadder) {
+    runtime::ExecutionConfig config = ctx.exec();
+    config.compiled = false;  // faults need the engine
+    config.trace = sim::TraceLevel::kFull;
+    config.max_rounds = 32 * n;
+    if (loss_ppm != 0) {
+      config.faults.edge_loss_ppm = loss_ppm;
+      config.faults.seed = 7;
+    }
+    const std::string pct = std::to_string(loss_ppm / 10000);
+
+    // Plain B: fixed schedule, no retries.
+    {
+      Sample s;
+      s.family = "faults/path_b/loss" + pct;
+      s.n = n;
+      s.m = g.edge_count();
+      runtime::SchemeResult run;
+      s.wall_ns = time_ns([&] {
+        run = runtime::run_with_plan(*b, g, 0, b_plan, plain_opt, config);
+      });
+      s.rounds = run.rounds;
+      s.transmissions = run.tx_total;
+      if (loss_ppm == 0) b_base_rounds = run.completion_round;
+      const double rate = completion_rate(run, n);
+      // Gate: loss-free B completes; at 10% the fixed schedule must NOT
+      // reach everyone — that failure is the documented degradation the
+      // resilient mode exists to fix.
+      if (loss_ppm == 0) {
+        s.ok = run.ok && run.all_informed;
+      } else if (loss_ppm == 100000) {
+        s.ok = !run.all_informed;
+      } else {
+        s.ok = true;  // intermediate losses are data, not a gate
+      }
+      s.extra = {{"loss_ppm", static_cast<double>(loss_ppm)},
+                 {"completion_rate", rate},
+                 {"completion_round",
+                  static_cast<double>(run.completion_round)},
+                 {"all_informed", run.all_informed ? 1.0 : 0.0}};
+      ctx.record(std::move(s));
+    }
+
+    // Resilient B_ack: epoch-slotted retries through the same loss process.
+    {
+      Sample s;
+      s.family = "faults/path_ack/loss" + pct;
+      s.n = n;
+      s.m = g.edge_count();
+      runtime::SchemeResult run;
+      s.wall_ns = time_ns([&] {
+        run = runtime::run_with_plan(*ack, g, 0, ack_plan, resilient_opt,
+                                     config);
+      });
+      s.rounds = run.rounds;
+      s.transmissions = run.tx_total;
+      if (loss_ppm == 0) ack_base_rounds = run.ack_round;
+      const double rate = completion_rate(run, n);
+      // Gate: full broadcast and a closed ack chain at every loss rate.
+      s.ok = run.all_informed && run.ack_round != 0;
+      const double inflation =
+          ack_base_rounds != 0
+              ? static_cast<double>(run.ack_round) /
+                    static_cast<double>(ack_base_rounds)
+              : 0.0;
+      s.extra = {{"loss_ppm", static_cast<double>(loss_ppm)},
+                 {"completion_rate", rate},
+                 {"completion_round",
+                  static_cast<double>(run.completion_round)},
+                 {"ack_round", static_cast<double>(run.ack_round)},
+                 {"round_inflation", inflation},
+                 {"b_base_rounds", static_cast<double>(b_base_rounds)}};
+      ctx.record(std::move(s));
+    }
+  }
+}
+
+const bool registered = register_scenario(
+    {"fault_resilience",
+     "graceful degradation: B vs resilient B_ack under edge loss on a path",
+     {"smoke", "robustness"},
+     &run});
+
+}  // namespace
+}  // namespace radiocast::bench

@@ -16,6 +16,7 @@
 //   radiocast_cli gen grid 4 6 | radiocast_cli run --scheme ack
 //   radiocast_cli gen gnp 30 0.15 7 | radiocast_cli verify
 //   radiocast_cli sweep --suite quick --n 32 --schemes b,ack,arb --repeat 2
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -54,17 +55,24 @@ int usage() {
                "[--seed S]\n"
                "                     [--schemes LIST|all] [--repeat K] "
                "[--backend ...] [--dispatch ...]\n"
-               "                     [--threads N] [--store DIR]\n"
+               "                     [--threads N] [--store DIR] "
+               "[--faults ...]\n"
                "       (--backend compiled replays the label-determined "
                "schedule; run --scheme b|ack|arb;\n"
                "        --dispatch picks the protocol-dispatch strategy "
                "[auto = active-set when hinted];\n"
                "        --threads sets the sharded/sweep worker count, "
                "0 = hardware;\n"
+               "        --faults injects deterministic faults "
+               "(run/sweep, engine path only):\n"
+               "          %s\n"
+               "        --resilient (run --scheme ack) turns on B_ack's "
+               "loss-tolerant retry mode;\n"
                "        sweep runs every listed registry scheme over a "
                "workload suite with a shared\n"
                "        plan cache — --repeat K reruns the batch to "
-               "demonstrate warm-cache hits)\n");
+               "demonstrate warm-cache hits)\n",
+               std::string(runtime::faults_flag_values()).c_str());
   return 2;
 }
 
@@ -72,6 +80,7 @@ struct Options {
   graph::NodeId source = 0;
   std::string scheme = "b";
   runtime::ExecutionConfig exec;
+  bool resilient = false;
   bool ok = true;
 };
 
@@ -94,6 +103,8 @@ Options parse_options(int argc, char** argv, int first) {
       opt.source = static_cast<graph::NodeId>(std::stoul(argv[++i]));
     } else if (std::strcmp(argv[i], "--scheme") == 0 && i + 1 < argc) {
       opt.scheme = argv[++i];
+    } else if (std::strcmp(argv[i], "--resilient") == 0) {
+      opt.resilient = true;
     }
   }
   return opt;
@@ -185,6 +196,43 @@ int cmd_label(const graph::Graph& g, const Options& opt) {
 }
 
 int cmd_run(const graph::Graph& g, const Options& opt) {
+  if (opt.exec.faults.enabled() || opt.resilient) {
+    // Faulted / resilient runs go through the scheme registry: the legacy
+    // core::run_* wrappers predate ExecutionConfig's fault plan, and
+    // compiled replays model only the fault-free schedule.
+    if (opt.exec.compiled) {
+      std::fprintf(stderr,
+                   "--backend compiled replays the fault-free schedule; "
+                   "--faults/--resilient need the engine\n");
+      return 2;
+    }
+    const auto* scheme = runtime::SchemeRegistry::instance().find(opt.scheme);
+    if (scheme == nullptr) {
+      std::fprintf(stderr, "unknown registry scheme '%s' for a faulted run\n",
+                   opt.scheme.c_str());
+      return 2;
+    }
+    runtime::SchemeOptions sopt;
+    sopt.resilient = opt.resilient;
+    runtime::ExecutionConfig exec = opt.exec;
+    if (exec.max_rounds == 0) {
+      // Retries stretch past the fault-free theorem bound; give faulted
+      // runs a generous linear budget instead of the scheme default.
+      exec.max_rounds = 64 * std::max<std::uint64_t>(g.node_count(), 16);
+    }
+    const auto plan = scheme->label(g, opt.source, sopt);
+    const auto run =
+        runtime::run_with_plan(*scheme, g, opt.source, plan, sopt, exec);
+    const std::string faults = sim::format_fault_plan(opt.exec.faults);
+    std::printf("scheme=%s faults=[%s]%s ok=%s informed=%s rounds=%llu "
+                "completion=%llu\n",
+                opt.scheme.c_str(), faults.c_str(),
+                opt.resilient ? " resilient" : "", run.ok ? "yes" : "NO",
+                run.all_informed ? "all" : "NOT-ALL",
+                static_cast<unsigned long long>(run.rounds),
+                static_cast<unsigned long long>(run.completion_round));
+    return run.ok ? 0 : 1;
+  }
   if (opt.exec.compiled && opt.scheme == "onebit") {
     std::fprintf(stderr,
                  "--backend compiled requires --scheme b, ack, or arb (the "
@@ -317,6 +365,11 @@ int cmd_sweep(int argc, char** argv) {
     std::fprintf(stderr, "--suite must be standard or quick\n");
     return 2;
   }
+  if (config.compiled && config.faults.enabled()) {
+    std::fprintf(stderr, "--backend compiled replays the fault-free "
+                         "schedule; drop it to sweep with --faults\n");
+    return 2;
+  }
 
   auto& registry = runtime::SchemeRegistry::instance();
   std::vector<std::string> schemes;
@@ -421,6 +474,11 @@ int main(int argc, char** argv) {
 
   if (opt.exec.compiled && cmd != "run") {
     std::fprintf(stderr, "--backend compiled only applies to 'run'\n");
+    return 2;
+  }
+  if ((opt.exec.faults.enabled() || opt.resilient) && cmd != "run") {
+    std::fprintf(stderr, "--faults/--resilient only apply to 'run' (and "
+                         "'sweep', which parses its own flags)\n");
     return 2;
   }
   if (cmd == "label") return cmd_label(g, opt);

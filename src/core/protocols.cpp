@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/faults.hpp"
 #include "support/contracts.hpp"
 
 namespace radiocast::core {
@@ -180,14 +181,64 @@ std::uint32_t StampedCore::payload() const {
   return *payload_;
 }
 
+Message StampedCore::resilient_retransmit(std::uint64_t r) {
+  RC_EXPECTS(payload_.has_value());
+  last_data_tx_local_ = r;
+  if (!origin_) transmit_stamps_.push_back(r);
+  return data_message(r);
+}
+
 // ---------------------------------------------------------------------------
 // AckBroadcastProtocol (Algorithm 2)
 // ---------------------------------------------------------------------------
 
 AckBroadcastProtocol::AckBroadcastProtocol(
-    Label label, std::optional<std::uint32_t> source_message)
-    : label_(label), core_(label, MsgKind::kData, 0) {
+    Label label, std::optional<std::uint32_t> source_message, bool resilient)
+    : label_(label), core_(label, MsgKind::kData, 0), resilient_(resilient) {
   if (source_message) core_.make_origin(*source_message, 1);
+}
+
+bool AckBroadcastProtocol::retry_slot(std::uint64_t r,
+                                      std::uint64_t salt) const {
+  // One slot per epoch of kRetrySlots rounds, re-drawn every epoch from
+  // (informed stamp, label bits, stream salt): neighbours with distinct keys
+  // interleave, and even equal keys cannot lock into a permanent collision
+  // with any node keyed differently.
+  const std::uint64_t key =
+      core_.informed_stamp() * 8 +
+      (std::uint64_t{label_.x1} << 2 | std::uint64_t{label_.x2} << 1 |
+       std::uint64_t{label_.x3});
+  const std::uint64_t epoch = r / kRetrySlots;
+  return sim::splitmix64(key ^ sim::splitmix64(salt) ^ (epoch << 20)) %
+             kRetrySlots ==
+         r % kRetrySlots;
+}
+
+std::optional<Message> AckBroadcastProtocol::maybe_resilient_retry(
+    std::uint64_t r) {
+  if (!resilient_ || !informed()) return std::nullopt;
+  if (core_.is_origin()) {
+    // Acknowledged source: the broadcast provably completed; fall silent.
+    if (ack_received_round_ != 0) return std::nullopt;
+    if (r >= 1 + kRetryGrace && retry_slot(r, 0)) {
+      return core_.resilient_retransmit(r);
+    }
+    return std::nullopt;
+  }
+  // On the ack wave (z itself, or any node that has sensed an ack): push
+  // the acknowledgement toward the source instead of re-sending µ — every
+  // node past this one is already informed.
+  if (label_.x3 || ack_heard_local_ != 0) {
+    if (retry_slot(r, 1)) {
+      return Message{MsgKind::kAck, 0, 0, core_.informed_stamp()};
+    }
+    return std::nullopt;
+  }
+  // Frontier side: re-send µ once the paper's schedule has had its chance.
+  if (r >= core_.first_data_local() + kRetryGrace && retry_slot(r, 0)) {
+    return core_.resilient_retransmit(r);
+  }
+  return std::nullopt;
 }
 
 std::optional<Message> AckBroadcastProtocol::on_round() {
@@ -208,6 +259,9 @@ std::optional<Message> AckBroadcastProtocol::on_round() {
   if (ack_heard_local_ == r - 1 && core_.has_transmit_stamp(ack_heard_stamp_)) {
     return Message{MsgKind::kAck, 0, 0, core_.informed_stamp()};
   }
+  // Resilient retries fill otherwise-silent rounds only, so a loss-free run
+  // follows the paper's schedule wherever it is making progress.
+  if (auto m = maybe_resilient_retry(r)) return m;
   return std::nullopt;
 }
 

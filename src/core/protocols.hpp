@@ -72,6 +72,12 @@ class StampedCore {
   /// Lines 23-27: stay-triggered retransmission.
   std::optional<sim::Message> maybe_stay_trigger(std::uint64_t r);
 
+  /// Resilient-mode retransmission (outside the paper's algorithm): resend
+  /// the phase data stamped with the current local round, recording the
+  /// stamp in transmitRounds so the ack chain recognizes the retry as a
+  /// legitimate µ transmission.  Caller must be informed.
+  sim::Message resilient_retransmit(std::uint64_t r);
+
   /// Consumes matching data/stay messages; ignores everything else.
   void hear(const sim::Message& m, std::uint64_t r);
 
@@ -119,10 +125,22 @@ class StampedCore {
 };
 
 /// Algorithm 2 (B_ack): 3-bit labels, stamped messages, acknowledgement chain.
+///
+/// **Resilient mode** (opt-in, outside the paper): the paper's rules are
+/// strictly one-shot — a lost frontier delivery stalls the broadcast
+/// forever.  With `resilient = true` every informed node keeps the wave
+/// alive by retransmitting on a sparse, label-and-stamp-keyed slot schedule
+/// (1 round in kRetrySlots, re-randomized per epoch so two neighbours never
+/// lock into a permanent collision): nodes that have sensed the ack wave
+/// retransmit the ack toward the source, everyone else re-sends µ after a
+/// grace period that lets the paper's schedule win when links are clean.
+/// The source falls silent once acknowledged.  All normal rules run first;
+/// retries only fill otherwise-silent rounds, so a loss-free resilient run
+/// completes on the paper's schedule.
 class AckBroadcastProtocol final : public sim::Protocol {
  public:
-  AckBroadcastProtocol(Label label,
-                       std::optional<std::uint32_t> source_message);
+  AckBroadcastProtocol(Label label, std::optional<std::uint32_t> source_message,
+                       bool resilient = false);
 
   std::optional<sim::Message> on_round() override;
   void on_hear(const sim::Message& m) override;
@@ -131,8 +149,14 @@ class AckBroadcastProtocol final : public sim::Protocol {
   }
 
   /// Ack forwarding needs an ack reception one round earlier (re-armed by
-  /// the engine), so the core hint covers every remaining rule.
+  /// the engine), so the core hint covers every remaining rule.  Resilient
+  /// informed nodes retry on their slot schedule until the source is
+  /// acknowledged, so they stay always-active.
   std::uint64_t next_active_round() const override {
+    if (resilient_ && informed() &&
+        !(core_.is_origin() && ack_received_round_ != 0)) {
+      return kAlwaysActive;
+    }
     return core_.next_core_active(round_);
   }
   void skip_rounds(std::uint64_t rounds) override { round_ += rounds; }
@@ -145,8 +169,22 @@ class AckBroadcastProtocol final : public sim::Protocol {
   }
 
  private:
+  /// Resilient retry cadence: transmit in 1 round out of kRetrySlots, slot
+  /// chosen per epoch from (informed stamp, label bits), so concurrent
+  /// retriers interleave instead of colliding forever.
+  static constexpr std::uint64_t kRetrySlots = 4;
+  /// Rounds after informing before µ retries start — long enough for the
+  /// paper's x1/x2 schedule to advance the frontier on clean links.
+  static constexpr std::uint64_t kRetryGrace = 8;
+
+  /// True iff this node's resilient retry fires in round r; `salt`
+  /// separates the µ and ack retry streams.
+  bool retry_slot(std::uint64_t r, std::uint64_t salt) const;
+  std::optional<sim::Message> maybe_resilient_retry(std::uint64_t r);
+
   Label label_;
   StampedCore core_;
+  bool resilient_ = false;
   std::uint64_t round_ = 0;
   std::uint64_t ack_heard_local_ = 0;
   std::uint64_t ack_heard_stamp_ = 0;

@@ -80,14 +80,15 @@ std::vector<std::unique_ptr<sim::Protocol>> make_broadcast_protocols(
 }
 
 std::vector<std::unique_ptr<sim::Protocol>> make_ack_protocols(
-    const Labeling& labeling, std::uint32_t mu) {
+    const Labeling& labeling, std::uint32_t mu, bool resilient) {
   std::vector<std::unique_ptr<sim::Protocol>> out;
   out.reserve(labeling.labels.size());
   for (NodeId v = 0; v < labeling.labels.size(); ++v) {
     out.push_back(std::make_unique<AckBroadcastProtocol>(
         labeling.labels[v],
         v == labeling.source ? std::optional<std::uint32_t>(mu)
-                             : std::nullopt));
+                             : std::nullopt,
+        resilient));
   }
   return out;
 }

@@ -42,8 +42,10 @@ inline std::uint64_t default_round_budget(std::uint32_t n,
 /// Protocol vectors for tests that drive an Engine manually.
 std::vector<std::unique_ptr<sim::Protocol>> make_broadcast_protocols(
     const Labeling& labeling, std::uint32_t mu);
+/// `resilient`: opt into B_ack's loss-tolerant retry mode (see
+/// AckBroadcastProtocol); the default is the paper's exact algorithm.
 std::vector<std::unique_ptr<sim::Protocol>> make_ack_protocols(
-    const Labeling& labeling, std::uint32_t mu);
+    const Labeling& labeling, std::uint32_t mu, bool resilient = false);
 std::vector<std::unique_ptr<sim::Protocol>> make_common_round_protocols(
     const Labeling& labeling, std::uint32_t mu);
 std::vector<std::unique_ptr<sim::Protocol>> make_arb_protocols(

@@ -45,6 +45,10 @@ struct ExecutionConfig {
   /// exceeds it, least-recently-used plans are evicted; with a plan store
   /// attached, evicted entries reload from disk instead of recomputing.
   std::size_t plan_cache_bytes = 0;
+  /// Deterministic fault injection (sim/faults.hpp).  An enabled plan
+  /// forces the engine path: compiled replays model the fault-free
+  /// schedule and cannot answer "what does the protocol do after a loss".
+  sim::FaultPlan faults = {};
 
   /// Lowers the config to engine options (collision detection as-is; the
   /// scheme layer ORs in `Scheme::needs_collision_detection`).
@@ -55,6 +59,7 @@ struct ExecutionConfig {
     out.backend = backend;
     out.threads = threads;
     out.dispatch = dispatch;
+    out.faults = faults;
     return out;
   }
 };

@@ -63,7 +63,21 @@ FlagOutcome parse_execution_flag(std::string_view flag, const char* value,
     config.threads = static_cast<std::size_t>(t);
     return ok();
   }
+  if (flag == "--faults") {
+    if (value == nullptr) {
+      return error("--faults requires clauses like " +
+                   std::string(faults_flag_values()));
+    }
+    auto parsed = sim::parse_fault_plan(value);
+    if (!parsed.ok) return error(std::move(parsed.error));
+    config.faults = std::move(parsed.plan);
+    return ok();
+  }
   return {FlagStatus::kNotMine, {}};
+}
+
+std::string_view faults_flag_values() {
+  return "edge-loss:P[:SEED],crash:V:R0:R1,jam:R0[:R1]";
 }
 
 }  // namespace radiocast::runtime

@@ -2,7 +2,8 @@
 /// \brief Shared command-line parsing for the execution knobs.
 ///
 /// `radiocast_cli` and `radiocast_bench` expose the same
-/// `--backend/--dispatch/--threads` flags; this helper parses them straight
+/// `--backend/--dispatch/--threads/--faults` flags; this helper parses them
+/// straight
 /// into a `runtime::ExecutionConfig` so both front ends accept the same
 /// values and print the same error messages.  "--backend compiled" is the
 /// CLI spelling for the label-determined replay fast path and is accepted
@@ -40,5 +41,8 @@ std::string backend_flag_values(bool allow_compiled);
 
 /// The accepted `--dispatch` values, for usage strings.
 std::string dispatch_flag_values();
+
+/// The `--faults` clause grammar, for usage strings (sim/faults.hpp).
+std::string_view faults_flag_values();
 
 }  // namespace radiocast::runtime

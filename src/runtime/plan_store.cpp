@@ -36,6 +36,18 @@ PlanStore::PlanStore(std::string directory) : dir_(std::move(directory)) {
   std::filesystem::create_directories(dir_, ec);
   RC_EXPECTS_MSG(std::filesystem::is_directory(dir_, ec),
                  "plan store directory is not usable: " + dir_);
+  // Sweep temp files orphaned by a crashed writer.  put() names them
+  // "<record>.tmp<N>" and renames into place, so anything still carrying a
+  // ".tmp" suffix never became a live record and is safe to delete.
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext.rfind(".tmp", 0) != 0) continue;
+    std::error_code remove_ec;
+    if (std::filesystem::remove(entry.path(), remove_ec) && !remove_ec) {
+      ++stats_.orphans_swept;
+    }
+  }
 }
 
 std::string PlanStore::record_path(PlanStoreKind kind,

@@ -39,6 +39,7 @@ struct PlanStoreStats {
   std::uint64_t read_hits = 0;  ///< records found and fully validated
   std::uint64_t rejected = 0;   ///< records found but invalid (any reason)
   std::uint64_t writes = 0;     ///< records persisted
+  std::uint64_t orphans_swept = 0;  ///< stale .tmp files removed on open
 };
 
 /// A directory of validated plan records.  Thread-safe: concurrent get/put
@@ -49,7 +50,10 @@ class PlanStore {
   static constexpr std::uint32_t kFormatVersion = 1;
 
   /// Opens (creating if needed) the store directory.  An unusable path
-  /// violates a precondition.
+  /// violates a precondition.  Temp files left behind by a writer that
+  /// crashed between create and rename (`*.tmp<N>`) are swept on open and
+  /// counted in `stats().orphans_swept` — they were never visible under a
+  /// live key, so removing them is always safe.
   explicit PlanStore(std::string directory);
 
   /// Persists a payload under `key`.  Returns false (leaving any previous

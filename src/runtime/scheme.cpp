@@ -107,7 +107,10 @@ SchemeResult run_with_plan(const Scheme& scheme, const Graph& g,
   SchemeResult out;
   if (scheme.run_trivial(g, source, *plan, opt, out)) return out;
 
-  if (config.compiled && scheme.can_compile()) {
+  // A compiled replay models the fault-free schedule, so an enabled fault
+  // plan forces the live engine (as does a scheme declining to compile
+  // these options — compile() returning null falls through).
+  if (config.compiled && scheme.can_compile() && !config.faults.enabled()) {
     const auto compiled = scheme.compile(g, source, plan, opt, config);
     if (compiled) return scheme.replay(g, source, *compiled, config);
   }

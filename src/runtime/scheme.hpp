@@ -54,6 +54,11 @@ struct SchemeOptions {
   std::uint32_t frame_bits = 8;     ///< beep frame width L
   std::uint32_t max_attempts = 64;  ///< one-bit labeling restarts
   std::uint64_t max_stages = 0;     ///< one-bit stall cap (0 = 4n + 8)
+  /// B_ack's loss-tolerant retry mode (AckBroadcastProtocol): informed
+  /// nodes keep retransmitting on a slotted schedule so the broadcast
+  /// survives lossy links.  Engine-only — a resilient scheme never takes
+  /// the compiled fast path.
+  bool resilient = false;
 };
 
 /// The centralized half of a scheme, computed once per (graph, plan-family)

@@ -468,7 +468,8 @@ class AckScheme final : public Scheme {
       const Graph&, NodeId, const Plan& plan,
       const SchemeOptions& opt) const override {
     return core::make_ack_protocols(
-        static_cast<const LabelingPlan&>(plan).labeling, opt.mu);
+        static_cast<const LabelingPlan&>(plan).labeling, opt.mu,
+        opt.resilient);
   }
 
   std::uint64_t round_budget(const Graph& g, const Plan&,
@@ -563,6 +564,9 @@ CompiledPlanPtr AckScheme::compile(const Graph& g, NodeId,
                                    const PlanPtr& plan,
                                    const SchemeOptions& opt,
                                    const ExecutionConfig& config) const {
+  // Resilient retries depend on runtime receptions, which a label-determined
+  // replay cannot predict; decline and let run_with_plan use the engine.
+  if (opt.resilient) return nullptr;
   const auto& labeling = static_cast<const LabelingPlan&>(*plan).labeling;
   auto out = std::make_shared<ExecCompiledPlan>();
   out->plan = plan;

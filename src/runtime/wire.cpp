@@ -137,6 +137,7 @@ Json to_json(const SchemeOptions& options) {
   if (options.max_stages != defaults.max_stages) {
     j.set("max_stages", Json(options.max_stages));
   }
+  if (options.resilient) j.set("resilient", Json(true));
   return j;
 }
 
@@ -179,6 +180,115 @@ Decoded<SchemeOptions> options_from_json(const Json& j) {
   if (!read_uint_as(j, "frame_bits", o.frame_bits, out.error)) return out;
   if (!read_uint_as(j, "max_attempts", o.max_attempts, out.error)) return out;
   if (!read_u64(j, "max_stages", o.max_stages, out.error)) return out;
+  if (!read_bool(j, "resilient", o.resilient, out.error)) return out;
+  out.ok = true;
+  return out;
+}
+
+/// Fault-plan encoding (wire version >= 2): probabilities as exact
+/// fixed-point ppm, windows as compact uint arrays.  Disabled plans are
+/// omitted entirely so a fault-free config encodes identically to v1.
+Json faults_to_json(const sim::FaultPlan& plan) {
+  Json j(Json::Object{});
+  if (plan.edge_loss_ppm != 0) {
+    j.set("loss_ppm", Json(std::uint64_t{plan.edge_loss_ppm}));
+  }
+  if (plan.seed != 0) j.set("seed", Json(plan.seed));
+  if (!plan.crashes.empty()) {
+    Json crashes(Json::Array{});
+    for (const sim::CrashWindow& w : plan.crashes) {
+      Json entry(Json::Array{});
+      entry.push_back(Json(std::uint64_t{w.node}));
+      entry.push_back(Json(w.from_round));
+      entry.push_back(Json(w.until_round));
+      crashes.push_back(std::move(entry));
+    }
+    j.set("crash", std::move(crashes));
+  }
+  if (!plan.jams.empty()) {
+    Json jams(Json::Array{});
+    for (const sim::JamWindow& w : plan.jams) {
+      Json entry(Json::Array{});
+      entry.push_back(Json(w.from_round));
+      entry.push_back(Json(w.until_round));
+      jams.push_back(std::move(entry));
+    }
+    j.set("jam", std::move(jams));
+  }
+  return j;
+}
+
+Decoded<sim::FaultPlan> faults_from_json(const Json& j) {
+  Decoded<sim::FaultPlan> out;
+  if (j.is_null()) {
+    out.ok = true;
+    return out;
+  }
+  if (j.kind() != Json::Kind::kObject) {
+    out.error = "field \"faults\" must be an object";
+    return out;
+  }
+  sim::FaultPlan& plan = out.value;
+  if (!read_uint_as(j, "loss_ppm", plan.edge_loss_ppm, out.error)) return out;
+  if (plan.edge_loss_ppm > sim::kLossDenominator) {
+    out.error = "field \"loss_ppm\" exceeds 1000000";
+    return out;
+  }
+  if (!read_u64(j, "seed", plan.seed, out.error)) return out;
+  const auto read_window = [](const Json& entry, std::size_t arity,
+                              std::uint64_t* slots) {
+    if (entry.kind() != Json::Kind::kArray ||
+        entry.as_array().size() != arity) {
+      return false;
+    }
+    for (std::size_t i = 0; i < arity; ++i) {
+      const Json& cell = entry.as_array()[i];
+      if (cell.kind() != Json::Kind::kUInt) return false;
+      slots[i] = cell.as_uint();
+    }
+    return true;
+  };
+  const Json& crashes = j.get("crash");
+  if (!crashes.is_null()) {
+    if (crashes.kind() != Json::Kind::kArray) {
+      out.error = "field \"crash\" must be an array of [node, from, until]";
+      return out;
+    }
+    for (const Json& entry : crashes.as_array()) {
+      std::uint64_t slots[3];
+      if (!read_window(entry, 3, slots) ||
+          slots[0] > std::numeric_limits<NodeId>::max()) {
+        out.error = "field \"crash\" must be an array of [node, from, until]";
+        return out;
+      }
+      sim::CrashWindow w{static_cast<NodeId>(slots[0]), slots[1], slots[2]};
+      if (w.from_round == 0 || w.until_round < w.from_round) {
+        out.error = "field \"crash\" has an empty window (rounds are 1-based)";
+        return out;
+      }
+      plan.crashes.push_back(w);
+    }
+  }
+  const Json& jams = j.get("jam");
+  if (!jams.is_null()) {
+    if (jams.kind() != Json::Kind::kArray) {
+      out.error = "field \"jam\" must be an array of [from, until]";
+      return out;
+    }
+    for (const Json& entry : jams.as_array()) {
+      std::uint64_t slots[2];
+      if (!read_window(entry, 2, slots)) {
+        out.error = "field \"jam\" must be an array of [from, until]";
+        return out;
+      }
+      sim::JamWindow w{slots[0], slots[1]};
+      if (w.from_round == 0 || w.until_round < w.from_round) {
+        out.error = "field \"jam\" has an empty window (rounds are 1-based)";
+        return out;
+      }
+      plan.jams.push_back(w);
+    }
+  }
   out.ok = true;
   return out;
 }
@@ -206,6 +316,7 @@ Json to_json(const ExecutionConfig& config) {
   if (config.plan_cache_bytes != defaults.plan_cache_bytes) {
     j.set("plan_cache_bytes", Json(std::uint64_t{config.plan_cache_bytes}));
   }
+  if (config.faults.enabled()) j.set("faults", faults_to_json(config.faults));
   return j;
 }
 
@@ -259,6 +370,12 @@ Decoded<ExecutionConfig> config_from_json(const Json& j) {
   if (!read_uint_as(j, "plan_cache_bytes", c.plan_cache_bytes, out.error)) {
     return out;
   }
+  auto faults = faults_from_json(j.get("faults"));
+  if (!faults.ok) {
+    out.error = std::move(faults.error);
+    return out;
+  }
+  c.faults = std::move(faults.value);
   out.ok = true;
   return out;
 }
@@ -310,6 +427,22 @@ Decoded<ExperimentSpec> spec_from_json(const Json& j) {
   }
   s.config = config.value;
   if (!read_string(j, "label", s.label, out.error)) return out;
+  // v2 fields under a spec that *declares* an older version are a protocol
+  // error: the sender cannot know what they mean, so honoring them would be
+  // a silent misread.  (An absent "v" means "current version" — minimal
+  // hand-written specs keep working.)
+  std::uint64_t declared = kWireVersion;
+  if (!read_u64(j, "v", declared, out.error)) return out;
+  if (declared < 2) {
+    if (s.config.faults.enabled()) {
+      out.error = "field \"faults\" requires wire version >= 2";
+      return out;
+    }
+    if (s.options.resilient) {
+      out.error = "field \"resilient\" requires wire version >= 2";
+      return out;
+    }
+  }
   out.ok = true;
   return out;
 }

@@ -23,7 +23,15 @@ namespace radiocast::runtime::wire {
 
 /// Version stamped on every encoded spec/result ("v"); decoders reject
 /// anything newer than they understand.
-inline constexpr std::uint64_t kWireVersion = 1;
+///
+/// History:
+///   1  initial spec/result encoding (PR 6).
+///   2  fault injection: `config.faults` (loss_ppm/seed/crash/jam) and
+///      `options.resilient`.  Decoders accept v1 specs unchanged, but a
+///      spec that *declares* v < 2 while carrying either field is rejected
+///      — an old client replaying a new spec must fail loudly, not have
+///      its faults silently honored under a version it never knew.
+inline constexpr std::uint64_t kWireVersion = 2;
 
 /// Decode outcome: `ok` plus either the value or a human-readable error.
 template <typename T>
@@ -38,10 +46,13 @@ support::Json to_json(const SchemeOptions& options);
 support::Json to_json(const ExecutionConfig& config);
 support::Json to_json(const ExperimentSpec& spec);  ///< carries "v"
 support::Json to_json(const SchemeResult& result);  ///< carries "v"; no trace
+/// Fault-plan sub-encoding of `config.faults` (wire version >= 2).
+support::Json faults_to_json(const sim::FaultPlan& plan);
 
 Decoded<GraphRef> graph_ref_from_json(const support::Json& j);
 Decoded<SchemeOptions> options_from_json(const support::Json& j);
 Decoded<ExecutionConfig> config_from_json(const support::Json& j);
+Decoded<sim::FaultPlan> faults_from_json(const support::Json& j);
 Decoded<ExperimentSpec> spec_from_json(const support::Json& j);
 Decoded<SchemeResult> result_from_json(const support::Json& j);
 

@@ -254,6 +254,7 @@ bool Server::handle(int fd, const Json& request) {
       store_json.set("read_hits", Json(s.read_hits));
       store_json.set("rejected", Json(s.rejected));
       store_json.set("writes", Json(s.writes));
+      store_json.set("orphans_swept", Json(s.orphans_swept));
       out.set("store", std::move(store_json));
     }
     const ServerStats s = stats();

@@ -59,6 +59,16 @@ Engine::Engine(const graph::Graph& g,
     all_nodes_.resize(n);
     std::iota(all_nodes_.begin(), all_nodes_.end(), NodeId{0});
   }
+
+  if (options_.faults.enabled()) {
+    const std::string problem = options_.faults.validate(n);
+    RC_EXPECTS_MSG(problem.empty(), "invalid fault plan");
+    fault_session_ = std::make_unique<FaultSession>(options_.faults, n);
+    // Crashed nodes miss polls in any dispatch mode, so clocks must be
+    // tracked even under kScan to restore them on restart.
+    if (local_round_.empty()) local_round_.assign(n, 0);
+  }
+  clocked_ = dispatch_ == DispatchKind::kActiveSet || fault_session_ != nullptr;
 }
 
 std::uint64_t Engine::max_tx_count() const {
@@ -113,9 +123,9 @@ std::uint64_t Engine::poll_node(
     std::uint64_t& max_stamp) {
   Protocol& p = *protocols_[v];
   const bool active = dispatch_ == DispatchKind::kActiveSet;
-  if (active) {
-    // Restore the rounds skipped while the node slept; on_round advances the
-    // clock over the current round itself.
+  if (clocked_) {
+    // Restore the rounds skipped while the node slept (or was crashed);
+    // on_round advances the clock over the current round itself.
     if (local_round_[v] + 1 < round_) {
       p.skip_rounds(round_ - 1 - local_round_[v]);
     }
@@ -142,7 +152,7 @@ void Engine::collect_decisions(std::span<const NodeId> to_poll) {
                      dispatch_workers_ >= 2;
 
   if (!shard) {
-    if (!active) {
+    if (!clocked_) {
       // Serial scan: the seed's tight loop, no calendar or clock bookkeeping.
       for (const NodeId v : to_poll) {
         if (auto msg = protocols_[v]->on_round()) {
@@ -154,7 +164,7 @@ void Engine::collect_decisions(std::span<const NodeId> to_poll) {
     }
     for (const NodeId v : to_poll) {
       const auto hint = poll_node(v, decisions_, max_stamp_);
-      if (hint != Protocol::kIdle) {
+      if (active && hint != Protocol::kIdle) {
         schedule_wake(v, hint == Protocol::kAlwaysActive ? round_ + 1 : hint);
       }
     }
@@ -203,20 +213,108 @@ void Engine::collect_decisions(std::span<const NodeId> to_poll) {
   }
 }
 
+void Engine::apply_faults(bool want_collisions) {
+  FaultSession& fs = *fault_session_;
+  if (fs.jammed()) {
+    // Adversarial jam: everything the backend resolved is noise.  When an
+    // observer consumes collision lists, every non-transmitting, non-crashed
+    // node senses the jam (the adversary is "one more neighbour talking" —
+    // even on a round with no legitimate transmitter).
+    fs.count_jammed_round();
+    resolution_.deliveries.clear();
+    resolution_.collisions.clear();
+    if (want_collisions) {
+      const auto n = static_cast<NodeId>(protocols_.size());
+      std::size_t t = 0;
+      for (NodeId v = 0; v < n; ++v) {
+        if (t < tx_ids_.size() && tx_ids_[t] == v) {
+          ++t;
+          continue;
+        }
+        if (!fs.crashed(v)) resolution_.collisions.push_back(v);
+      }
+    }
+    return;
+  }
+  if (!resolution_.deliveries.empty()) {
+    std::uint64_t lost = 0;
+    std::erase_if(resolution_.deliveries, [&](const auto& delivery) {
+      const auto [w, tx_index] = delivery;
+      if (fs.crashed(w)) return true;  // crash suppression, not edge loss
+      if (fs.drops(round_, tx_ids_[tx_index], w)) {
+        ++lost;
+        return true;
+      }
+      return false;
+    });
+    fs.count_lost(lost);
+  }
+  if (fs.any_crashed() && !resolution_.collisions.empty()) {
+    std::erase_if(resolution_.collisions,
+                  [&fs](NodeId w) { return fs.crashed(w); });
+  }
+}
+
 bool Engine::step() {
   ++round_;
+
+  // Phase 0 (faults only): advance crash/jam state and recover restarts.
+  // A restarting node kept its protocol state but missed every crashed
+  // round; catch its clock up to round_-1, notify it, then poll it this
+  // round like any awake node (kScan lists it naturally; kActiveSet merges
+  // it into the woken set below — its calendar wake may have fired, and
+  // been consumed, mid-crash).
+  if (fault_session_) {
+    restarted_.clear();
+    fault_session_->begin_round(round_, restarted_);
+    for (const NodeId v : restarted_) {
+      if (local_round_[v] + 1 < round_) {
+        protocols_[v]->skip_rounds(round_ - 1 - local_round_[v]);
+      }
+      local_round_[v] = round_ - 1;
+      protocols_[v]->on_restart();
+    }
+  }
 
   // Phase 1: collect decisions in lockstep.  No delivery happens until every
   // node has decided, so protocols cannot observe same-round transmissions.
   // kScan polls everyone; kActiveSet polls only calendar-woken nodes — a
   // skipped poll is contractually a nullopt with no state change, so both
-  // produce identical decision vectors.
+  // produce identical decision vectors.  Crashed nodes are not polled at
+  // all (their consumed wakes are re-armed by the restart force-poll).
   decisions_.clear();
   tx_ids_.clear();
   if (dispatch_ == DispatchKind::kScan) {
-    collect_decisions(all_nodes_);
+    if (fault_session_ && fault_session_->any_crashed()) {
+      scan_scratch_.clear();
+      for (const NodeId v : all_nodes_) {
+        if (!fault_session_->crashed(v)) scan_scratch_.push_back(v);
+      }
+      collect_decisions(scan_scratch_);
+    } else {
+      collect_decisions(all_nodes_);
+    }
   } else {
     gather_woken();
+    if (fault_session_) {
+      if (fault_session_->any_crashed()) {
+        // A crashed node's wake fired into the void: gather_woken already
+        // cleared wake_round_, so dropping it here consumes the wake.
+        std::erase_if(woken_, [this](NodeId v) {
+          return fault_session_->crashed(v);
+        });
+      }
+      if (!restarted_.empty()) {
+        bool merged = false;
+        for (const NodeId v : restarted_) {
+          if (!std::binary_search(woken_.begin(), woken_.end(), v)) {
+            woken_.push_back(v);
+            merged = true;
+          }
+        }
+        if (merged) std::sort(woken_.begin(), woken_.end());
+      }
+    }
     if (!woken_.empty()) collect_decisions(woken_);
   }
   for (const auto& [t, msg] : decisions_) tx_ids_.push_back(t);
@@ -234,6 +332,15 @@ bool Engine::step() {
                       resolution_);
   }
 
+  // Phase 2.5 (faults only): filter the backend's ground truth — crashed
+  // listeners hear nothing, lossy edges drop deliveries, jammed rounds
+  // turn everything into collision/silence.  Runs even on a transmission-
+  // free round: a jam is an adversarial transmitter, so collision-detecting
+  // listeners still sense it.
+  if (fault_session_) {
+    apply_faults(record_full || options_.collision_detection);
+  }
+
   // Phase 3: deliver.  Sleeping listeners get their local clock restored
   // before the event and are re-armed for the next round — every reception
   // can change what a protocol does next, so the calendar entry is refreshed
@@ -244,7 +351,7 @@ bool Engine::step() {
 
   for (const auto& [w, tx_index] : resolution_.deliveries) {
     const Message& m = decisions_[tx_index].second;
-    if (active) sync_clock(w);
+    if (clocked_) sync_clock(w);
     protocols_[w]->on_hear(m);
     ++rx_count_[w];
     if (m.kind == MsgKind::kData && first_data_[w] == 0) {
@@ -256,7 +363,7 @@ bool Engine::step() {
   }
   if (options_.collision_detection) {
     for (const NodeId w : resolution_.collisions) {
-      if (active) sync_clock(w);
+      if (clocked_) sync_clock(w);
       protocols_[w]->on_collision();
       refresh_informed(w);
       if (active) schedule_wake(w, round_ + 1);

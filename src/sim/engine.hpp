@@ -36,6 +36,7 @@
 #include "parallel/thread_pool.hpp"
 #include "sim/backend.hpp"
 #include "sim/dispatch.hpp"
+#include "sim/faults.hpp"
 #include "sim/protocol.hpp"
 #include "sim/trace.hpp"
 
@@ -65,6 +66,11 @@ struct EngineOptions {
   /// Polls per round before the decision sweep is sharded over the dispatch
   /// pool (needs >= 2 workers).  Exposed so tests can force the threshold.
   std::size_t dispatch_shard_min_polls = kDispatchShardMinPolls;
+  /// Deterministic fault injection (sim/faults.hpp): edge loss, crash
+  /// windows, jam rounds.  Applied between backend round-resolution and
+  /// delivery, so the backends stay bit-exact; a disabled plan (the default)
+  /// leaves every engine code path byte-identical to the unfaulted engine.
+  FaultPlan faults = {};
 };
 
 class Engine {
@@ -79,9 +85,15 @@ class Engine {
 
   /// Runs until `pred(*this)` holds (checked after every round) or
   /// `max_rounds` rounds have elapsed.  Returns the number of the round after
-  /// which the predicate first held, or 0 if it never did.
+  /// which the predicate first held, or 0 if it never did within the budget.
+  ///
+  /// Contract: 0 is unambiguously "predicate never held".  Rounds are
+  /// 1-based (`step()` pre-increments), so a held predicate always reports a
+  /// round >= 1, and `max_rounds == 0` is an explicit no-op budget — no
+  /// round runs and 0 is returned without touching any protocol.
   template <typename Pred>
   std::uint64_t run_until(Pred&& pred, std::uint64_t max_rounds) {
+    if (max_rounds == 0) return 0;
     while (round_ < max_rounds) {
       step();
       if (pred(*this)) return round_;
@@ -141,6 +153,16 @@ class Engine {
   /// Rounds with no transmission since the last transmitting round.
   std::uint64_t silent_streak() const noexcept { return silent_streak_; }
 
+  /// Fault observables (0 unless `EngineOptions::faults` is enabled):
+  /// deliveries dropped by the Bernoulli edge-loss draw, and rounds
+  /// suppressed by a jam window.
+  std::uint64_t faults_lost_deliveries() const noexcept {
+    return fault_session_ ? fault_session_->lost_deliveries() : 0;
+  }
+  std::uint64_t faults_jammed_rounds() const noexcept {
+    return fault_session_ ? fault_session_->jammed_rounds() : 0;
+  }
+
   /// Maximum stamp value ever put on the wire (message-size accounting).
   std::uint64_t max_stamp_seen() const noexcept { return max_stamp_; }
 
@@ -192,6 +214,10 @@ class Engine {
   /// Collects this round's decisions from `to_poll` (ascending ids) into
   /// `decisions_`/`tx_ids_`, serially or sharded over the dispatch pool.
   void collect_decisions(std::span<const NodeId> to_poll);
+  /// Filters `resolution_` through the fault session (crash suppression,
+  /// Bernoulli loss, jam); `want_collisions` says whether a jammed round
+  /// must materialize its all-listeners collision list.
+  void apply_faults(bool want_collisions);
   /// Marks v informed in the incremental counter if its protocol now is.
   void refresh_informed(NodeId v) {
     if (!informed_[v] && protocols_[v]->informed()) {
@@ -228,6 +254,10 @@ class Engine {
   // local_round_[v] tracks each protocol's clock so skipped rounds are
   // restored via Protocol::skip_rounds before the next call.
   DispatchKind dispatch_ = DispatchKind::kScan;
+  /// True iff local_round_ clocks are maintained: kActiveSet always, and any
+  /// dispatch mode when faults are enabled (a crashed node misses polls, so
+  /// even kScan must restore its clock via skip_rounds on restart).
+  bool clocked_ = false;
   /// resolve_thread_count(options_.threads), cached — querying hardware
   /// concurrency is a syscall, far too slow for the per-round path.
   std::size_t dispatch_workers_ = 1;
@@ -251,6 +281,13 @@ class Engine {
   std::unique_ptr<par::ThreadPool> dispatch_pool_;
   std::vector<SweepShard> sweep_shards_;
   std::vector<std::uint64_t> hints_scratch_;
+
+  // Fault injection: owned session iff options_.faults.enabled(), plus
+  // per-round scratch (nodes restarting this round; the kScan poll list
+  // with crashed nodes removed).
+  std::unique_ptr<FaultSession> fault_session_;
+  std::vector<NodeId> restarted_;
+  std::vector<NodeId> scan_scratch_;
 
   // Scratch reused across rounds.
   std::vector<std::pair<NodeId, Message>> decisions_;

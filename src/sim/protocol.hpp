@@ -80,6 +80,15 @@ class Protocol {
   /// `round_ += rounds;`); the engine guarantees the clock equals the global
   /// round at every `on_round`, `on_hear`, and `on_collision` call.
   virtual void skip_rounds(std::uint64_t rounds) { (void)rounds; }
+
+  /// Fault-injection notification (sim/faults.hpp): this node just recovered
+  /// from a crash window.  The model is fail-stop with state retention — the
+  /// protocol's state survives, it simply missed every round of the window
+  /// (neither transmitted nor heard).  By the time this is called the local
+  /// clock has already been caught up (via `skip_rounds`) to the round
+  /// *before* the recovery round; `on_round` for the recovery round follows.
+  /// Default: nothing — most protocols just resume where they stopped.
+  virtual void on_restart() {}
 };
 
 }  // namespace radiocast::sim

@@ -204,13 +204,13 @@ const std::set<std::string> kExpectedScenarios = {
     "ack",           "arbitrary_source",    "baselines",
     "broadcast_time", "collision_detection", "common_round",
     "construction",  "coordinator_choice",  "dispatch_scaling",
-    "dom_policies",  "engine_backends",     "fig1",
-    "impossibility", "labels",              "mega_scale",
-    "message_size",  "multi_message",       "onebit",
-    "serve_throughput", "sharded_scaling",  "sim_throughput",
-    "sweep_throughput"};
+    "dom_policies",  "engine_backends",     "fault_resilience",
+    "fig1",          "impossibility",       "labels",
+    "mega_scale",    "message_size",        "multi_message",
+    "onebit",        "serve_throughput",    "sharded_scaling",
+    "sim_throughput", "sweep_throughput"};
 
-TEST(BenchRegistry, ListsAllTwentyTwoScenarios) {
+TEST(BenchRegistry, ListsAllTwentyThreeScenarios) {
   std::set<std::string> names;
   for (const auto& s : registry()) names.insert(s.name);
   EXPECT_EQ(names, kExpectedScenarios);

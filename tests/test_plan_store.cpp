@@ -319,5 +319,37 @@ TEST(PlanStoreWarmRestart, FreshRunnerAnswersFromTheStoreAlone) {
   EXPECT_EQ(analysis::format_sweep(specs, results), cold_lines);
 }
 
+// A writer that crashes between creating its temp file and renaming it into
+// place leaves "<record>.tmp<N>" behind.  Opening the store sweeps those
+// orphans (they were never visible under a live key), counts them, and
+// leaves real records untouched.
+TEST(PlanStore, OpenSweepsOrphanedTempFiles) {
+  const std::string dir = fresh_dir("orphans");
+  {
+    PlanStore store(dir);
+    EXPECT_EQ(store.stats().orphans_swept, 0u);
+    ASSERT_TRUE(store.put(PlanStoreKind::kPlan, "live-key", "fam", "payload"));
+  }
+  // Simulate two crashed writers plus an unrelated file the sweep must not
+  // touch.
+  const std::string live =
+      PlanStore(dir).record_path(PlanStoreKind::kPlan, "live-key");
+  std::ofstream(live + ".tmp3") << "half-written";
+  std::ofstream(dir + "/deadbeef00000000.cplan.tmp12") << "torn";
+  std::ofstream(dir + "/notes.txt") << "keep me";
+
+  PlanStore reopened(dir);
+  EXPECT_EQ(reopened.stats().orphans_swept, 2u);
+  EXPECT_FALSE(std::filesystem::exists(live + ".tmp3"));
+  EXPECT_FALSE(std::filesystem::exists(dir + "/deadbeef00000000.cplan.tmp12"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/notes.txt"));
+  // The live record still reads back.
+  const auto payload =
+      reopened.get(PlanStoreKind::kPlan, "live-key", "fam");
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(*payload, "payload");
+  EXPECT_EQ(reopened.entry_count(), 1u);
+}
+
 }  // namespace
 }  // namespace radiocast

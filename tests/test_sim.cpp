@@ -175,6 +175,18 @@ TEST(Engine, RunUntilReturnsZeroOnTimeout) {
   EXPECT_EQ(e.round(), 10u);
 }
 
+TEST(Engine, RunUntilZeroBudgetIsAnExplicitNoOp) {
+  // Contract: 0 always means "the predicate never held".  A zero budget
+  // runs no round and never touches a protocol — the predicate is not even
+  // evaluated (a held-at-round-0 predicate must not fabricate a round).
+  const Graph g = graph::path(2);
+  Engine e(g, scripted({{1}, {}}));
+  const auto r = e.run_until([](const Engine&) { return true; }, 0);
+  EXPECT_EQ(r, 0u);
+  EXPECT_EQ(e.round(), 0u);
+  EXPECT_EQ(e.transmissions_total(), 0u);
+}
+
 TEST(Engine, RequiresOneProtocolPerVertex) {
   const Graph g = graph::path(3);
   EXPECT_THROW(Engine(g, scripted({{}, {}})), ContractViolation);

@@ -109,7 +109,7 @@ TEST(Wire, SpecDefaultsAreOmittedAndRestored) {
   const std::string text = runtime::wire::encode_spec(spec);
   // Only the non-default fields appear.
   EXPECT_EQ(text,
-            "{\"graph\":{\"gen\":\"cycle:12\"},\"scheme\":\"b\",\"v\":1}");
+            "{\"graph\":{\"gen\":\"cycle:12\"},\"scheme\":\"b\",\"v\":2}");
   const auto decoded = runtime::wire::decode_spec(text);
   ASSERT_TRUE(decoded.ok) << decoded.error;
   EXPECT_EQ(decoded.value.scheme, spec.scheme);
@@ -141,6 +141,11 @@ TEST(Wire, SpecWithEveryKnobRoundTrips) {
   spec.config.trace = sim::TraceLevel::kFull;
   spec.config.max_rounds = 5000;
   spec.config.plan_cache_bytes = 1 << 20;
+  spec.config.faults.edge_loss_ppm = 100000;
+  spec.config.faults.seed = 17;
+  spec.config.faults.crashes = {{2, 3, 9}};
+  spec.config.faults.jams = {{5, 5}};
+  spec.options.resilient = true;
   spec.label = "torus/multi";
 
   const auto decoded =
@@ -166,6 +171,8 @@ TEST(Wire, SpecWithEveryKnobRoundTrips) {
   EXPECT_EQ(d.config.trace, spec.config.trace);
   EXPECT_EQ(d.config.max_rounds, spec.config.max_rounds);
   EXPECT_EQ(d.config.plan_cache_bytes, spec.config.plan_cache_bytes);
+  EXPECT_EQ(d.config.faults, spec.config.faults);
+  EXPECT_EQ(d.options.resilient, spec.options.resilient);
   EXPECT_EQ(d.label, spec.label);
 
   // Canonical encoding: encode(decode(encode(x))) == encode(x).
@@ -199,6 +206,49 @@ TEST(Wire, DecodeRejectsBadSpecsWithFieldErrors) {
       "{\"scheme\":\"b\",\"graph\":{\"gen\":\"path:4\"},"
       "\"options\":{\"policy\":77}}",
       "policy");
+}
+
+TEST(Wire, FaultPlanEncodingIsCanonicalAndVersionGated) {
+  // A disabled plan is omitted from the config block entirely.
+  ExperimentSpec spec;
+  spec.scheme = "ack";
+  spec.graph.generator = "path:64";
+  EXPECT_EQ(runtime::wire::encode_spec(spec).find("faults"),
+            std::string::npos);
+
+  // An enabled plan rides under "faults", defaults omitted inside it.
+  spec.config.faults.edge_loss_ppm = 100000;
+  spec.config.faults.seed = 7;
+  const std::string text = runtime::wire::encode_spec(spec);
+  EXPECT_NE(text.find("\"faults\":{\"loss_ppm\":100000,\"seed\":7}"),
+            std::string::npos)
+      << text;
+  const auto decoded = runtime::wire::decode_spec(text);
+  ASSERT_TRUE(decoded.ok) << decoded.error;
+  EXPECT_EQ(decoded.value.config.faults, spec.config.faults);
+
+  // A spec that declares wire version 1 while carrying faults (or the
+  // resilient knob) is a contradiction: reject loudly rather than run
+  // faults under a version that predates them.
+  const auto old_faulted = runtime::wire::decode_spec(
+      "{\"config\":{\"faults\":{\"loss_ppm\":1}},"
+      "\"graph\":{\"gen\":\"path:4\"},\"scheme\":\"b\",\"v\":1}");
+  EXPECT_FALSE(old_faulted.ok);
+  EXPECT_NE(old_faulted.error.find("wire version"), std::string::npos)
+      << old_faulted.error;
+  const auto old_resilient = runtime::wire::decode_spec(
+      "{\"graph\":{\"gen\":\"path:4\"},"
+      "\"options\":{\"resilient\":true},\"scheme\":\"ack\",\"v\":1}");
+  EXPECT_FALSE(old_resilient.ok);
+  EXPECT_NE(old_resilient.error.find("wire version"), std::string::npos)
+      << old_resilient.error;
+
+  // Malformed windows are field errors, not crashes.
+  const auto bad = runtime::wire::decode_spec(
+      "{\"config\":{\"faults\":{\"crash\":[[1,9,3]]}},"
+      "\"graph\":{\"gen\":\"path:4\"},\"scheme\":\"b\"}");
+  EXPECT_FALSE(bad.ok);
+  EXPECT_NE(bad.error.find("crash"), std::string::npos) << bad.error;
 }
 
 TEST(Wire, ResultRoundTripsAllCounters) {

@@ -10,12 +10,17 @@ Subcommands:
   stats     print the server's stats frame
   shutdown  request a clean server shutdown (expects "bye")
 
-Connection: --unix PATH or --tcp PORT (loopback).
+Connection: --unix PATH or --tcp PORT (loopback).  Every socket operation
+is bounded by --timeout seconds, and the initial connect retries with
+exponential backoff (--retries) so CI can start the client while the
+daemon is still binding its socket.
 
 Examples:
   python3 tools/serve_client.py --tcp 7171 batch \
       --scheme b --scheme ack --graph grid:8:8 --count 100
-  python3 tools/serve_client.py --tcp 7171 stats
+  python3 tools/serve_client.py --tcp 7171 --timeout 30 stats
+  python3 tools/serve_client.py --tcp 7171 batch --scheme ack \
+      --graph path:256 --faults edge-loss:0.1:7 --resilient
   python3 tools/serve_client.py --tcp 7171 shutdown
 """
 
@@ -24,8 +29,9 @@ import json
 import socket
 import struct
 import sys
+import time
 
-WIRE_VERSION = 1
+WIRE_VERSION = 2
 
 
 class Connection:
@@ -36,14 +42,38 @@ class Connection:
         self.buffer = b""
 
     @classmethod
-    def open(cls, unix_path=None, tcp_port=None):
-        if unix_path:
-            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            sock.connect(unix_path)
-        else:
-            sock = socket.create_connection(("127.0.0.1", tcp_port))
-            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        return cls(sock)
+    def open(cls, unix_path=None, tcp_port=None, timeout=None, retries=0):
+        """Connects, retrying with exponential backoff on refusal.
+
+        A daemon that is still starting up refuses or resets the connect;
+        anything else (bad path, wrong port semantics) fails immediately.
+        """
+        delay = 0.1
+        attempt = 0
+        while True:
+            try:
+                if unix_path:
+                    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                    sock.settimeout(timeout)
+                    sock.connect(unix_path)
+                else:
+                    sock = socket.create_connection(
+                        ("127.0.0.1", tcp_port), timeout=timeout
+                    )
+                    sock.setsockopt(
+                        socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+                    )
+                sock.settimeout(timeout)
+                return cls(sock)
+            except (ConnectionRefusedError, ConnectionResetError,
+                    FileNotFoundError, socket.timeout) as exc:
+                attempt += 1
+                if attempt > retries:
+                    raise ConnectionError(
+                        f"connect failed after {attempt} attempt(s): {exc}"
+                    ) from exc
+                time.sleep(delay)
+                delay = min(delay * 2, 2.0)
 
     def send(self, message):
         payload = json.dumps(message, separators=(",", ":")).encode()
@@ -57,29 +87,78 @@ class Connection:
                     payload = self.buffer[4 : 4 + length]
                     self.buffer = self.buffer[4 + length :]
                     return json.loads(payload)
-            chunk = self.sock.recv(65536)
+            try:
+                chunk = self.sock.recv(65536)
+            except socket.timeout:
+                raise ConnectionError(
+                    "timed out waiting for a frame from the server"
+                ) from None
             if not chunk:
                 raise ConnectionError("server closed the connection")
             self.buffer += chunk
+
+
+def parse_faults(text):
+    """CLI fault clauses -> the wire "faults" object (sim/faults.hpp).
+
+    Grammar mirrors radiocast_cli --faults:
+      edge-loss:P[:SEED]   P as probability ("0.1") or percent ("10%")
+      crash:V:R0:R1        node V crashed for rounds [R0, R1]
+      jam:R0[:R1]          every listener jammed for rounds [R0, R1]
+    """
+    out = {}
+    for clause in text.split(","):
+        parts = clause.split(":")
+        kind = parts[0]
+        if kind == "edge-loss" and len(parts) in (2, 3):
+            p = parts[1]
+            if p.endswith("%"):
+                ppm = round(float(p[:-1]) * 10_000)
+            else:
+                ppm = round(float(p) * 1_000_000)
+            out["loss_ppm"] = ppm
+            if len(parts) == 3:
+                out["seed"] = int(parts[2])
+        elif kind == "crash" and len(parts) == 4:
+            out.setdefault("crash", []).append(
+                [int(parts[1]), int(parts[2]), int(parts[3])]
+            )
+        elif kind == "jam" and len(parts) in (2, 3):
+            r0 = int(parts[1])
+            r1 = int(parts[2]) if len(parts) == 3 else r0
+            out.setdefault("jam", []).append([r0, r1])
+        else:
+            raise ValueError(f"bad fault clause: {clause!r}")
+    return out
 
 
 def make_specs(args):
     """One spec per (scheme, source) until --count specs exist."""
     specs = []
     source = 0
+    faults = parse_faults(args.faults) if args.faults else None
     while len(specs) < args.count:
         for scheme in args.scheme:
             if len(specs) >= args.count:
                 break
             spec = {
-                "v": WIRE_VERSION,
+                "v": args.wire_version,
                 "scheme": scheme,
                 "graph": {"gen": args.graph},
             }
             if source:
                 spec["source"] = source % args.sources
+            config = {}
             if args.compiled:
-                spec["config"] = {"compiled": True}
+                config["compiled"] = True
+            if faults:
+                config["faults"] = faults
+            if args.max_rounds:
+                config["max_rounds"] = args.max_rounds
+            if config:
+                spec["config"] = config
+            if args.resilient:
+                spec["options"] = {"resilient": True}
             specs.append(spec)
             source += 1
     return specs
@@ -107,6 +186,10 @@ def cmd_batch(conn, args):
             return 0
         elif kind == "error":
             print(f"server error: {frame.get('error')}", file=sys.stderr)
+            if args.expect_error:
+                needle = args.expect_error
+                if needle in str(frame.get("error", "")):
+                    return 0
             return 1
         else:
             print(f"unexpected frame: {frame}", file=sys.stderr)
@@ -137,6 +220,18 @@ def main():
     target = parser.add_mutually_exclusive_group(required=True)
     target.add_argument("--unix", help="Unix-domain socket path")
     target.add_argument("--tcp", type=int, help="loopback TCP port")
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        help="seconds to wait for connect and for each frame (default 60)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=5,
+        help="connect retries with exponential backoff (default 5)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     batch = sub.add_parser("batch", help="run a spec batch")
@@ -154,6 +249,33 @@ def main():
     batch.add_argument(
         "--compiled", action="store_true", help="use the compiled fast path"
     )
+    batch.add_argument(
+        "--faults",
+        default=None,
+        help="fault clauses, e.g. edge-loss:0.1:7,crash:3:5:9,jam:4",
+    )
+    batch.add_argument(
+        "--resilient",
+        action="store_true",
+        help="enable B_ack's loss-resilient retransmission mode",
+    )
+    batch.add_argument(
+        "--max-rounds",
+        type=int,
+        default=0,
+        help="engine round budget (0 = scheme default)",
+    )
+    batch.add_argument(
+        "--wire-version",
+        type=int,
+        default=WIRE_VERSION,
+        help="version to stamp on each spec (for rejection testing)",
+    )
+    batch.add_argument(
+        "--expect-error",
+        default=None,
+        help="succeed iff the server rejects the batch with this substring",
+    )
     batch.add_argument("--id", type=int, default=1, help="batch id")
 
     sub.add_parser("stats", help="print server stats")
@@ -163,7 +285,12 @@ def main():
     if args.command == "batch" and not args.scheme:
         args.scheme = ["b", "ack", "arb"]
 
-    conn = Connection.open(unix_path=args.unix, tcp_port=args.tcp)
+    conn = Connection.open(
+        unix_path=args.unix,
+        tcp_port=args.tcp,
+        timeout=args.timeout,
+        retries=args.retries,
+    )
     handler = {
         "batch": cmd_batch,
         "stats": cmd_stats,
