@@ -4,6 +4,12 @@
 //    batches at a warm server; reports specs/sec plus per-batch p50/p99
 //    latency (the interleave cost of batch-granularity serialization).
 //    Recorded, not gated (latency is host-dependent).
+//  - serve/saturating/{serial,pipelined}: the pipelined-executor acceptance
+//    row.  8 clients fire small overhead-dominated batches at the same
+//    host twice — once at a serial server (--pipeline-depth 0) and once at
+//    the staged pipeline — and the pipelined run must clear >= 2x
+//    specs/sec whenever the host has >= 4 hardware threads (self-skipped
+//    below that, like the other parallel gates).
 //  - serve/restart/{cold,warm}: the acceptance row.  A server with a plan
 //    store answers a compiled clique batch (b/ack/arb, several sources,
 //    n >= 4096), is torn down, and a *fresh* server over the same store
@@ -30,6 +36,8 @@ namespace {
 constexpr std::uint32_t kCliqueMinNodes = 4096;
 constexpr std::uint32_t kCliqueMaxNodes = 8192;
 constexpr double kAcceptanceSpeedup = 3.0;
+constexpr double kPipelineSpeedup = 2.0;
+constexpr unsigned kPipelineGateCores = 4;
 
 std::vector<runtime::ExperimentSpec> client_specs(std::uint32_t n) {
   std::vector<runtime::ExperimentSpec> specs;
@@ -118,6 +126,115 @@ void multi_client_family(Context& ctx, std::uint32_t n) {
       {"clients", static_cast<double>(kClients)},
   };
   ctx.record(std::move(s));
+}
+
+struct SaturatingRun {
+  std::uint64_t wall_ns = 0;
+  bool ok = false;
+  serve::PipelineStats pipeline;
+};
+
+/// One server lifetime under saturating load: `clients` threads each fire
+/// `batches` copies of `specs` as fast as the daemon answers them.  The
+/// cache is warmed first so the measured regime is pure serving overhead.
+SaturatingRun saturate_once(Context& ctx, const serve::ServerOptions& options,
+                            const std::vector<runtime::ExperimentSpec>& specs,
+                            int clients, int batches) {
+  SaturatingRun out;
+  runtime::SweepRunner runner(ctx.pool());
+  serve::Server server(runner, options);
+  server.start();
+  {
+    serve::Client warmup;
+    if (!warmup.connect_tcp(server.tcp_port()) ||
+        !warmup.run_batch(specs).ok) {
+      server.stop();
+      return out;
+    }
+  }
+
+  std::vector<char> client_ok(static_cast<std::size_t>(clients), 1);
+  out.wall_ns = time_ns([&] {
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        serve::Client client;
+        if (!client.connect_tcp(server.tcp_port())) {
+          client_ok[static_cast<std::size_t>(c)] = 0;
+          return;
+        }
+        for (int b = 0; b < batches; ++b) {
+          const auto outcome =
+              client.run_batch(specs, static_cast<std::uint64_t>(b));
+          if (!outcome.ok || outcome.results.size() != specs.size()) {
+            client_ok[static_cast<std::size_t>(c)] = 0;
+            return;
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  });
+  out.pipeline = server.pipeline_stats();
+  server.stop();
+  out.ok = std::all_of(client_ok.begin(), client_ok.end(),
+                       [](char ok) { return ok != 0; });
+  return out;
+}
+
+/// Serial vs pipelined under 8-client saturating load: the >= 2x gate.
+void saturating_family(Context& ctx, std::uint32_t n) {
+  // Two tiny specs per batch: the per-batch-overhead-dominated regime
+  // where admission coalescing and stage overlap are the whole story.
+  std::vector<runtime::ExperimentSpec> specs;
+  for (const char* scheme : {"b", "ack"}) {
+    runtime::ExperimentSpec spec;
+    spec.scheme = scheme;
+    spec.graph.generator = "path:" + std::to_string(std::max(8u, n / 64));
+    spec.label = std::string("saturating/") + scheme;
+    specs.push_back(std::move(spec));
+  }
+  constexpr int kClients = 8;
+  constexpr int kBatchesPerClient = 16;
+
+  serve::ServerOptions serial_options;
+  serial_options.executor.pipeline_depth = 0;
+  const SaturatingRun serial =
+      saturate_once(ctx, serial_options, specs, kClients, kBatchesPerClient);
+  const SaturatingRun pipelined = saturate_once(
+      ctx, serve::ServerOptions{}, specs, kClients, kBatchesPerClient);
+
+  const double speedup =
+      pipelined.wall_ns != 0 ? static_cast<double>(serial.wall_ns) /
+                                   static_cast<double>(pipelined.wall_ns)
+                             : 0.0;
+  const std::size_t total_specs =
+      specs.size() * static_cast<std::size_t>(kClients * kBatchesPerClient);
+  const bool gated =
+      std::thread::hardware_concurrency() >= kPipelineGateCores;
+  for (const auto* run : {&serial, &pipelined}) {
+    Sample s;
+    s.family = std::string("serve/saturating/") +
+               (run == &serial ? "serial" : "pipelined");
+    s.n = n;
+    s.rounds = total_specs;
+    s.wall_ns = run->wall_ns;
+    s.ok = serial.ok && pipelined.ok;
+    const double secs = static_cast<double>(run->wall_ns) / 1e9;
+    s.extra = {
+        {"specs_per_sec",
+         secs > 0 ? static_cast<double>(total_specs) / secs : 0.0},
+        {"pipeline_speedup", speedup},
+        {"clients", static_cast<double>(kClients)},
+        {"coalesced_batches",
+         static_cast<double>(run->pipeline.coalesced_batches)},
+        {"submissions", static_cast<double>(run->pipeline.submissions)},
+    };
+    if (run == &pipelined && gated) {
+      s.ok = s.ok && speedup >= kPipelineSpeedup;
+    }
+    ctx.record(std::move(s));
+  }
 }
 
 struct ServedBatch {
@@ -216,6 +333,7 @@ void restart_family(Context& ctx, std::uint32_t n) {
 void run(Context& ctx) {
   for (const std::uint32_t n : ctx.sizes(1024)) {
     multi_client_family(ctx, n);
+    saturating_family(ctx, n);
   }
   // Raise the ladder to the gated clique sizes (>= 4096).
   std::vector<std::uint32_t> sizes;

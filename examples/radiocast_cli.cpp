@@ -56,7 +56,7 @@ int usage() {
                "                     [--schemes LIST|all] [--repeat K] "
                "[--backend ...] [--dispatch ...]\n"
                "                     [--threads N] [--store DIR] "
-               "[--faults ...]\n"
+               "[--store-gc-bytes B] [--faults ...]\n"
                "       (--backend compiled replays the label-determined "
                "schedule; run --scheme b|ack|arb;\n"
                "        --dispatch picks the protocol-dispatch strategy "
@@ -323,6 +323,8 @@ int cmd_sweep(int argc, char** argv) {
   std::string schemes_arg =
       "b,ack,common-round,arb,multi,round-robin,color-robin,decay,beep";
   std::string store_dir;
+  std::uint64_t store_gc_bytes = 0;
+  bool store_gc = false;
   runtime::ExecutionConfig config;
   for (int i = 2; i < argc; ++i) {
     const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
@@ -348,10 +350,18 @@ int cmd_sweep(int argc, char** argv) {
       schemes_arg = argv[++i];
     } else if (std::strcmp(argv[i], "--store") == 0 && i + 1 < argc) {
       store_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--store-gc-bytes") == 0 &&
+               i + 1 < argc) {
+      store_gc_bytes = std::stoull(argv[++i]);
+      store_gc = true;
     } else {
       std::fprintf(stderr, "unknown sweep argument '%s'\n", argv[i]);
       return 2;
     }
+  }
+  if (store_gc && store_dir.empty()) {
+    std::fprintf(stderr, "--store-gc-bytes needs --store DIR\n");
+    return 2;
   }
   if (n < 8) {
     std::fprintf(stderr, "--n must be >= 8 (workload-suite minimum)\n");
@@ -435,6 +445,14 @@ int cmd_sweep(int argc, char** argv) {
       static_cast<unsigned long long>(stats.compiled_hits),
       static_cast<unsigned long long>(stats.compiled_misses),
       static_cast<unsigned long long>(stats.compiled_store_hits));
+  if (store_gc) {
+    // GC after the sweep: the records this run just read (or wrote) are the
+    // most recently used, so eviction trims the cold tail first.
+    const std::size_t evicted =
+        store->compact(static_cast<std::size_t>(store_gc_bytes));
+    std::printf("store gc: evicted %zu record(s), %zu left (%zu bytes)\n",
+                evicted, store->entry_count(), store->total_bytes());
+  }
   return all_ok ? 0 : 1;
 }
 

@@ -1,8 +1,10 @@
 #include "runtime/plan_store.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <vector>
 
 #include "support/bytes.hpp"
 #include "support/contracts.hpp"
@@ -127,6 +129,7 @@ std::optional<std::string> PlanStore::get(PlanStoreKind kind,
   if (checksum != support::fnv1a(payload)) return reject();
   const std::lock_guard<std::mutex> lock(mu_);
   ++stats_.read_hits;
+  last_read_[record_path(kind, key)] = ++read_clock_;
   return payload;
 }
 
@@ -142,6 +145,73 @@ std::size_t PlanStore::entry_count() const {
     if (ext == ".plan" || ext == ".cplan") ++count;
   }
   return count;
+}
+
+std::size_t PlanStore::total_bytes() const {
+  std::size_t bytes = 0;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    const auto ext = entry.path().extension();
+    if (ext != ".plan" && ext != ".cplan") continue;
+    std::error_code size_ec;
+    const auto size = entry.file_size(size_ec);
+    if (!size_ec) bytes += static_cast<std::size_t>(size);
+  }
+  return bytes;
+}
+
+std::size_t PlanStore::compact(std::size_t max_bytes) {
+  struct Record {
+    std::string path;
+    std::size_t bytes = 0;
+    std::uint64_t last_read = 0;  ///< 0 = never served by this store
+    std::filesystem::file_time_type mtime;
+  };
+  std::vector<Record> records;
+  std::size_t total = 0;
+  std::error_code ec;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+      const auto ext = entry.path().extension();
+      if (ext != ".plan" && ext != ".cplan") continue;
+      Record rec;
+      rec.path = entry.path().string();
+      std::error_code stat_ec;
+      rec.bytes = static_cast<std::size_t>(entry.file_size(stat_ec));
+      if (stat_ec) continue;
+      rec.mtime = entry.last_write_time(stat_ec);
+      const auto it = last_read_.find(rec.path);
+      if (it != last_read_.end()) rec.last_read = it->second;
+      total += rec.bytes;
+      records.push_back(std::move(rec));
+    }
+  }
+  if (total <= max_bytes) return 0;
+
+  // Never-read records (oldest first) are evicted before any record this
+  // store has served; served records go least-recently-read first.
+  std::sort(records.begin(), records.end(),
+            [](const Record& a, const Record& b) {
+              if ((a.last_read == 0) != (b.last_read == 0)) {
+                return a.last_read == 0;
+              }
+              if (a.last_read == 0) return a.mtime < b.mtime;
+              return a.last_read < b.last_read;
+            });
+
+  std::size_t evicted = 0;
+  for (const Record& rec : records) {
+    if (total <= max_bytes) break;
+    std::error_code remove_ec;
+    if (!std::filesystem::remove(rec.path, remove_ec) || remove_ec) continue;
+    total -= rec.bytes;
+    ++evicted;
+    const std::lock_guard<std::mutex> lock(mu_);
+    last_read_.erase(rec.path);
+    ++stats_.records_evicted;
+  }
+  return evicted;
 }
 
 PlanStoreStats PlanStore::stats() const {

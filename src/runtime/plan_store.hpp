@@ -28,6 +28,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 
 namespace radiocast::runtime {
 
@@ -39,7 +40,8 @@ struct PlanStoreStats {
   std::uint64_t read_hits = 0;  ///< records found and fully validated
   std::uint64_t rejected = 0;   ///< records found but invalid (any reason)
   std::uint64_t writes = 0;     ///< records persisted
-  std::uint64_t orphans_swept = 0;  ///< stale .tmp files removed on open
+  std::uint64_t orphans_swept = 0;    ///< stale .tmp files removed on open
+  std::uint64_t records_evicted = 0;  ///< records removed by compact()
 };
 
 /// A directory of validated plan records.  Thread-safe: concurrent get/put
@@ -73,6 +75,19 @@ class PlanStore {
   /// Number of record files currently on disk (both kinds).
   std::size_t entry_count() const;
 
+  /// Total bytes of record files currently on disk (both kinds).
+  std::size_t total_bytes() const;
+
+  /// Evicts record files until the store's total size is at most
+  /// `max_bytes`, preferring the least useful records first: records this
+  /// store has never served (ordered oldest-mtime-first) go before records
+  /// it has, and served records go least-recently-read first.  Read recency
+  /// is tracked in-process (a fresh store treats everything as never read),
+  /// which is the right bias for a long-lived daemon compacting its own
+  /// working set.  Returns the number of records removed (also accumulated
+  /// into `stats().records_evicted`).
+  std::size_t compact(std::size_t max_bytes);
+
   PlanStoreStats stats() const;
   const std::string& directory() const noexcept { return dir_; }
 
@@ -83,6 +98,10 @@ class PlanStore {
   std::string dir_;
   mutable std::mutex mu_;
   mutable PlanStoreStats stats_;
+  /// record path -> logical read clock (higher = more recently served);
+  /// feeds compact()'s eviction order.
+  mutable std::unordered_map<std::string, std::uint64_t> last_read_;
+  mutable std::uint64_t read_clock_ = 0;
   std::uint64_t temp_counter_ = 0;
 };
 

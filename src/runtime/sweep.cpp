@@ -1,5 +1,6 @@
 #include "runtime/sweep.hpp"
 
+#include <chrono>
 #include <utility>
 
 #include "graph/generators.hpp"
@@ -156,6 +157,7 @@ GraphRef SweepRunner::add_graph(graph::Graph g, std::string generator) {
   ref.hash = graph::canonical_hash(g);
   ref.generator = std::move(generator);
   graphs_.emplace(ref.hash, std::move(g));
+  graph_count_.store(graphs_.size(), std::memory_order_relaxed);
   if (!ref.generator.empty()) {
     generator_hashes_.emplace(ref.generator, ref.hash);
   }
@@ -177,6 +179,7 @@ std::uint64_t SweepRunner::resolve_hash(const GraphRef& ref) {
     graph::Graph g = graph::from_descriptor(ref.generator);
     hash = graph::canonical_hash(g);
     graphs_.emplace(hash, std::move(g));
+    graph_count_.store(graphs_.size(), std::memory_order_relaxed);
     generator_hashes_.emplace(ref.generator, hash);
   }
   RC_EXPECTS_MSG(ref.hash == 0 || ref.hash == hash,
@@ -190,6 +193,40 @@ const graph::Graph& SweepRunner::resolve(const GraphRef& ref) {
 
 std::vector<SchemeResult> SweepRunner::run(
     const std::vector<ExperimentSpec>& specs) {
+  std::vector<const ExperimentSpec*> ptrs;
+  ptrs.reserve(specs.size());
+  for (const ExperimentSpec& spec : specs) ptrs.push_back(&spec);
+  std::vector<std::uint64_t> wall_ns;
+  return run_ptrs(ptrs, wall_ns);
+}
+
+std::vector<BatchResults> SweepRunner::run_merged(
+    const std::vector<const std::vector<ExperimentSpec>*>& batches) {
+  std::vector<const ExperimentSpec*> ptrs;
+  for (const auto* batch : batches) {
+    RC_EXPECTS(batch != nullptr);
+    for (const ExperimentSpec& spec : *batch) ptrs.push_back(&spec);
+  }
+  std::vector<std::uint64_t> wall_ns;
+  std::vector<SchemeResult> flat = run_ptrs(ptrs, wall_ns);
+
+  std::vector<BatchResults> out(batches.size());
+  std::size_t offset = 0;
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    const std::size_t count = batches[b]->size();
+    out[b].results.assign(std::make_move_iterator(flat.begin() + offset),
+                          std::make_move_iterator(flat.begin() + offset +
+                                                  count));
+    out[b].spec_wall_ns.assign(wall_ns.begin() + offset,
+                               wall_ns.begin() + offset + count);
+    offset += count;
+  }
+  return out;
+}
+
+std::vector<SchemeResult> SweepRunner::run_ptrs(
+    const std::vector<const ExperimentSpec*>& specs,
+    std::vector<std::uint64_t>& wall_ns) {
   // Resolve every spec up front: scheme pointer, graph, plan key, compiled
   // key.  Plans are keyed by the scheme's *plan family*, so schemes that
   // compute the same labeling (ack / common-round / multi all build λ_ack)
@@ -205,7 +242,7 @@ std::vector<SchemeResult> SweepRunner::run(
   auto& registry = SchemeRegistry::instance();
   std::vector<Resolved> resolved(specs.size());
   for (std::size_t i = 0; i < specs.size(); ++i) {
-    const ExperimentSpec& spec = specs[i];
+    const ExperimentSpec& spec = *specs[i];
     Resolved& r = resolved[i];
     r.scheme = registry.find(spec.scheme);
     RC_EXPECTS_MSG(r.scheme != nullptr, "unregistered scheme in sweep spec");
@@ -276,7 +313,7 @@ std::vector<SchemeResult> SweepRunner::run(
   }
   par::parallel_map(pool_, plan_work.size(), [&](std::size_t w) {
     const std::size_t i = plan_work[w];
-    const ExperimentSpec& spec = specs[i];
+    const ExperimentSpec& spec = *specs[i];
     Resolved& r = resolved[i];
     r.plan = r.scheme->label(*r.graph, spec.source, spec.options);
     cache_.put_plan(r.plan_key, r.plan);
@@ -308,7 +345,7 @@ std::vector<SchemeResult> SweepRunner::run(
       }
       if (store_ != nullptr && r.scheme->can_store_plans()) {
         const auto bytes = store_->get(PlanStoreKind::kCompiled,
-                                       r.compiled_key, specs[i].scheme);
+                                       r.compiled_key, specs[i]->scheme);
         if (bytes) {
           support::ByteReader reader(*bytes);
           r.compiled = r.scheme->decode_compiled(reader);
@@ -330,7 +367,7 @@ std::vector<SchemeResult> SweepRunner::run(
   }
   par::parallel_map(pool_, compile_work.size(), [&](std::size_t w) {
     const std::size_t i = compile_work[w];
-    const ExperimentSpec& spec = specs[i];
+    const ExperimentSpec& spec = *specs[i];
     Resolved& r = resolved[i];
     r.compiled = r.scheme->compile(*r.graph, spec.source, r.plan,
                                    spec.options, spec.config);
@@ -350,16 +387,24 @@ std::vector<SchemeResult> SweepRunner::run(
   }
 
   // Phase 3: execute all specs against the shared read-only plans; results
-  // land in spec order (parallel_map writes indexed slots).
+  // land in spec order (parallel_map writes indexed slots).  Each spec's
+  // execution wall time is recorded for the serve layer's binary result
+  // encoding; timing covers execution only, not the shared plan phases.
+  wall_ns.assign(specs.size(), 0);
   return par::parallel_map(pool_, specs.size(), [&](std::size_t i) {
-    const ExperimentSpec& spec = specs[i];
+    const ExperimentSpec& spec = *specs[i];
     const Resolved& r = resolved[i];
-    if (r.compiled != nullptr) {
-      return r.scheme->replay(*r.graph, spec.source, *r.compiled,
-                              spec.config);
-    }
-    return run_with_plan(*r.scheme, *r.graph, spec.source, r.plan,
-                         spec.options, spec.config);
+    const auto start = std::chrono::steady_clock::now();
+    SchemeResult result =
+        r.compiled != nullptr
+            ? r.scheme->replay(*r.graph, spec.source, *r.compiled, spec.config)
+            : run_with_plan(*r.scheme, *r.graph, spec.source, r.plan,
+                            spec.options, spec.config);
+    wall_ns[i] = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    return result;
   });
 }
 

@@ -22,6 +22,7 @@
 /// and byte-budget LRU evictions fall back to disk instead of recompute.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <string>
@@ -127,6 +128,15 @@ class PlanCache {
   PlanCacheStats stats_;
 };
 
+/// Results for one batch of a merged submission (see
+/// `SweepRunner::run_merged`): the batch's `SchemeResult`s in its own spec
+/// order, plus the per-spec execution wall time the serve layer's binary
+/// result encoding reports.
+struct BatchResults {
+  std::vector<SchemeResult> results;
+  std::vector<std::uint64_t> spec_wall_ns;
+};
+
 /// Executes spec batches over a content-addressed graph table with a
 /// persistent plan cache.  Not itself thread-safe: one batch at a time; the
 /// batch's internal work is parallelized on the caller-supplied pool.
@@ -156,7 +166,11 @@ class SweepRunner {
   bool has_graph(std::uint64_t hash) const {
     return graphs_.count(hash) != 0;
   }
-  std::size_t graph_count() const noexcept { return graphs_.size(); }
+  /// Safe to read concurrently with a running batch (the serve daemon's
+  /// stats frame polls it from connection threads).
+  std::size_t graph_count() const noexcept {
+    return graph_count_.load(std::memory_order_relaxed);
+  }
 
   /// Attaches an on-disk plan store (nullptr detaches).  Plan misses then
   /// consult the store before computing, and computed plans are written
@@ -172,15 +186,37 @@ class SweepRunner {
   /// graph ref resolvable.
   std::vector<SchemeResult> run(const std::vector<ExperimentSpec>& specs);
 
+  /// Runs several independently-owned batches as ONE sweep: the specs are
+  /// concatenated (batch order, spec order within each batch), every plan /
+  /// compiled execution is still loaded or computed exactly once across the
+  /// whole merged set, and the execution phase is one pool dispatch — so
+  /// concurrent clients sweeping the same graph share one labeling and one
+  /// dispatch instead of serializing N copies of the fixed batch cost.
+  /// Results come back sliced per input batch, each slice in its batch's own
+  /// spec order and byte-identical to what `run` would have returned for
+  /// that batch alone (pinned by the serve differentials).  `spec_wall_ns`
+  /// records each spec's execution wall time (phase 3 only; plan
+  /// construction is shared and not attributed).
+  std::vector<BatchResults> run_merged(
+      const std::vector<const std::vector<ExperimentSpec>*>& batches);
+
   PlanCache& cache() noexcept { return cache_; }
   const PlanCache& cache() const noexcept { return cache_; }
   PlanCacheStats cache_stats() const { return cache_.stats(); }
   void clear_cache() { cache_.clear(); }
 
  private:
+  /// The shared core of `run` / `run_merged`: executes the flattened spec
+  /// list, returning results in index order and per-spec execution wall
+  /// times in `wall_ns` (same length as `specs`).
+  std::vector<SchemeResult> run_ptrs(
+      const std::vector<const ExperimentSpec*>& specs,
+      std::vector<std::uint64_t>& wall_ns);
+
   par::ThreadPool& pool_;
   std::unordered_map<std::uint64_t, graph::Graph> graphs_;
   std::unordered_map<std::string, std::uint64_t> generator_hashes_;
+  std::atomic<std::size_t> graph_count_{0};
   PlanCache cache_;
   PlanStore* store_ = nullptr;
 };

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "graph/hash.hpp"
+#include "support/bytes.hpp"
 
 namespace radiocast::runtime::wire {
 
@@ -563,6 +564,99 @@ Decoded<SchemeResult> decode_result(std::string_view text) {
     return out;
   }
   return result_from_json(parsed.value);
+}
+
+namespace {
+
+constexpr std::string_view kResbinMagic = "RBIN";
+constexpr std::uint32_t kResbinVersion = 1;
+constexpr std::uint8_t kResbinKnownFlags = 0x07;
+
+}  // namespace
+
+BinaryResult binary_result(const SchemeResult& result,
+                           std::uint64_t wall_ns) {
+  BinaryResult out;
+  out.ok = result.ok;
+  out.all_informed = result.all_informed;
+  out.labeling_found = result.labeling_found;
+  out.rounds = result.rounds;
+  out.completion_round = result.completion_round;
+  out.ack_round = result.ack_round;
+  out.tx_total = result.tx_total;
+  out.polls = result.polls;
+  out.wall_ns = wall_ns;
+  return out;
+}
+
+std::string encode_results_binary(const std::vector<BinaryResult>& results) {
+  support::ByteWriter writer;
+  for (const char c : kResbinMagic) writer.u8(static_cast<std::uint8_t>(c));
+  writer.u32(kResbinVersion);
+  writer.u32(static_cast<std::uint32_t>(results.size()));
+  for (const BinaryResult& r : results) {
+    std::uint8_t flags = 0;
+    if (r.ok) flags |= 0x01;
+    if (r.all_informed) flags |= 0x02;
+    if (r.labeling_found) flags |= 0x04;
+    writer.u8(flags);
+    writer.u64(r.rounds);
+    writer.u64(r.completion_round);
+    writer.u64(r.ack_round);
+    writer.u64(r.tx_total);
+    writer.u64(r.polls);
+    writer.u64(r.wall_ns);
+  }
+  return std::string(writer.bytes());
+}
+
+Decoded<std::vector<BinaryResult>> decode_results_binary(
+    std::string_view bytes) {
+  Decoded<std::vector<BinaryResult>> out;
+  support::ByteReader reader(bytes);
+  for (const char c : kResbinMagic) {
+    if (reader.u8() != static_cast<std::uint8_t>(c)) {
+      out.error = "binary results: bad magic";
+      return out;
+    }
+  }
+  const std::uint32_t version = reader.u32();
+  if (!reader.ok() || version != kResbinVersion) {
+    out.error = "binary results: unsupported version";
+    return out;
+  }
+  const std::uint32_t count = reader.u32();
+  // 49 bytes per record (u8 flags + 6 × u64): a corrupt count cannot claim
+  // more records than bytes remain.
+  if (!reader.ok() || count > reader.remaining() / 49) {
+    out.error = "binary results: truncated or trailing bytes";
+    return out;
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    BinaryResult r;
+    const std::uint8_t flags = reader.u8();
+    if ((flags & ~kResbinKnownFlags) != 0) {
+      out.error = "binary results: unknown flag bits";
+      return out;
+    }
+    r.ok = (flags & 0x01) != 0;
+    r.all_informed = (flags & 0x02) != 0;
+    r.labeling_found = (flags & 0x04) != 0;
+    r.rounds = reader.u64();
+    r.completion_round = reader.u64();
+    r.ack_round = reader.u64();
+    r.tx_total = reader.u64();
+    r.polls = reader.u64();
+    r.wall_ns = reader.u64();
+    out.value.push_back(r);
+  }
+  if (!reader.ok() || !reader.exhausted()) {
+    out.value.clear();
+    out.error = "binary results: truncated or trailing bytes";
+    return out;
+  }
+  out.ok = true;
+  return out;
 }
 
 std::string frame(std::string_view payload) {

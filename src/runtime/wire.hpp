@@ -15,6 +15,7 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "runtime/sweep.hpp"
 #include "support/json.hpp"
@@ -62,6 +63,38 @@ std::string encode_spec(const ExperimentSpec& spec);
 Decoded<ExperimentSpec> decode_spec(std::string_view text);
 std::string encode_result(const SchemeResult& result);
 Decoded<SchemeResult> decode_result(std::string_view text);
+
+/// One record of the compact binary result encoding (`radiocast-resbin/1`),
+/// the fixed-width subset of `SchemeResult` a high-QPS sweep client needs:
+/// outcome flags, round/traffic counters, and the spec's execution wall
+/// time (measured by the runner, not part of `SchemeResult`).
+struct BinaryResult {
+  bool ok = false;
+  bool all_informed = false;
+  bool labeling_found = false;
+  std::uint64_t rounds = 0;
+  std::uint64_t completion_round = 0;
+  std::uint64_t ack_round = 0;
+  std::uint64_t tx_total = 0;
+  std::uint64_t polls = 0;
+  std::uint64_t wall_ns = 0;
+
+  friend bool operator==(const BinaryResult&, const BinaryResult&) = default;
+};
+
+/// Projects a full result (plus its execution wall time) onto the binary
+/// record.
+BinaryResult binary_result(const SchemeResult& result, std::uint64_t wall_ns);
+
+/// `radiocast-resbin/1`: magic "RBIN" | u32 version (= 1) | u32 count |
+/// per record: u8 flags (bit0 ok, bit1 all_informed, bit2 labeling_found)
+/// | u64 rounds, completion_round, ack_round, tx_total, polls, wall_ns.
+/// Canonical: equal inputs encode byte-identically, and decoding rejects
+/// bad magic, unknown versions, unknown flag bits, truncation, and
+/// trailing bytes.
+std::string encode_results_binary(const std::vector<BinaryResult>& results);
+Decoded<std::vector<BinaryResult>> decode_results_binary(
+    std::string_view bytes);
 
 /// Frames a payload as u32 little-endian length + bytes (the serve socket
 /// format; see serve/server.hpp for the protocol running on top).

@@ -100,14 +100,18 @@ bool Client::send(const Json& request) {
 }
 
 std::optional<Json> Client::receive() {
+  const auto payload = receive_raw();
+  if (!payload) return std::nullopt;
+  const auto parsed = support::parse_json(*payload);
+  if (!parsed.ok) return std::nullopt;
+  return parsed.value;
+}
+
+std::optional<std::string> Client::receive_raw() {
   if (fd_ < 0) return std::nullopt;
   char buf[64 * 1024];
   while (true) {
-    if (const auto payload = frames_.next()) {
-      const auto parsed = support::parse_json(*payload);
-      if (!parsed.ok) return std::nullopt;
-      return parsed.value;
-    }
+    if (auto payload = frames_.next()) return payload;
     if (frames_.bad()) return std::nullopt;
     const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
     if (n < 0 && errno == EINTR) continue;
@@ -164,6 +168,7 @@ BatchOutcome Client::run_batch(
     }
     if (type == "error") {
       out.error = frame->get("error").as_string();
+      out.code = frame->get("code").as_string();
       out.results.clear();
       return out;
     }
@@ -171,6 +176,65 @@ BatchOutcome Client::run_batch(
     out.results.clear();
     return out;
   }
+}
+
+BinaryBatchOutcome Client::run_batch_binary(
+    const std::vector<runtime::ExperimentSpec>& specs, std::uint64_t id) {
+  BinaryBatchOutcome out;
+  Json request(Json::Object{});
+  request.set("v", Json(runtime::wire::kWireVersion));
+  request.set("type", Json(std::string("batch")));
+  request.set("id", Json(id));
+  request.set("encoding", Json(std::string("binary")));
+  Json specs_json(Json::Array{});
+  for (const runtime::ExperimentSpec& spec : specs) {
+    specs_json.push_back(runtime::wire::to_json(spec));
+  }
+  request.set("specs", std::move(specs_json));
+  if (!send(request)) {
+    out.error = "send failed";
+    return out;
+  }
+  const auto announce = receive();
+  if (!announce) {
+    out.error = "connection closed before results";
+    return out;
+  }
+  if (announce->get("type").as_string() == "error") {
+    out.error = announce->get("error").as_string();
+    out.code = announce->get("code").as_string();
+    return out;
+  }
+  if (announce->get("type").as_string() != "results" ||
+      announce->get("encoding").as_string() != "binary") {
+    out.error = "expected a binary results announce frame";
+    return out;
+  }
+  const auto payload = receive_raw();
+  if (!payload) {
+    out.error = "connection closed before the binary results frame";
+    return out;
+  }
+  auto decoded = runtime::wire::decode_results_binary(*payload);
+  if (!decoded.ok) {
+    out.error = decoded.error;
+    return out;
+  }
+  if (decoded.value.size() != specs.size() ||
+      announce->get("count").as_uint() != specs.size()) {
+    out.error = "binary results count mismatch";
+    return out;
+  }
+  out.records = std::move(decoded.value);
+  const auto done = receive();
+  if (!done || done->get("type").as_string() != "done") {
+    out.error = "missing done frame";
+    out.records.clear();
+    return out;
+  }
+  out.done = *done;
+  out.ok = true;
+  return out;
 }
 
 bool Client::ping() {

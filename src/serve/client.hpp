@@ -28,6 +28,17 @@ struct BatchOutcome {
   std::vector<runtime::SchemeResult> results;
   support::Json done;  ///< the final "done" frame (cache stats live here)
   std::string error;
+  std::string code;  ///< machine-readable code on a server error frame
+};
+
+/// Outcome of a binary-encoded batch round trip ("encoding":"binary"):
+/// the compact per-spec records in spec order.
+struct BinaryBatchOutcome {
+  bool ok = false;
+  std::vector<runtime::wire::BinaryResult> records;
+  support::Json done;
+  std::string error;
+  std::string code;
 };
 
 class Client {
@@ -51,10 +62,19 @@ class Client {
   bool send(const support::Json& request);
   /// Blocks for the next frame; nullopt on EOF or a framing error.
   std::optional<support::Json> receive();
+  /// Blocks for the next frame's raw payload without JSON-parsing it (the
+  /// binary results frame that follows a "results" announce).
+  std::optional<std::string> receive_raw();
 
   /// Sends a batch and collects the streamed results through "done".
   BatchOutcome run_batch(const std::vector<runtime::ExperimentSpec>& specs,
                          std::uint64_t id = 0);
+
+  /// Sends a batch with "encoding":"binary" and decodes the raw
+  /// radiocast-resbin/1 frame the server answers with.
+  BinaryBatchOutcome run_batch_binary(
+      const std::vector<runtime::ExperimentSpec>& specs,
+      std::uint64_t id = 0);
 
   /// Round-trips a ping; false if the server did not answer pong.
   bool ping();

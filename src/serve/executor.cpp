@@ -1,0 +1,176 @@
+#include "serve/executor.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "support/contracts.hpp"
+
+namespace radiocast::serve {
+
+Executor::Executor(runtime::SweepRunner& runner, ExecutorOptions options)
+    : runner_(runner), options_(options) {
+  RC_EXPECTS_MSG(options_.pipeline_depth >= 1,
+                 "executor pipeline depth must be >= 1");
+}
+
+Executor::~Executor() { stop(); }
+
+void Executor::start() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    RC_EXPECTS_MSG(!started_, "executor already started");
+    started_ = true;
+    stopping_ = false;
+    run_finished_ = false;
+  }
+  run_thread_ = std::thread([this] { run_loop(); });
+  encode_thread_ = std::thread([this] { encode_loop(); });
+}
+
+void Executor::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || stopping_) return;
+    stopping_ = true;
+  }
+  jobs_cv_.notify_all();
+  space_cv_.notify_all();
+  if (run_thread_.joinable()) run_thread_.join();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    run_finished_ = true;
+  }
+  encode_cv_.notify_all();
+  if (encode_thread_.joinable()) encode_thread_.join();
+  const std::lock_guard<std::mutex> lock(mu_);
+  started_ = false;
+}
+
+void Executor::submit(std::vector<runtime::ExperimentSpec> specs,
+                      CompletionFn done) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    space_cv_.wait(lock, [this] {
+      return stopping_ || queue_.size() < options_.pipeline_depth;
+    });
+    if (!stopping_) {
+      ++stats_.batches;
+      stats_.specs += specs.size();
+      queue_.push_back(Job{std::move(specs), std::move(done)});
+      stats_.queue_depth = queue_.size();
+      if (queue_.size() > stats_.max_queue_depth) {
+        stats_.max_queue_depth = queue_.size();
+      }
+      jobs_cv_.notify_one();
+      return;
+    }
+  }
+  // Stopped: the run thread has drained and exited; fail the batch rather
+  // than strand it.
+  Completion completion;
+  completion.error = "server is shutting down";
+  done(std::move(completion));
+}
+
+PipelineStats Executor::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void Executor::run_loop() {
+  while (true) {
+    std::vector<Job> jobs;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      jobs_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and fully drained
+      if (options_.coalesce_window_ms > 0 && !stopping_) {
+        // Bounded wait for more batches to merge into this submission.
+        jobs_cv_.wait_for(
+            lock, std::chrono::milliseconds(options_.coalesce_window_ms),
+            [this] {
+              return stopping_ || queue_.size() >= options_.pipeline_depth;
+            });
+      }
+      jobs.reserve(queue_.size());
+      while (!queue_.empty()) {
+        jobs.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      stats_.queue_depth = 0;
+      ++stats_.submissions;
+      if (jobs.size() > 1) {
+        stats_.coalesced_batches += jobs.size();
+        for (const Job& job : jobs) stats_.merged_specs += job.specs.size();
+      }
+    }
+    space_cv_.notify_all();
+    run_jobs(std::move(jobs));
+  }
+}
+
+void Executor::run_jobs(std::vector<Job> jobs) {
+  std::vector<Done> dones(jobs.size());
+  bool merged_ok = true;
+  try {
+    std::vector<const std::vector<runtime::ExperimentSpec>*> batches;
+    batches.reserve(jobs.size());
+    for (const Job& job : jobs) batches.push_back(&job.specs);
+    std::vector<runtime::BatchResults> sliced = runner_.run_merged(batches);
+    const runtime::PlanCacheStats after = runner_.cache_stats();
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      dones[i].completion.results = std::move(sliced[i].results);
+      dones[i].completion.spec_wall_ns = std::move(sliced[i].spec_wall_ns);
+      dones[i].completion.cache_stats = after;
+    }
+  } catch (const ContractViolation&) {
+    merged_ok = false;
+  }
+  if (!merged_ok) {
+    // One batch poisoned the merged sweep (unresolvable graph ref,
+    // out-of-range source, ...).  Re-run each batch alone so only the
+    // offending batches fail.
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.fallback_splits;
+    }
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      try {
+        std::vector<runtime::BatchResults> sliced =
+            runner_.run_merged({&jobs[i].specs});
+        dones[i].completion.results = std::move(sliced[0].results);
+        dones[i].completion.spec_wall_ns = std::move(sliced[0].spec_wall_ns);
+        dones[i].completion.cache_stats = runner_.cache_stats();
+      } catch (const ContractViolation& violation) {
+        dones[i].completion = Completion{};
+        dones[i].completion.error = violation.what();
+      }
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      dones[i].done = std::move(jobs[i].done);
+      encode_queue_.push_back(std::move(dones[i]));
+    }
+  }
+  encode_cv_.notify_one();
+}
+
+void Executor::encode_loop() {
+  while (true) {
+    Done done;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      encode_cv_.wait(lock, [this] {
+        return run_finished_ || !encode_queue_.empty();
+      });
+      if (encode_queue_.empty()) return;  // run thread exited, fully drained
+      done = std::move(encode_queue_.front());
+      encode_queue_.pop_front();
+    }
+    done.done(std::move(done.completion));
+  }
+}
+
+}  // namespace radiocast::serve

@@ -1,0 +1,145 @@
+/// \file executor.hpp
+/// \brief Staged batch pipeline: decode/run/encode overlap + admission.
+///
+/// The serial daemon ran every batch under one runner mutex, so concurrent
+/// clients paid N × (fixed batch cost) and JSON encoding of batch k blocked
+/// execution of batch k+1.  The executor splits the work into stages wired
+/// by queues:
+///
+///   connection threads ──submit──▶ [admission queue] ──▶ run thread
+///        (decode only)                                      │ run_merged
+///                                                           ▼
+///   connection sockets ◀──callbacks── encode thread ◀── [done queue]
+///
+/// The run thread drains whatever has accumulated in the admission queue
+/// and submits it as ONE merged `SweepRunner::run_merged` call — batches
+/// arriving while a sweep is in flight coalesce naturally, so two clients
+/// sweeping the same graph share one labeling lookup and one pool dispatch.
+/// An optional coalesce window adds a bounded wait for more batches before
+/// submitting.  Completions flow through the encode queue in submission
+/// order, so each connection's responses arrive in the order it sent its
+/// batches, and encoding never blocks the next sweep.
+///
+/// Merged results are byte-identical to the serial path (same specs, same
+/// plan dedup, spec-order execution — pinned by the serve differentials).
+/// Error isolation: a contract violation inside a merged sweep triggers a
+/// fallback split — each batch re-runs alone, so one client's bad graph ref
+/// fails only that client's batch (counted in `stats().fallback_splits`).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/sweep.hpp"
+
+namespace radiocast::serve {
+
+struct ExecutorOptions {
+  /// Admission-queue capacity; submit() blocks (backpressure) when this
+  /// many batches are already queued.  Must be >= 1.
+  std::size_t pipeline_depth = 32;
+  /// Extra time the run thread waits for more batches to coalesce after the
+  /// first one arrives (0 = submit whatever has accumulated immediately;
+  /// batches still coalesce naturally while a sweep is in flight).
+  std::uint64_t coalesce_window_ms = 0;
+};
+
+/// Pipeline traffic counters (all monotonic except `queue_depth`).
+struct PipelineStats {
+  std::uint64_t batches = 0;      ///< batches submitted
+  std::uint64_t specs = 0;        ///< specs submitted
+  std::uint64_t submissions = 0;  ///< merged run_merged() calls
+  /// Batches that shared a submission with at least one other batch, and
+  /// the specs they carried — the cross-connection admission win.
+  std::uint64_t coalesced_batches = 0;
+  std::uint64_t merged_specs = 0;
+  std::uint64_t fallback_splits = 0;  ///< merged runs re-run per batch
+  std::uint64_t max_queue_depth = 0;  ///< admission-queue high-water mark
+  std::uint64_t queue_depth = 0;      ///< batches queued right now
+};
+
+/// What a submitted batch resolves to: its results (in the batch's own spec
+/// order) plus per-spec execution wall times, or an error.  `cache_stats`
+/// snapshots the runner cache after the sweep that ran this batch (the done
+/// frame's "stats" object).
+struct Completion {
+  std::vector<runtime::SchemeResult> results;
+  std::vector<std::uint64_t> spec_wall_ns;
+  runtime::PlanCacheStats cache_stats;
+  std::string error;  ///< non-empty = the batch failed
+
+  bool ok() const noexcept { return error.empty(); }
+};
+
+/// The staged pipeline.  Thread-safe: submit() from any number of
+/// connection threads; completion callbacks are invoked from the single
+/// encode thread, in submission order.
+class Executor {
+ public:
+  using CompletionFn = std::function<void(Completion)>;
+
+  /// The runner outlives the executor; the executor is the only caller of
+  /// `run` / `run_merged` while started (SweepRunner is single-batch by
+  /// contract).
+  Executor(runtime::SweepRunner& runner, ExecutorOptions options);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Starts the run and encode threads.
+  void start();
+
+  /// Drains every queued batch (they run and complete normally), then joins
+  /// both threads.  Idempotent.  Batches submitted after stop() complete
+  /// immediately with an error.
+  void stop();
+
+  /// Enqueues a decoded batch; `done` fires from the encode thread once the
+  /// batch has run.  Blocks while the admission queue is full
+  /// (backpressure), keeping per-connection memory bounded.
+  void submit(std::vector<runtime::ExperimentSpec> specs, CompletionFn done);
+
+  PipelineStats stats() const;
+
+ private:
+  struct Job {
+    std::vector<runtime::ExperimentSpec> specs;
+    CompletionFn done;
+  };
+  struct Done {
+    CompletionFn done;
+    Completion completion;
+  };
+
+  void run_loop();
+  void encode_loop();
+  /// Runs one drained admission-queue snapshot as a merged sweep (with the
+  /// per-batch fallback on failure) and forwards completions to the encode
+  /// queue.
+  void run_jobs(std::vector<Job> jobs);
+
+  runtime::SweepRunner& runner_;
+  ExecutorOptions options_;
+
+  mutable std::mutex mu_;
+  PipelineStats stats_;
+  std::deque<Job> queue_;
+  std::deque<Done> encode_queue_;
+  bool started_ = false;
+  bool stopping_ = false;
+  bool run_finished_ = false;
+  std::condition_variable jobs_cv_;    ///< run thread waits for work
+  std::condition_variable space_cv_;   ///< submitters wait for queue space
+  std::condition_variable encode_cv_;  ///< encode thread waits for results
+  std::thread run_thread_;
+  std::thread encode_thread_;
+};
+
+}  // namespace radiocast::serve

@@ -351,5 +351,62 @@ TEST(PlanStore, OpenSweepsOrphanedTempFiles) {
   EXPECT_EQ(reopened.entry_count(), 1u);
 }
 
+// compact(max_bytes) shrinks the store to the budget by deleting the
+// records least likely to be needed again: never-read records go first
+// (oldest on disk leading), then served records in least-recently-read
+// order.  Survivors keep answering; the evicted count lands in stats.
+TEST(PlanStoreCompact, EvictsLeastRecentlyReadRecordsFirst) {
+  PlanStore store(fresh_dir("compact"));
+  const std::string payload(64, 'p');
+  for (const char* key : {"k1", "k2", "k3", "k4"}) {
+    ASSERT_TRUE(store.put(PlanStoreKind::kPlan, key, "fam", payload));
+  }
+  const std::size_t total = store.total_bytes();
+  ASSERT_GT(total, 0u);
+  ASSERT_EQ(total % 4, 0u) << "identical records must have identical sizes";
+  const std::size_t record = total / 4;
+
+  // Serve k2 then k4: k4 is now the most recently read, k2 second; k1 and
+  // k3 have never been read and are the first eviction candidates.
+  ASSERT_TRUE(store.get(PlanStoreKind::kPlan, "k2", "fam").has_value());
+  ASSERT_TRUE(store.get(PlanStoreKind::kPlan, "k4", "fam").has_value());
+
+  // A budget the store already satisfies evicts nothing.
+  EXPECT_EQ(store.compact(total), 0u);
+  EXPECT_EQ(store.stats().records_evicted, 0u);
+  EXPECT_EQ(store.entry_count(), 4u);
+
+  // Halving the budget must take both never-read records and neither of
+  // the served ones.
+  EXPECT_EQ(store.compact(2 * record), 2u);
+  EXPECT_EQ(store.stats().records_evicted, 2u);
+  EXPECT_EQ(store.entry_count(), 2u);
+  EXPECT_LE(store.total_bytes(), 2 * record);
+  EXPECT_EQ(store.get(PlanStoreKind::kPlan, "k1", "fam"), std::nullopt);
+  EXPECT_EQ(store.get(PlanStoreKind::kPlan, "k3", "fam"), std::nullopt);
+  EXPECT_TRUE(store.get(PlanStoreKind::kPlan, "k2", "fam").has_value());
+  EXPECT_TRUE(store.get(PlanStoreKind::kPlan, "k4", "fam").has_value());
+
+  // Down to one record: k2 was read before k4 on the last pass... but the
+  // misses above did not touch recency, and k2's successful reload just
+  // made it the freshest.  Read k4 again to pin the order, then compact.
+  ASSERT_TRUE(store.get(PlanStoreKind::kPlan, "k4", "fam").has_value());
+  EXPECT_EQ(store.compact(record), 1u);
+  EXPECT_EQ(store.stats().records_evicted, 3u);
+  EXPECT_EQ(store.get(PlanStoreKind::kPlan, "k2", "fam"), std::nullopt);
+  EXPECT_TRUE(store.get(PlanStoreKind::kPlan, "k4", "fam").has_value());
+
+  // A zero budget empties the store entirely.
+  EXPECT_EQ(store.compact(0), 1u);
+  EXPECT_EQ(store.stats().records_evicted, 4u);
+  EXPECT_EQ(store.entry_count(), 0u);
+  EXPECT_EQ(store.total_bytes(), 0u);
+
+  // An evicted key is a miss, not a rejection — and a re-put restores it.
+  EXPECT_EQ(store.stats().rejected, 0u);
+  ASSERT_TRUE(store.put(PlanStoreKind::kPlan, "k4", "fam", payload));
+  EXPECT_TRUE(store.get(PlanStoreKind::kPlan, "k4", "fam").has_value());
+}
+
 }  // namespace
 }  // namespace radiocast

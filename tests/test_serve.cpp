@@ -5,8 +5,12 @@
 //    GraphRef generator alone;
 //  - protocol errors (unknown type, unknown scheme, malformed spec, bad
 //    version) answer error frames and leave the connection usable;
-//  - concurrent clients serialize at batch granularity without torn
-//    results (TSan runs this suite via the `threaded` label);
+//  - concurrent clients coalesce into merged sweeps with results
+//    byte-identical to the serial path, in per-batch order, at several
+//    pool widths (TSan runs this suite via the `threaded` label);
+//  - the binary result encoding matches the JSON results field for field;
+//  - error frames carry stable machine-readable codes, and the compact
+//    control frame GCs the plan store;
 //  - shutdown drains cleanly, and a restarted server over the same plan
 //    store answers its first batch with zero labeling constructions.
 #include <gtest/gtest.h>
@@ -274,6 +278,353 @@ TEST(Serve, ShutdownRequestStopsTheServer) {
   // New connections are refused once stopped.
   Client late;
   EXPECT_FALSE(late.connect_tcp(server.tcp_port()) && late.ping());
+}
+
+// N concurrent clients × overlapping and disjoint batches, against both
+// the serial path (pipeline depth 0) and the pipelined executor, at
+// several pool widths: every batch's results must be byte-identical to a
+// local serial run, in the batch's own spec order (run_batch checks index
+// order).  This is the differential that pins cross-connection admission.
+TEST(Serve, PipelinedDifferentialMatchesSerialAcrossThreadCounts) {
+  constexpr int kClients = 4;
+  constexpr int kRounds = 3;
+
+  // Per-client workload: even clients share demo_specs() (overlapping —
+  // these coalesce onto the same labelings), odd clients sweep their own
+  // graph (disjoint).
+  std::vector<std::vector<runtime::ExperimentSpec>> batches(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    if (c % 2 == 0) {
+      batches[c] = demo_specs();
+    } else {
+      for (const char* scheme : {"b", "ack"}) {
+        runtime::ExperimentSpec spec;
+        spec.scheme = scheme;
+        spec.graph.generator = "path:" + std::to_string(12 + c);
+        batches[c].push_back(std::move(spec));
+      }
+    }
+  }
+  par::ThreadPool local_pool(2);
+  runtime::SweepRunner local(local_pool);
+  std::vector<std::vector<std::string>> expected(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    expected[c] = analysis::format_sweep(batches[c], local.run(batches[c]));
+  }
+
+  for (const std::size_t pool_threads : {std::size_t{1}, std::size_t{2},
+                                         std::size_t{8}}) {
+    for (const std::size_t depth : {std::size_t{0}, std::size_t{32}}) {
+      par::ThreadPool pool(pool_threads);
+      runtime::SweepRunner runner(pool);
+      ServerOptions options;
+      options.executor.pipeline_depth = depth;
+      Server server(runner, options);
+      server.start();
+
+      std::vector<std::string> errors(kClients);
+      std::vector<std::thread> threads;
+      for (int c = 0; c < kClients; ++c) {
+        threads.emplace_back([&, c] {
+          Client client;
+          if (!client.connect_tcp(server.tcp_port())) {
+            errors[c] = "connect failed";
+            return;
+          }
+          for (int round = 0; round < kRounds; ++round) {
+            const auto outcome = client.run_batch(
+                batches[c], static_cast<std::uint64_t>(c * kRounds + round));
+            if (!outcome.ok) {
+              errors[c] =
+                  outcome.error.empty() ? "batch failed" : outcome.error;
+              return;
+            }
+            if (analysis::format_sweep(batches[c], outcome.results) !=
+                expected[c]) {
+              errors[c] = "results diverged from the serial run";
+              return;
+            }
+          }
+        });
+      }
+      for (auto& t : threads) t.join();
+      for (int c = 0; c < kClients; ++c) {
+        EXPECT_EQ(errors[c], "")
+            << "client " << c << " @ pool=" << pool_threads
+            << " depth=" << depth;
+      }
+      EXPECT_EQ(server.stats().batches,
+                static_cast<std::uint64_t>(kClients * kRounds));
+    }
+  }
+}
+
+// Batches queued while a sweep is in flight merge into one submission;
+// with a coalesce window and a matching depth the merge is deterministic.
+TEST(Serve, PipelineCoalescesBackToBackBatches) {
+  constexpr std::size_t kBatches = 4;
+  par::ThreadPool pool(2);
+  runtime::SweepRunner runner(pool);
+  ServerOptions options;
+  options.executor.pipeline_depth = kBatches;
+  options.executor.coalesce_window_ms = 2000;  // ends early at depth
+  Server server(runner, options);
+  server.start();
+  Client client;
+  ASSERT_TRUE(client.connect_tcp(server.tcp_port()));
+
+  runtime::ExperimentSpec spec;
+  spec.scheme = "b";
+  spec.graph.generator = "grid:3:4";
+  Json specs_json(Json::Array{});
+  specs_json.push_back(runtime::wire::to_json(spec));
+  // Send all batches before reading any response: they queue at the
+  // admission stage and the run thread merges them.
+  for (std::size_t b = 0; b < kBatches; ++b) {
+    Json request(Json::Object{});
+    request.set("v", Json(runtime::wire::kWireVersion));
+    request.set("type", Json(std::string("batch")));
+    request.set("id", Json(std::uint64_t{b}));
+    request.set("specs", specs_json);
+    ASSERT_TRUE(client.send(request));
+  }
+  for (std::size_t b = 0; b < kBatches; ++b) {
+    const auto result = client.receive();
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->get("type").as_string(), "result");
+    EXPECT_EQ(result->get("id").as_uint(), b) << "responses out of order";
+    const auto done = client.receive();
+    ASSERT_TRUE(done.has_value());
+    EXPECT_EQ(done->get("type").as_string(), "done");
+    EXPECT_EQ(done->get("id").as_uint(), b);
+  }
+
+  const auto pipeline = server.pipeline_stats();
+  EXPECT_EQ(pipeline.batches, kBatches);
+  EXPECT_EQ(pipeline.submissions, 1u);
+  EXPECT_EQ(pipeline.coalesced_batches, kBatches);
+  EXPECT_EQ(pipeline.merged_specs, kBatches);
+  EXPECT_EQ(pipeline.fallback_splits, 0u);
+}
+
+// One client's unresolvable batch must not fail another's: the merged
+// sweep falls back to per-batch runs and only the bad batch errors.
+TEST(Serve, MergedSweepIsolatesABadBatchViaFallbackSplit) {
+  par::ThreadPool pool(2);
+  runtime::SweepRunner runner(pool);
+  ServerOptions options;
+  options.executor.pipeline_depth = 2;
+  options.executor.coalesce_window_ms = 2000;
+  Server server(runner, options);
+  server.start();
+  Client client;
+  ASSERT_TRUE(client.connect_tcp(server.tcp_port()));
+
+  runtime::ExperimentSpec good;
+  good.scheme = "b";
+  good.graph.generator = "grid:3:4";
+  runtime::ExperimentSpec bad;
+  bad.scheme = "b";
+  bad.graph.hash = 0xdeadbeef;  // unknown hash, no generator: unresolvable
+
+  for (std::size_t b = 0; b < 2; ++b) {
+    Json request(Json::Object{});
+    request.set("v", Json(runtime::wire::kWireVersion));
+    request.set("type", Json(std::string("batch")));
+    request.set("id", Json(std::uint64_t{b}));
+    Json specs_json(Json::Array{});
+    specs_json.push_back(runtime::wire::to_json(b == 0 ? good : bad));
+    request.set("specs", std::move(specs_json));
+    ASSERT_TRUE(client.send(request));
+  }
+  const auto result = client.receive();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->get("type").as_string(), "result");
+  EXPECT_EQ(result->get("id").as_uint(), 0u);
+  const auto done = client.receive();
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(done->get("type").as_string(), "done");
+  const auto error = client.receive();
+  ASSERT_TRUE(error.has_value());
+  EXPECT_EQ(error->get("type").as_string(), "error");
+  EXPECT_EQ(error->get("id").as_uint(), 1u);
+  EXPECT_EQ(error->get("code").as_string(), "run_failed");
+
+  EXPECT_EQ(server.pipeline_stats().fallback_splits, 1u);
+  // The connection survives and the good spec still runs.
+  EXPECT_TRUE(client.run_batch({good}).ok);
+}
+
+// "encoding":"binary" answers the same outcomes as the JSON path, field
+// for field, via the radiocast-resbin/1 raw frame.
+TEST(Serve, BinaryEncodingMatchesJsonResults) {
+  const auto specs = demo_specs();
+  par::ThreadPool pool(2);
+  runtime::SweepRunner runner(pool);
+  Server server(runner, ServerOptions{});
+  server.start();
+  Client client;
+  ASSERT_TRUE(client.connect_tcp(server.tcp_port()));
+
+  const auto json_outcome = client.run_batch(specs, /*id=*/1);
+  ASSERT_TRUE(json_outcome.ok) << json_outcome.error;
+  const auto binary_outcome = client.run_batch_binary(specs, /*id=*/2);
+  ASSERT_TRUE(binary_outcome.ok) << binary_outcome.error;
+  ASSERT_EQ(binary_outcome.records.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto& record = binary_outcome.records[i];
+    const auto& full = json_outcome.results[i];
+    EXPECT_EQ(record.ok, full.ok) << i;
+    EXPECT_EQ(record.all_informed, full.all_informed) << i;
+    EXPECT_EQ(record.labeling_found, full.labeling_found) << i;
+    EXPECT_EQ(record.rounds, full.rounds) << i;
+    EXPECT_EQ(record.completion_round, full.completion_round) << i;
+    EXPECT_EQ(record.ack_round, full.ack_round) << i;
+    EXPECT_EQ(record.tx_total, full.tx_total) << i;
+    EXPECT_EQ(record.polls, full.polls) << i;
+  }
+  EXPECT_EQ(binary_outcome.done.get("count").as_uint(), specs.size());
+}
+
+// Every rejection carries a stable machine-readable code.
+TEST(Serve, ErrorFramesCarryStableCodes) {
+  par::ThreadPool pool(2);
+  runtime::SweepRunner runner(pool);
+  Server server(runner, ServerOptions{});
+  server.start();
+  Client client;
+  ASSERT_TRUE(client.connect_tcp(server.tcp_port()));
+
+  const auto expect_code = [&](Json request, const char* code) {
+    ASSERT_TRUE(client.send(request)) << code;
+    const auto reply = client.receive();
+    ASSERT_TRUE(reply.has_value()) << code;
+    EXPECT_EQ(reply->get("type").as_string(), "error") << code;
+    EXPECT_EQ(reply->get("code").as_string(), code);
+  };
+
+  Json future(Json::Object{});
+  future.set("v", Json(std::uint64_t{99}));
+  future.set("type", Json(std::string("ping")));
+  expect_code(future, "bad_version");
+
+  Json unknown(Json::Object{});
+  unknown.set("v", Json(std::uint64_t{2}));
+  unknown.set("type", Json(std::string("frobnicate")));
+  expect_code(unknown, "bad_request");
+
+  Json malformed(Json::Object{});
+  malformed.set("v", Json(std::uint64_t{2}));
+  malformed.set("type", Json(std::string("batch")));
+  malformed.set("specs", Json(std::string("not an array")));
+  expect_code(malformed, "bad_request");
+
+  runtime::ExperimentSpec bad;
+  bad.scheme = "no-such-scheme";
+  bad.graph.generator = "path:6";
+  Json batch(Json::Object{});
+  batch.set("v", Json(std::uint64_t{2}));
+  batch.set("type", Json(std::string("batch")));
+  Json specs_json(Json::Array{});
+  specs_json.push_back(runtime::wire::to_json(bad));
+  batch.set("specs", std::move(specs_json));
+  expect_code(batch, "bad_spec");
+
+  runtime::ExperimentSpec good;
+  good.scheme = "b";
+  good.graph.generator = "path:6";
+  Json bad_encoding(Json::Object{});
+  bad_encoding.set("v", Json(std::uint64_t{2}));
+  bad_encoding.set("type", Json(std::string("batch")));
+  bad_encoding.set("encoding", Json(std::string("xml")));
+  Json good_specs(Json::Array{});
+  good_specs.push_back(runtime::wire::to_json(good));
+  bad_encoding.set("specs", std::move(good_specs));
+  expect_code(bad_encoding, "bad_request");
+
+  Json compact(Json::Object{});
+  compact.set("v", Json(std::uint64_t{2}));
+  compact.set("type", Json(std::string("compact")));
+  compact.set("max_bytes", Json(std::uint64_t{0}));
+  expect_code(compact, "no_store");  // no store attached
+}
+
+// The compact control frame evicts plan-store records down to a byte
+// budget and reports the eviction in the stats frame.
+TEST(Serve, CompactControlFrameEvictsStoreRecords) {
+  const std::string dir = ::testing::TempDir() + "radiocast_serve_gc_store";
+  std::filesystem::remove_all(dir);
+  par::ThreadPool pool(2);
+  runtime::PlanStore store(dir);
+  runtime::SweepRunner runner(pool);
+  runner.attach_store(&store);
+  Server server(runner, ServerOptions{});
+  server.start();
+  Client client;
+  ASSERT_TRUE(client.connect_tcp(server.tcp_port()));
+
+  ASSERT_TRUE(client.run_batch(demo_specs()).ok);
+  ASSERT_GT(store.entry_count(), 0u);
+
+  Json compact(Json::Object{});
+  compact.set("v", Json(runtime::wire::kWireVersion));
+  compact.set("type", Json(std::string("compact")));
+  compact.set("max_bytes", Json(std::uint64_t{0}));
+  ASSERT_TRUE(client.send(compact));
+  const auto reply = client.receive();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->get("type").as_string(), "compacted");
+  EXPECT_GT(reply->get("records_evicted").as_uint(), 0u);
+  EXPECT_EQ(reply->get("records").as_uint(), 0u);
+  EXPECT_EQ(reply->get("bytes").as_uint(), 0u);
+  EXPECT_EQ(store.entry_count(), 0u);
+
+  Json stats_req(Json::Object{});
+  stats_req.set("v", Json(runtime::wire::kWireVersion));
+  stats_req.set("type", Json(std::string("stats")));
+  ASSERT_TRUE(client.send(stats_req));
+  const auto stats_reply = client.receive();
+  ASSERT_TRUE(stats_reply.has_value());
+  EXPECT_GT(stats_reply->get("store").get("records_evicted").as_uint(), 0u);
+
+  // The warm PlanCache still answers the old specs (no recompute, and no
+  // re-write: store puts only happen on construction).  A batch over a
+  // graph the daemon has never seen constructs, runs, and persists again.
+  ASSERT_TRUE(client.run_batch(demo_specs()).ok);
+  EXPECT_EQ(store.entry_count(), 0u);
+  runtime::ExperimentSpec fresh;
+  fresh.scheme = "b";
+  fresh.graph.generator = "path:9";
+  ASSERT_TRUE(client.run_batch({fresh}).ok);
+  EXPECT_GT(store.entry_count(), 0u);
+}
+
+// The stats frame's namespaced shape: server / pipeline / cache (+ store
+// when attached).
+TEST(Serve, StatsFrameHasNamespacedSections) {
+  par::ThreadPool pool(2);
+  runtime::SweepRunner runner(pool);
+  Server server(runner, ServerOptions{});
+  server.start();
+  Client client;
+  ASSERT_TRUE(client.connect_tcp(server.tcp_port()));
+  ASSERT_TRUE(client.run_batch(demo_specs()).ok);
+
+  Json request(Json::Object{});
+  request.set("v", Json(runtime::wire::kWireVersion));
+  request.set("type", Json(std::string("stats")));
+  ASSERT_TRUE(client.send(request));
+  const auto reply = client.receive();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->get("server").get("graphs").as_uint(), 1u);
+  EXPECT_EQ(reply->get("server").get("batches").as_uint(), 1u);
+  const auto& pipeline = reply->get("pipeline");
+  EXPECT_TRUE(pipeline.get("enabled").as_bool());
+  EXPECT_EQ(pipeline.get("depth").as_uint(), 32u);
+  EXPECT_EQ(pipeline.get("batches").as_uint(), 1u);
+  EXPECT_EQ(pipeline.get("submissions").as_uint(), 1u);
+  EXPECT_EQ(pipeline.get("queue_depth").as_uint(), 0u);
+  EXPECT_GT(reply->get("cache").get("plan_misses").as_uint(), 0u);
 }
 
 TEST(Serve, WarmRestartThroughTheDaemonSkipsAllConstruction) {

@@ -5,10 +5,15 @@
 //    fields decode to defaults, wrong types and future versions rejected
 //    with field-naming errors;
 //  - u32-LE length-prefix framing, including split feeds and the
-//    oversized-frame poison.
+//    oversized-frame poison;
+//  - the radiocast-resbin/1 binary result encoding: canonical round trips
+//    and the strict rejection matrix (magic/version/flags/truncation/
+//    trailing bytes).
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <string>
+#include <vector>
 
 #include "graph/generators.hpp"
 #include "graph/hash.hpp"
@@ -334,6 +339,97 @@ TEST(Wire, OversizedFramePoisonsTheReader) {
   // Poison is sticky: further feeds produce nothing.
   reader.feed(runtime::wire::frame("ok"));
   EXPECT_EQ(reader.next(), std::nullopt);
+}
+
+TEST(Wire, BinaryResultsRoundTripCanonically) {
+  std::vector<runtime::wire::BinaryResult> records(3);
+  records[0].ok = true;
+  records[0].all_informed = true;
+  records[0].labeling_found = true;
+  records[0].rounds = 17;
+  records[0].completion_round = 15;
+  records[0].ack_round = 16;
+  records[0].tx_total = 123456789;
+  records[0].polls = 42;
+  records[0].wall_ns = 987654321;
+  records[1].ok = true;  // partial flags, all-zero counters
+  records[2].rounds = std::numeric_limits<std::uint64_t>::max();
+
+  const std::string bytes = runtime::wire::encode_results_binary(records);
+  // Fixed layout: 12-byte header + 49 bytes per record.
+  EXPECT_EQ(bytes.size(), 12u + records.size() * 49u);
+  // Canonical: equal inputs encode byte-identically.
+  EXPECT_EQ(runtime::wire::encode_results_binary(records), bytes);
+
+  const auto decoded = runtime::wire::decode_results_binary(bytes);
+  ASSERT_TRUE(decoded.ok) << decoded.error;
+  EXPECT_EQ(decoded.value, records);
+
+  // The empty batch round-trips too.
+  const std::string empty = runtime::wire::encode_results_binary({});
+  const auto empty_decoded = runtime::wire::decode_results_binary(empty);
+  ASSERT_TRUE(empty_decoded.ok) << empty_decoded.error;
+  EXPECT_TRUE(empty_decoded.value.empty());
+}
+
+TEST(Wire, BinaryResultsDecodeRejectsCorruption) {
+  std::vector<runtime::wire::BinaryResult> records(2);
+  records[0].ok = true;
+  records[0].rounds = 9;
+  const std::string good = runtime::wire::encode_results_binary(records);
+  ASSERT_TRUE(runtime::wire::decode_results_binary(good).ok);
+
+  // Bad magic.
+  std::string bad_magic = good;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(runtime::wire::decode_results_binary(bad_magic).ok);
+
+  // Unknown version.
+  std::string bad_version = good;
+  bad_version[4] = 2;
+  EXPECT_FALSE(runtime::wire::decode_results_binary(bad_version).ok);
+
+  // Unknown flag bits (bit 3 is reserved).
+  std::string bad_flags = good;
+  bad_flags[12] = static_cast<char>(0x09);
+  EXPECT_FALSE(runtime::wire::decode_results_binary(bad_flags).ok);
+
+  // Truncation: drop the last byte.
+  EXPECT_FALSE(runtime::wire::decode_results_binary(
+                   std::string_view(good).substr(0, good.size() - 1))
+                   .ok);
+
+  // Trailing bytes.
+  EXPECT_FALSE(runtime::wire::decode_results_binary(good + "x").ok);
+
+  // A count that claims more records than bytes remain.
+  std::string short_buffer = good.substr(0, 12);  // header only, count = 2
+  EXPECT_FALSE(runtime::wire::decode_results_binary(short_buffer).ok);
+
+  // Too short to even hold the header.
+  EXPECT_FALSE(runtime::wire::decode_results_binary("RBIN").ok);
+}
+
+TEST(Wire, BinaryResultProjectsTheFixedWidthSubset) {
+  runtime::SchemeResult full;
+  full.ok = true;
+  full.all_informed = true;
+  full.labeling_found = true;
+  full.rounds = 31;
+  full.completion_round = 29;
+  full.ack_round = 30;
+  full.tx_total = 77;
+  full.polls = 11;
+  const auto record = runtime::wire::binary_result(full, /*wall_ns=*/555);
+  EXPECT_TRUE(record.ok);
+  EXPECT_TRUE(record.all_informed);
+  EXPECT_TRUE(record.labeling_found);
+  EXPECT_EQ(record.rounds, 31u);
+  EXPECT_EQ(record.completion_round, 29u);
+  EXPECT_EQ(record.ack_round, 30u);
+  EXPECT_EQ(record.tx_total, 77u);
+  EXPECT_EQ(record.polls, 11u);
+  EXPECT_EQ(record.wall_ns, 555u);
 }
 
 }  // namespace

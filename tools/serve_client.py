@@ -5,9 +5,13 @@ Speaks the daemon's wire protocol (u32 little-endian length-prefixed JSON
 frames, see src/serve/server.hpp) from the Python standard library alone.
 Subcommands:
 
-  batch     send a spec batch and print the "done" frame's cache stats as
-            JSON on stdout; non-zero exit if any spec fails to return
+  batch     send a spec batch (or --batches N of them back-to-back, which
+            exercises the daemon's pipelined coalescing) and print the last
+            "done" frame's cache stats as JSON on stdout; non-zero exit if
+            any spec fails to return.  --encoding binary opts into the
+            compact radiocast-resbin/1 result frames.
   stats     print the server's stats frame
+  compact   GC the daemon's plan store down to --max-bytes
   shutdown  request a clean server shutdown (expects "bye")
 
 Connection: --unix PATH or --tcp PORT (loopback).  Every socket operation
@@ -79,14 +83,15 @@ class Connection:
         payload = json.dumps(message, separators=(",", ":")).encode()
         self.sock.sendall(struct.pack("<I", len(payload)) + payload)
 
-    def receive(self):
+    def receive_raw(self):
+        """The next frame's payload bytes, without JSON-parsing them."""
         while True:
             if len(self.buffer) >= 4:
                 (length,) = struct.unpack("<I", self.buffer[:4])
                 if len(self.buffer) >= 4 + length:
                     payload = self.buffer[4 : 4 + length]
                     self.buffer = self.buffer[4 + length :]
-                    return json.loads(payload)
+                    return payload
             try:
                 chunk = self.sock.recv(65536)
             except socket.timeout:
@@ -96,6 +101,54 @@ class Connection:
             if not chunk:
                 raise ConnectionError("server closed the connection")
             self.buffer += chunk
+
+    def receive(self):
+        return json.loads(self.receive_raw())
+
+
+RESBIN_MAGIC = b"RBIN"
+RESBIN_VERSION = 1
+RESBIN_RECORD = struct.Struct("<B6Q")  # flags + 6 fixed-width counters
+
+
+def decode_results_binary(payload):
+    """radiocast-resbin/1 (src/runtime/wire.hpp) -> list of result dicts.
+
+    Strict, mirroring the C++ decoder: bad magic, unknown version, unknown
+    flag bits, truncation, and trailing bytes all raise.
+    """
+    if payload[:4] != RESBIN_MAGIC:
+        raise ValueError("binary results: bad magic")
+    (version, count) = struct.unpack("<II", payload[4:12])
+    if version != RESBIN_VERSION:
+        raise ValueError(f"binary results: unsupported version {version}")
+    records = []
+    offset = 12
+    for _ in range(count):
+        if offset + RESBIN_RECORD.size > len(payload):
+            raise ValueError("binary results: truncated")
+        (flags, rounds, completion, ack, tx_total, polls, wall_ns) = (
+            RESBIN_RECORD.unpack_from(payload, offset)
+        )
+        if flags & ~0x07:
+            raise ValueError("binary results: unknown flag bits")
+        records.append(
+            {
+                "ok": bool(flags & 0x01),
+                "all_informed": bool(flags & 0x02),
+                "labeling_found": bool(flags & 0x04),
+                "rounds": rounds,
+                "completion_round": completion,
+                "ack_round": ack,
+                "tx_total": tx_total,
+                "polls": polls,
+                "wall_ns": wall_ns,
+            }
+        )
+        offset += RESBIN_RECORD.size
+    if offset != len(payload):
+        raise ValueError("binary results: trailing bytes")
+    return records
 
 
 def parse_faults(text):
@@ -164,36 +217,88 @@ def make_specs(args):
     return specs
 
 
-def cmd_batch(conn, args):
-    specs = make_specs(args)
-    conn.send(
-        {"v": WIRE_VERSION, "type": "batch", "id": args.id, "specs": specs}
-    )
+def report_error(frame, args):
+    """Prints a server error frame; 0 iff --expect-error matches it."""
+    code = frame.get("code", "")
+    print(f"server error [{code}]: {frame.get('error')}", file=sys.stderr)
+    if args.expect_error:
+        haystack = f"{code} {frame.get('error', '')}"
+        if args.expect_error in haystack:
+            return 0
+    return 1
+
+
+def read_batch_response(conn, batch_id, count, args):
+    """Collects one batch's response frames; (exit code, done frame)."""
+    if args.encoding == "binary":
+        frame = conn.receive()
+        kind = frame.get("type")
+        if kind == "error":
+            return report_error(frame, args), None
+        if kind != "results" or frame.get("encoding") != "binary":
+            print(f"unexpected frame: {frame}", file=sys.stderr)
+            return 1, None
+        if frame.get("id") != batch_id or frame.get("count") != count:
+            print(f"announce mismatch: {frame}", file=sys.stderr)
+            return 1, None
+        records = decode_results_binary(conn.receive_raw())
+        if len(records) != count:
+            print(f"short batch: {len(records)}/{count}", file=sys.stderr)
+            return 1, None
+        done = conn.receive()
+        if done.get("type") != "done" or done.get("count") != count:
+            print(f"unexpected frame: {done}", file=sys.stderr)
+            return 1, None
+        return 0, done
     results = 0
     while True:
         frame = conn.receive()
         kind = frame.get("type")
         if kind == "result":
-            if frame.get("index") != results:
+            if frame.get("id") != batch_id or frame.get("index") != results:
                 print(f"out-of-order result: {frame}", file=sys.stderr)
-                return 1
+                return 1, None
             results += 1
         elif kind == "done":
-            if frame.get("count") != len(specs) or results != len(specs):
-                print(f"short batch: {results}/{len(specs)}", file=sys.stderr)
-                return 1
-            print(json.dumps(frame.get("stats", {}), sort_keys=True))
-            return 0
+            if frame.get("count") != count or results != count:
+                print(f"short batch: {results}/{count}", file=sys.stderr)
+                return 1, None
+            return 0, frame
         elif kind == "error":
-            print(f"server error: {frame.get('error')}", file=sys.stderr)
-            if args.expect_error:
-                needle = args.expect_error
-                if needle in str(frame.get("error", "")):
-                    return 0
-            return 1
+            return report_error(frame, args), None
         else:
             print(f"unexpected frame: {frame}", file=sys.stderr)
-            return 1
+            return 1, None
+
+
+def cmd_batch(conn, args):
+    specs = make_specs(args)
+    # Send every batch before reading any response: with --batches > 1 the
+    # requests queue at the daemon while earlier batches run, which is
+    # exactly the pipelined-coalescing regime the executor exists for.
+    for b in range(args.batches):
+        request = {
+            "v": WIRE_VERSION,
+            "type": "batch",
+            "id": args.id + b,
+            "specs": specs,
+        }
+        if args.encoding != "json":
+            request["encoding"] = args.encoding
+        conn.send(request)
+    done = None
+    for b in range(args.batches):
+        rc, done = read_batch_response(conn, args.id + b, len(specs), args)
+        if rc != 0:
+            return rc
+        if done is None:
+            return 0  # the expected error arrived; nothing more to read
+    if args.expect_error:
+        print(f"expected error '{args.expect_error}', batch succeeded",
+              file=sys.stderr)
+        return 1
+    print(json.dumps(done.get("stats", {}), sort_keys=True))
+    return 0
 
 
 def cmd_stats(conn, _args):
@@ -201,6 +306,24 @@ def cmd_stats(conn, _args):
     frame = conn.receive()
     if frame.get("type") != "stats":
         print(f"unexpected frame: {frame}", file=sys.stderr)
+        return 1
+    print(json.dumps(frame, sort_keys=True))
+    return 0
+
+
+def cmd_compact(conn, args):
+    conn.send(
+        {"v": WIRE_VERSION, "type": "compact", "max_bytes": args.max_bytes}
+    )
+    frame = conn.receive()
+    if frame.get("type") == "error":
+        return report_error(frame, args)
+    if frame.get("type") != "compacted":
+        print(f"unexpected frame: {frame}", file=sys.stderr)
+        return 1
+    if args.expect_error:
+        print(f"expected error '{args.expect_error}', compact succeeded",
+              file=sys.stderr)
         return 1
     print(json.dumps(frame, sort_keys=True))
     return 0
@@ -274,11 +397,39 @@ def main():
     batch.add_argument(
         "--expect-error",
         default=None,
-        help="succeed iff the server rejects the batch with this substring",
+        help="succeed iff the server rejects the batch with this substring "
+        "(matched against the error code and message)",
     )
     batch.add_argument("--id", type=int, default=1, help="batch id")
+    batch.add_argument(
+        "--batches",
+        type=int,
+        default=1,
+        help="send this many copies of the batch back-to-back before "
+        "reading responses (exercises pipelined coalescing)",
+    )
+    batch.add_argument(
+        "--encoding",
+        choices=["json", "binary"],
+        default="json",
+        help="result encoding (binary = radiocast-resbin/1 frames)",
+    )
 
     sub.add_parser("stats", help="print server stats")
+    compact = sub.add_parser("compact", help="GC the daemon's plan store")
+    compact.add_argument(
+        "--max-bytes",
+        type=int,
+        required=True,
+        help="evict least-recently-read records until at most this many "
+        "bytes remain",
+    )
+    compact.add_argument(
+        "--expect-error",
+        default=None,
+        help="succeed iff the server rejects the compact with this "
+        "substring",
+    )
     sub.add_parser("shutdown", help="stop the server")
 
     args = parser.parse_args()
@@ -294,6 +445,7 @@ def main():
     handler = {
         "batch": cmd_batch,
         "stats": cmd_stats,
+        "compact": cmd_compact,
         "shutdown": cmd_shutdown,
     }[args.command]
     return handler(conn, args)
