@@ -132,6 +132,23 @@ Options parse_args(int argc, const char* const* argv) {
         opt.error = "--repeat must be >= 1";
         return opt;
       }
+    } else if (arg == "--isa") {
+      if (!need_value(i)) {
+        opt.error = "--isa requires a value (auto, scalar, avx2, avx512)";
+        return opt;
+      }
+      const auto isa = sim::simd::parse_isa(argv[++i]);
+      if (!isa) {
+        opt.error = std::string("unknown --isa '") + argv[i] +
+                    "' (expected auto, scalar, avx2, or avx512)";
+        return opt;
+      }
+      if (!sim::simd::available(*isa)) {
+        opt.error = std::string("--isa ") + argv[i] +
+                    " is not available on this host";
+        return opt;
+      }
+      opt.isa = *isa;
     } else if (arg == "--sizes") {
       if (!need_value(i)) {
         opt.error = "--sizes requires a comma-separated list";
@@ -240,6 +257,8 @@ std::string to_json(const std::vector<ScenarioResult>& results,
      << "\"filter\":\"" << json_escape(opt.filter) << "\","
      << "\"backend\":\"" << sim::to_string(opt.exec.backend) << "\","
      << "\"dispatch\":\"" << sim::to_string(opt.exec.dispatch) << "\","
+     << "\"isa\":\"" << sim::simd::to_string(sim::simd::active_isa())
+     << "\","
      << "\"sizes\":[";
   for (std::size_t i = 0; i < opt.sizes.size(); ++i) {
     if (i) os << ",";
@@ -288,6 +307,10 @@ constexpr const char* kUsage =
     "  --dispatch D      protocol-dispatch strategy for engine-driving\n"
     "                    scenarios: auto (active-set iff protocols hint),\n"
     "                    scan, or active (default auto)\n"
+    "  --isa I           force the bit-kernel instruction set: auto (best\n"
+    "                    available, or RADIOCAST_FORCE_ISA when set), scalar,\n"
+    "                    avx2, or avx512; errors if the host lacks I\n"
+    "                    (default auto)\n"
     "  --json PATH       write the radiocast-bench/1 JSON document to PATH\n";
 
 }  // namespace
@@ -302,6 +325,10 @@ int run_main(int argc, const char* const* argv, std::ostream& out) {
     out << kUsage;
     return 0;
   }
+  // Pin the kernel dispatch before any engine is constructed (backends
+  // capture the kernel table once).  kAuto clears the programmatic force, so
+  // RADIOCAST_FORCE_ISA / best-available still apply.
+  sim::simd::force_isa(opt.isa);
   if (opt.list) {
     TextTable table({"scenario", "tags", "description"});
     for (const auto& s : registry()) {

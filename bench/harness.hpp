@@ -22,6 +22,7 @@
 #include "runtime/config.hpp"
 #include "sim/backend.hpp"
 #include "sim/dispatch.hpp"
+#include "sim/simd.hpp"
 
 namespace radiocast::bench {
 
@@ -135,6 +136,7 @@ struct Options {
   std::vector<std::uint32_t> sizes = {16, 64, 256};  ///< --sizes
   std::string json_path;                     ///< --json (empty = no JSON)
   runtime::ExecutionConfig exec;             ///< --backend/--dispatch/--threads
+  sim::simd::Isa isa = sim::simd::Isa::kAuto;  ///< --isa (kernel ISA force)
   bool list = false;                         ///< --list
   bool help = false;                         ///< --help
   std::string error;                         ///< non-empty on a parse error

@@ -109,10 +109,21 @@ std::uint64_t ArbProtocol::next_active_round() const {
     next = std::min(next, std::max(phase2_start_local_ + T_ + 1, round_ + 1));
   }
   // sG countdown: the scheduled ack round, once computed.  It is computed at
-  // the poll following the "ready" reception (which the engine's re-arm
-  // guarantees) and always lies at least one round beyond that poll.
+  // the poll following the "ready" reception (which the post-hear hint
+  // covers via the phase-2 just-informed wake) and always lies at least one
+  // round beyond that poll.
   if (source_ack_round_ != 0 && round_ < source_ack_round_) {
     next = std::min(next, source_ack_round_);
+  }
+  // Per-phase ack forwarding: inert post-poll (an ack heard in round r is
+  // delivered after every poll of round r), but queried right after the
+  // on_hear it fires the forwarding wake — the reason the blanket delivery
+  // re-arm used to be load-bearing for B_arb.
+  if (ack1_.local == round_ && phase1_.has_transmit_stamp(ack1_.stamp)) {
+    next = std::min(next, round_ + 1);
+  }
+  if (ack2_.local == round_ && phase2_.has_transmit_stamp(ack2_.stamp)) {
+    next = std::min(next, round_ + 1);
   }
   return next;
 }

@@ -43,9 +43,13 @@ class ArbProtocol final : public sim::Protocol {
   /// Activity contract: the three phase cores plus the two timers B_arb
   /// runs off its own clock — the coordinator's phase-3 start (T + 1 rounds
   /// after "ready" went out, the r = source corner case) and the actual
-  /// source's scheduled ack countdown.  Ack forwarding and phase-origin
-  /// arming are reception-driven, so the engine's re-arm covers them.
+  /// source's scheduled ack countdown.  Reception-driven rules (per-phase
+  /// ack forwarding, phase-origin arming, the stay triggers) are all
+  /// hint-covered at the moment the arming reception is delivered, so B_arb
+  /// opts into the engine's post-hear re-query — dense receptions stop
+  /// buying a blanket next-round poll for every listener.
   std::uint64_t next_active_round() const override;
+  bool wants_post_hear_hint() const override { return true; }
   void skip_rounds(std::uint64_t rounds) override { round_ += rounds; }
 
   /// Observers (harness only).

@@ -60,9 +60,16 @@ std::uint64_t BroadcastProtocol::next_active_round() const {
       next = std::min(next, first_data_ + 2);
     }
   }
-  // Lines 17-19 (stay-triggered retransmission) require hearing "stay" one
-  // round before firing; that reception re-arms this node for the fire
-  // round, so no wake is scheduled for it here.
+  // Lines 17-19 (stay-triggered retransmission): armed iff "stay" arrived
+  // the round after our last µ transmission; fires one round later.  At a
+  // post-poll query this guard is never live (stay_heard_ <= round_ - 1 <
+  // last_data_tx_ + 1 would be required with last_data_tx_ <= round_), but
+  // the post-hear hint queries right after the on_hear that records the
+  // stay, where it is the rule that keeps the node awake.
+  if (last_data_tx_ != 0 && stay_heard_ == last_data_tx_ + 1 &&
+      round_ < last_data_tx_ + 2) {
+    next = std::min(next, last_data_tx_ + 2);
+  }
   return next;
 }
 
@@ -150,14 +157,11 @@ void StampedCore::hear(const Message& m, std::uint64_t r) {
 }
 
 std::uint64_t StampedCore::next_core_active(std::uint64_t r) const {
-  if (origin_) {
-    // The one-off initial transmission fires at the next poll; afterwards
-    // the origin only retransmits on a stay trigger (reception-re-armed).
-    return origin_started_ ? sim::Protocol::kIdle : r + 1;
-  }
-  if (!payload_) return sim::Protocol::kIdle;
   std::uint64_t next = sim::Protocol::kIdle;
-  if (first_data_local_ != 0) {
+  if (origin_) {
+    // The one-off initial transmission fires at the next poll.
+    if (!origin_started_) return r + 1;
+  } else if (payload_ && first_data_local_ != 0) {
     // Wake for the just-informed round unconditionally: x2 fires there, and
     // the owners hang their own just-informed logic (z's ack initiation)
     // off the same round.
@@ -167,6 +171,16 @@ std::uint64_t StampedCore::next_core_active(std::uint64_t r) const {
     if (label_.x1 && r < first_data_local_ + 2) {
       next = std::min(next, first_data_local_ + 2);
     }
+  }
+  // Stay-triggered retransmission (lines 23-27, origins included): armed iff
+  // "stay" arrived the round after this node's last data transmission.  Post-
+  // poll this guard is never live (stay_heard_local_ < last_data_tx_local_ +
+  // 1 there); it exists for the post-hear hint, queried right after the
+  // on_hear that records the stay.
+  if (payload_ && last_data_tx_local_ != 0 &&
+      stay_heard_local_ == last_data_tx_local_ + 1 &&
+      r < last_data_tx_local_ + 2) {
+    next = std::min(next, last_data_tx_local_ + 2);
   }
   return next;
 }

@@ -5,8 +5,9 @@
 /// These are per-node state machines over the locality-enforcing
 /// sim::Protocol interface.  Every decision uses only the node's label and
 /// relative local timing ("first received µ one/two rounds ago"), exactly as
-/// the paper requires — no global clock is read anywhere; B_ack *reconstructs*
-/// global time from the O(log n)-bit stamps carried by messages.
+/// the paper requires — no global clock is read anywhere; B_ack
+/// *reconstructs* global time from the O(log n)-bit stamps carried by
+/// messages.
 #pragma once
 
 #include <algorithm>
@@ -31,9 +32,13 @@ class BroadcastProtocol final : public sim::Protocol {
 
   /// Activity contract: B's stage arithmetic fixes the only rounds a node
   /// can act absent receptions — the source's first round, and the x2/x1
-  /// rounds one/two rounds after the first µ reception.  Everything else
-  /// (the stay-triggered retransmission included) is re-armed by hearing.
+  /// rounds one/two rounds after the first µ reception.  The hint is also
+  /// accurate immediately after any reception (the stay-triggered
+  /// retransmission is covered by the stay_heard_ branch), so B opts into
+  /// the engine's post-hear re-query instead of the blanket next-round
+  /// re-arm.
   std::uint64_t next_active_round() const override;
+  bool wants_post_hear_hint() const override { return true; }
   void skip_rounds(std::uint64_t rounds) override { round_ += rounds; }
 
   /// Observer: local round of the first µ reception (0 = source / never).
@@ -86,8 +91,10 @@ class StampedCore {
   /// reception.  An un-started origin fires at its next poll; an informed
   /// non-origin can act only in the just-informed round (x2 / the owners'
   /// ack initiation) and the x1 round right after; the stay-triggered
-  /// retransmission needs a "stay" reception one round earlier, which
-  /// re-arms the node anyway.  `sim::Protocol::kIdle` when no rule applies.
+  /// retransmission is covered by the stay_heard_local_ branch, which is
+  /// inert at post-poll queries but makes the hint accurate immediately
+  /// after the "stay" reception (the owners' post-hear-hint opt-in relies
+  /// on it).  `sim::Protocol::kIdle` when no rule applies.
   std::uint64_t next_core_active(std::uint64_t r) const;
 
   bool informed() const noexcept { return payload_.has_value(); }
@@ -148,17 +155,26 @@ class AckBroadcastProtocol final : public sim::Protocol {
     return core_.informed() || core_.is_origin();
   }
 
-  /// Ack forwarding needs an ack reception one round earlier (re-armed by
-  /// the engine), so the core hint covers every remaining rule.  Resilient
-  /// informed nodes retry on their slot schedule until the source is
-  /// acknowledged, so they stay always-active.
+  /// The core hint covers the stamped-broadcast rules; the ack-forwarding
+  /// branch below is inert post-poll but fires when queried right after an
+  /// ack reception, making the hint event-accurate — so B_ack opts into the
+  /// post-hear re-query.  Resilient informed nodes retry on their slot
+  /// schedule until the source is acknowledged, so they stay always-active.
   std::uint64_t next_active_round() const override {
     if (resilient_ && informed() &&
         !(core_.is_origin() && ack_received_round_ != 0)) {
       return kAlwaysActive;
     }
-    return core_.next_core_active(round_);
+    std::uint64_t next = core_.next_core_active(round_);
+    // Lines 28-31: an ack heard *this* round is forwarded next round iff we
+    // transmitted µ in the stamped round.
+    if (ack_heard_local_ == round_ &&
+        core_.has_transmit_stamp(ack_heard_stamp_)) {
+      next = std::min(next, round_ + 1);
+    }
+    return next;
   }
+  bool wants_post_hear_hint() const override { return true; }
   void skip_rounds(std::uint64_t rounds) override { round_ += rounds; }
 
   /// Observer: local round at which the source first received an "ack"
@@ -204,12 +220,21 @@ class CommonRoundProtocol final : public sim::Protocol {
     return phase1_.informed() || phase1_.is_origin();
   }
 
-  /// Both phases are stamped-core state machines; ack forwarding and the
-  /// phase-2 origin arming are reception-driven (the engine re-arms).
+  /// Both phases are stamped-core state machines.  Reception-driven rules
+  /// are hint-covered at the moment they arm — phase-1 ack forwarding by the
+  /// ack branch below, the phase-2 origin by `make_origin` flipping
+  /// `next_core_active` to "next poll" inside the same `on_hear` — so the
+  /// protocol opts into the post-hear re-query.
   std::uint64_t next_active_round() const override {
-    return std::min(phase1_.next_core_active(round_),
-                    phase2_.next_core_active(round_));
+    std::uint64_t next = std::min(phase1_.next_core_active(round_),
+                                  phase2_.next_core_active(round_));
+    if (ack_heard_local_ == round_ &&
+        phase1_.has_transmit_stamp(ack_heard_stamp_)) {
+      next = std::min(next, round_ + 1);
+    }
+    return next;
   }
+  bool wants_post_hear_hint() const override { return true; }
   void skip_rounds(std::uint64_t rounds) override { round_ += rounds; }
 
   /// Observer: the common round 2m once known to this node (0 = not yet).

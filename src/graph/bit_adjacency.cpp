@@ -3,8 +3,9 @@
 namespace radiocast::graph {
 
 BitAdjacency::BitAdjacency(const Graph& g)
-    : n_(g.node_count()), words_(words_for(g.node_count())) {
-  bits_.assign(static_cast<std::size_t>(n_) * words_, 0);
+    : n_(g.node_count()),
+      words_(words_for(g.node_count())),
+      bits_(static_cast<std::size_t>(g.node_count()) * words_) {
   for (NodeId v = 0; v < n_; ++v) {
     const auto base = static_cast<std::size_t>(v) * words_;
     for (const NodeId w : g.neighbors(v)) {

@@ -5,13 +5,17 @@
 /// words, so "which listeners have a transmitting neighbour" becomes word-wide
 /// OR/AND over rows instead of a per-edge scalar walk.  The n^2/8-byte cost
 /// only pays off on dense graphs; `sim::choose_backend` owns that decision.
+/// The bitmap lives in a `support::HugeWords` buffer: multi-megabyte bitmaps
+/// get 2 MiB transparent-huge-page backing (one TLB entry per 2 MiB of row
+/// walk instead of 512), smaller ones a plain aligned allocation — contents
+/// are identical either way.
 #pragma once
 
 #include <cstdint>
 #include <span>
-#include <vector>
 
 #include "graph/graph.hpp"
+#include "support/hugepage.hpp"
 
 namespace radiocast::graph {
 
@@ -44,6 +48,9 @@ class BitAdjacency {
     return bits_.size() * sizeof(std::uint64_t);
   }
 
+  /// True iff the bitmap sits in a huge-page-advised mapping (diagnostics).
+  bool huge_pages() const noexcept { return bits_.huge(); }
+
   /// Words needed to hold one n-bit row.
   static std::size_t words_for(std::uint32_t n) noexcept {
     return (static_cast<std::size_t>(n) + 63) / 64;
@@ -52,7 +59,7 @@ class BitAdjacency {
  private:
   std::uint32_t n_ = 0;
   std::size_t words_ = 0;
-  std::vector<std::uint64_t> bits_;
+  support::HugeWords bits_;
 };
 
 }  // namespace radiocast::graph

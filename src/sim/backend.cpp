@@ -81,7 +81,8 @@ void ScalarEngine::resolve(std::span<const NodeId> transmitters,
 // ---------------------------------------------------------------------------
 // BitEngine
 
-BitEngine::BitEngine(const graph::Graph& g) : adj_(g) {
+BitEngine::BitEngine(const graph::Graph& g)
+    : kernels_(&simd::active_kernels()), adj_(g) {
   words_ = adj_.words_per_row();
   once_.assign(words_, 0);
   twice_.assign(words_, 0);
@@ -99,31 +100,21 @@ void BitEngine::resolve(std::span<const NodeId> transmitters,
   // once = ">= 1 transmitting neighbour", twice = ">= 2".  The first row
   // initializes the engine-owned accumulators directly, and tx_mask_ is
   // all-zero on entry (restored transmitter-by-transmitter on exit), so a
-  // round pays no separate O(n)-bit zeroing passes.
-  {
-    const auto row = adj_.row(transmitters[0]);
-    for (std::size_t w = 0; w < words_; ++w) {
-      once_[w] = row[w];
-      twice_[w] = 0;
-    }
-  }
+  // round pays no separate O(n)-bit zeroing passes.  The word loops are the
+  // dispatched simd kernels; bit extraction below stays scalar (it is
+  // bit-scan bound, not word bound).
+  kernels_->accumulate_first(once_.data(), twice_.data(),
+                             adj_.row(transmitters[0]).data(), words_);
   for (std::size_t i = 1; i < transmitters.size(); ++i) {
-    const auto row = adj_.row(transmitters[i]);
-    for (std::size_t w = 0; w < words_; ++w) {
-      const std::uint64_t r = row[w];
-      twice_[w] |= once_[w] & r;
-      once_[w] |= r;
-    }
+    kernels_->accumulate(once_.data(), twice_.data(),
+                         adj_.row(transmitters[i]).data(), words_);
   }
   for (const NodeId t : transmitters) {
     tx_mask_[t >> 6] |= std::uint64_t{1} << (t & 63);
   }
 
-  std::uint64_t any_heard = 0;
-  for (std::size_t w = 0; w < words_; ++w) {
-    heard_[w] = once_[w] & ~twice_[w] & ~tx_mask_[w];
-    any_heard |= heard_[w];
-  }
+  const std::uint64_t any_heard = kernels_->heard_sweep(
+      heard_.data(), once_.data(), twice_.data(), tx_mask_.data(), words_);
 
   if (any_heard != 0) {
     // Attribute each heard listener to its unique transmitter.  Every heard
@@ -179,7 +170,8 @@ constexpr std::size_t kLineWords = 8;
 }  // namespace
 
 ShardedBitEngine::ShardedBitEngine(const graph::Graph& g, std::size_t threads)
-    : adj_(g),
+    : kernels_(&simd::active_kernels()),
+      adj_(g),
       words_(adj_.words_per_row()),
       pool_(resolve_thread_count(threads)) {
   once_.assign(words_, 0);
@@ -208,29 +200,21 @@ void ShardedBitEngine::resolve_shard(Shard& shard,
                                      bool want_collisions) {
   const std::size_t w0 = shard.begin_word;
   const std::size_t w1 = shard.end_word;
+  const std::size_t width = w1 - w0;
   shard.local.clear();
 
-  {
-    const auto row = adj_.row(transmitters[0]);
-    for (std::size_t w = w0; w < w1; ++w) {
-      once_[w] = row[w];
-      twice_[w] = 0;
-    }
-  }
+  // Same kernel entry points as the dense BitEngine, offset to this shard's
+  // word window (the kernels take arbitrary 8-byte-aligned sub-ranges).
+  kernels_->accumulate_first(once_.data() + w0, twice_.data() + w0,
+                             adj_.row(transmitters[0]).data() + w0, width);
   for (std::size_t i = 1; i < transmitters.size(); ++i) {
-    const auto row = adj_.row(transmitters[i]);
-    for (std::size_t w = w0; w < w1; ++w) {
-      const std::uint64_t r = row[w];
-      twice_[w] |= once_[w] & r;
-      once_[w] |= r;
-    }
+    kernels_->accumulate(once_.data() + w0, twice_.data() + w0,
+                         adj_.row(transmitters[i]).data() + w0, width);
   }
 
-  std::uint64_t any_heard = 0;
-  for (std::size_t w = w0; w < w1; ++w) {
-    heard_[w] = once_[w] & ~twice_[w] & ~tx_mask_[w];
-    any_heard |= heard_[w];
-  }
+  const std::uint64_t any_heard =
+      kernels_->heard_sweep(heard_.data() + w0, once_.data() + w0,
+                            twice_.data() + w0, tx_mask_.data() + w0, width);
 
   if (any_heard != 0) {
     for (std::uint32_t i = 0; i < transmitters.size(); ++i) {
@@ -310,7 +294,8 @@ void ShardedBitEngine::resolve(std::span<const NodeId> transmitters,
 // HybridEngine
 
 HybridEngine::HybridEngine(const graph::Graph& g, std::size_t threads)
-    : graph_(g),
+    : kernels_(&simd::active_kernels()),
+      graph_(g),
       words_(graph::BitAdjacency::words_for(g.node_count())),
       pool_(resolve_thread_count(threads)) {
   const auto n = g.node_count();
@@ -341,6 +326,8 @@ HybridEngine::HybridEngine(const graph::Graph& g, std::size_t threads)
   // Dense (row, shard) slices in deterministic (row asc, shard asc) greedy
   // order under the global budget: a slice pays once the row's neighbour
   // count inside the shard clears kHybridDenseNeighborsPerWord per word.
+  // Admission pass: record ids and arena offsets only, so all slices land
+  // packed in one huge-page-advised arena instead of per-shard vectors.
   std::size_t budget_words = kHybridDenseBudgetBytes / sizeof(std::uint64_t);
   for (NodeId v = 0; v < n && budget_words > 0; ++v) {
     const auto nb = g.neighbors(v);
@@ -353,16 +340,26 @@ HybridEngine::HybridEngine(const graph::Graph& g, std::size_t threads)
       if (count >= kHybridDenseNeighborsPerWord * width &&
           width <= budget_words) {
         s.dense_ids.push_back(v);
-        s.dense_offsets.push_back(s.dense_bits.size());
-        s.dense_bits.resize(s.dense_bits.size() + width, 0);
-        auto* slice = s.dense_bits.data() + s.dense_offsets.back();
-        for (auto p = it; p != hi; ++p) {
-          slice[(*p >> 6) - s.begin_word] |= std::uint64_t{1} << (*p & 63);
-        }
+        s.dense_offsets.push_back(dense_words_);
         budget_words -= width;
         dense_words_ += width;
       }
       it = hi;
+    }
+  }
+
+  // Fill pass: one zero-initialized arena allocation, each admitted slice
+  // rebuilt from the row's CSR range inside its shard's node window.
+  dense_arena_ = support::HugeWords(dense_words_);
+  for (auto& s : shards_) {
+    for (std::size_t i = 0; i < s.dense_ids.size(); ++i) {
+      const auto nb = g.neighbors(s.dense_ids[i]);
+      const auto lo = std::lower_bound(nb.begin(), nb.end(), s.begin_node);
+      const auto hi = std::lower_bound(lo, nb.end(), s.end_node);
+      auto* slice = dense_arena_.data() + s.dense_offsets[i];
+      for (auto p = lo; p != hi; ++p) {
+        slice[(*p >> 6) - s.begin_word] |= std::uint64_t{1} << (*p & 63);
+      }
     }
   }
 }
@@ -378,6 +375,10 @@ void HybridEngine::resolve_shard(Shard& shard,
   // Accumulate.  Saturating per-bit semantics match the once/twice word
   // fold exactly, so mixing dense slices and scalar scatter is
   // order-independent: once = ">= 1 transmitting neighbour", twice = ">= 2".
+  // Dense slices go through the same simd kernel entry points as the
+  // dense/sharded backends (the accumulators are all-zero between rounds,
+  // so the generic fold doubles as the first-row case); per-bit scatter
+  // stays scalar — it is bit-addressed, not word-addressed.
   for (std::uint32_t i = 0; i < transmitters.size(); ++i) {
     const NodeId t = transmitters[i];
     if (!shard.dense_ids.empty()) {
@@ -385,13 +386,11 @@ void HybridEngine::resolve_shard(Shard& shard,
                                        shard.dense_ids.end(), t);
       if (it != shard.dense_ids.end() && *it == t) {
         const auto* row =
-            shard.dense_bits.data() +
+            dense_arena_.data() +
             shard.dense_offsets[it - shard.dense_ids.begin()];
-        for (std::size_t w = shard.begin_word; w < shard.end_word; ++w) {
-          const std::uint64_t r = row[w - shard.begin_word];
-          twice_[w] |= once_[w] & r;
-          once_[w] |= r;
-        }
+        kernels_->accumulate(once_.data() + shard.begin_word,
+                             twice_.data() + shard.begin_word, row,
+                             shard.end_word - shard.begin_word);
         shard.round_dense.emplace_back(i, row);
         shard.whole_range = true;
         continue;
@@ -430,9 +429,17 @@ void HybridEngine::resolve_shard(Shard& shard,
       for (const std::size_t w : shard.touched) body(w);
     }
   };
-  for_each_word([&](std::size_t w) {
-    heard_[w] = once_[w] & ~twice_[w] & ~tx_mask_[w];
-  });
+  if (shard.whole_range) {
+    kernels_->heard_sweep(heard_.data() + shard.begin_word,
+                          once_.data() + shard.begin_word,
+                          twice_.data() + shard.begin_word,
+                          tx_mask_.data() + shard.begin_word,
+                          shard.end_word - shard.begin_word);
+  } else {
+    for (const std::size_t w : shard.touched) {
+      heard_[w] = once_[w] & ~twice_[w] & ~tx_mask_[w];
+    }
+  }
   for (const auto& [index, row] : shard.round_dense) {
     for (std::size_t w = shard.begin_word; w < shard.end_word; ++w) {
       std::uint64_t hits = row[w - shard.begin_word] & heard_[w];

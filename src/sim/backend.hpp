@@ -42,6 +42,8 @@
 #include "graph/bit_adjacency.hpp"
 #include "graph/graph.hpp"
 #include "parallel/thread_pool.hpp"
+#include "sim/simd.hpp"
+#include "support/hugepage.hpp"
 
 namespace radiocast::sim {
 
@@ -127,7 +129,9 @@ class ScalarEngine final : public EngineBackend {
 /// accumulators are engine-owned scratch initialized by the first
 /// transmitter row each round (no per-round O(n)-bit zeroing passes), and
 /// `tx_mask_` is kept all-zero between rounds via transmitter-indexed
-/// clearing.
+/// clearing.  The word loops run through the `sim::simd` kernel set captured
+/// at construction (`simd::active_kernels()`): AVX-512/AVX2 where the CPU
+/// has them, the plain-word loop otherwise — bit-exact either way.
 class BitEngine final : public EngineBackend {
  public:
   explicit BitEngine(const graph::Graph& g);
@@ -138,8 +142,11 @@ class BitEngine final : public EngineBackend {
                RoundResolution& out) override;
 
   const graph::BitAdjacency& adjacency() const noexcept { return adj_; }
+  /// The kernel ISA this backend resolves with (fixed at construction).
+  simd::Isa isa() const noexcept { return kernels_->isa; }
 
  private:
+  const simd::Kernels* kernels_ = nullptr;
   graph::BitAdjacency adj_;
   std::size_t words_ = 0;
   std::vector<std::uint64_t> once_;     ///< >= 1 transmitting neighbour
@@ -173,6 +180,8 @@ class ShardedBitEngine final : public EngineBackend {
   std::size_t thread_count() const noexcept { return pool_.thread_count(); }
   std::size_t shard_count() const noexcept { return shards_.size(); }
   const graph::BitAdjacency& adjacency() const noexcept { return adj_; }
+  /// The kernel ISA this backend resolves with (fixed at construction).
+  simd::Isa isa() const noexcept { return kernels_->isa; }
 
  private:
   struct Shard {
@@ -184,6 +193,7 @@ class ShardedBitEngine final : public EngineBackend {
   void resolve_shard(Shard& shard, std::span<const NodeId> transmitters,
                      bool want_collisions);
 
+  const simd::Kernels* kernels_ = nullptr;
   graph::BitAdjacency adj_;
   std::size_t words_ = 0;
   par::ThreadPool pool_;
@@ -221,6 +231,10 @@ class HybridEngine final : public EngineBackend {
   std::size_t shard_count() const noexcept { return shards_.size(); }
   /// Total words of precomputed dense row slices (diagnostics/tests).
   std::size_t dense_slice_words() const noexcept { return dense_words_; }
+  /// True iff the slice arena is huge-page-advised (diagnostics/tests).
+  bool dense_arena_huge() const noexcept { return dense_arena_.huge(); }
+  /// The kernel ISA this backend resolves with (fixed at construction).
+  simd::Isa isa() const noexcept { return kernels_->isa; }
 
  private:
   struct Shard {
@@ -229,10 +243,9 @@ class HybridEngine final : public EngineBackend {
     NodeId begin_node = 0;
     NodeId end_node = 0;
     /// Rows with a precomputed dense slice over this shard (sorted) and the
-    /// slice's word offset into `dense_bits`.
+    /// slice's word offset into the shared `dense_arena_`.
     std::vector<NodeId> dense_ids;
     std::vector<std::size_t> dense_offsets;
-    std::vector<std::uint64_t> dense_bits;
     /// Round scratch, reused: touched accumulator words (ascending after
     /// sort), dense rows folded in this round, and the local result.
     std::vector<std::size_t> touched;
@@ -244,11 +257,15 @@ class HybridEngine final : public EngineBackend {
   void resolve_shard(Shard& shard, std::span<const NodeId> transmitters,
                      bool want_collisions);
 
+  const simd::Kernels* kernels_ = nullptr;
   const graph::Graph& graph_;
   std::size_t words_ = 0;
   std::size_t dense_words_ = 0;
   par::ThreadPool pool_;
   std::vector<Shard> shards_;
+  /// All precomputed dense (row, shard) slices, packed in admission order in
+  /// one huge-page-advised arena (shards index it via `dense_offsets`).
+  support::HugeWords dense_arena_;
   std::vector<std::uint64_t> once_;
   std::vector<std::uint64_t> twice_;
   std::vector<std::uint64_t> tx_mask_;

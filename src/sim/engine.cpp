@@ -55,6 +55,12 @@ Engine::Engine(const graph::Graph& g,
       if (h == Protocol::kIdle) continue;
       schedule_wake(v, h == Protocol::kAlwaysActive ? 1 : h);
     }
+    if (options_.post_hear_hint) {
+      post_hear_.resize(n);
+      for (NodeId v = 0; v < n; ++v) {
+        post_hear_[v] = protocols_[v]->wants_post_hear_hint() ? 1 : 0;
+      }
+    }
   } else {
     all_nodes_.resize(n);
     std::iota(all_nodes_.begin(), all_nodes_.end(), NodeId{0});
@@ -143,6 +149,20 @@ void Engine::sync_clock(NodeId v) {
     protocols_[v]->skip_rounds(round_ - local_round_[v]);
     local_round_[v] = round_;
   }
+}
+
+void Engine::rearm_after_event(NodeId v) {
+  // Blanket rule: every reception may change what a protocol does next, so
+  // the node is polled next round.  Opted-in protocols (wants_post_hear_hint)
+  // answer next_active_round accurately right after the event, so dense
+  // receptions stop churning the calendar with wasted next-round polls.
+  if (!post_hear_.empty() && post_hear_[v]) {
+    const auto h = protocols_[v]->next_active_round();
+    if (h == Protocol::kIdle) return;
+    schedule_wake(v, h == Protocol::kAlwaysActive ? round_ + 1 : h);
+    return;
+  }
+  schedule_wake(v, round_ + 1);
 }
 
 void Engine::collect_decisions(std::span<const NodeId> to_poll) {
@@ -342,9 +362,10 @@ bool Engine::step() {
   }
 
   // Phase 3: deliver.  Sleeping listeners get their local clock restored
-  // before the event and are re-armed for the next round — every reception
-  // can change what a protocol does next, so the calendar entry is refreshed
-  // from a post-delivery hint at that poll.
+  // before the event and re-armed: by default for the next round (every
+  // reception can change what a protocol does next), or — for protocols
+  // that opt into the post-hear hint — from a fresh next_active_round()
+  // query, so a reception that provably enables nothing schedules nothing.
   RoundRecord record;
   if (record_full) record.transmissions = decisions_;
   const bool active = dispatch_ == DispatchKind::kActiveSet;
@@ -358,7 +379,7 @@ bool Engine::step() {
       first_data_[w] = round_;
     }
     refresh_informed(w);
-    if (active) schedule_wake(w, round_ + 1);
+    if (active) rearm_after_event(w);
     if (record_full) record.deliveries.emplace_back(w, m);
   }
   if (options_.collision_detection) {
@@ -366,7 +387,7 @@ bool Engine::step() {
       if (clocked_) sync_clock(w);
       protocols_[w]->on_collision();
       refresh_informed(w);
-      if (active) schedule_wake(w, round_ + 1);
+      if (active) rearm_after_event(w);
     }
   }
   if (record_full) record.collisions = resolution_.collisions;

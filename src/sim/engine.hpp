@@ -71,6 +71,12 @@ struct EngineOptions {
   /// delivery, so the backends stay bit-exact; a disabled plan (the default)
   /// leaves every engine code path byte-identical to the unfaulted engine.
   FaultPlan faults = {};
+  /// kActiveSet only: honor `Protocol::wants_post_hear_hint()` — re-query
+  /// `next_active_round()` after each delivered event instead of blindly
+  /// re-arming the listener for the next round.  Traces are identical either
+  /// way (the strengthened hint contract guarantees skipped polls are
+  /// no-ops); off exists for A/B measurement of the re-arm cost.
+  bool post_hear_hint = true;
 };
 
 class Engine {
@@ -211,6 +217,9 @@ class Engine {
   /// Catches protocol v's local clock up to the current round before an
   /// event delivery (kActiveSet; no-op when v was polled this round).
   void sync_clock(NodeId v);
+  /// Re-arms node v after a delivered event: the blanket next-round poll, or
+  /// a fresh `next_active_round()` hint for post-hear-hint protocols.
+  void rearm_after_event(NodeId v);
   /// Collects this round's decisions from `to_poll` (ascending ids) into
   /// `decisions_`/`tx_ids_`, serially or sharded over the dispatch pool.
   void collect_decisions(std::span<const NodeId> to_poll);
@@ -262,6 +271,10 @@ class Engine {
   /// concurrency is a syscall, far too slow for the per-round path.
   std::size_t dispatch_workers_ = 1;
   std::vector<NodeId> all_nodes_;
+  /// Per-node `wants_post_hear_hint()` opt-in (kActiveSet with
+  /// `options_.post_hear_hint` only; empty otherwise): deliveries to these
+  /// nodes re-arm from a fresh hint instead of the blanket next-round poll.
+  std::vector<std::uint8_t> post_hear_;
   std::vector<NodeId> woken_;
   std::vector<std::uint64_t> wake_round_;
   std::vector<std::uint64_t> local_round_;

@@ -50,9 +50,9 @@ class Protocol {
 
   /// Observer hook for the harness/tests only: whether this node holds the
   /// source message.  Protocol logic of *other* nodes never reads this.
-  /// Must be monotone — once true it stays true — so the engine can maintain
-  /// its informed counter incrementally (every shipped protocol "learns" µ
-  /// exactly once).
+  /// Must be monotone — once true it stays true — so the engine can
+  /// maintain its informed counter incrementally (every shipped protocol
+  /// "learns" µ exactly once).
   virtual bool informed() const = 0;
 
   // -- Activity contract (optional; powers active-set dispatch) -------------
@@ -80,6 +80,26 @@ class Protocol {
   /// `round_ += rounds;`); the engine guarantees the clock equals the global
   /// round at every `on_round`, `on_hear`, and `on_collision` call.
   virtual void skip_rounds(std::uint64_t rounds) { (void)rounds; }
+
+  /// Post-hear hint opt-in.  By default the engine re-arms a node for the
+  /// very next round after every `on_hear`/`on_collision` — the safe blanket
+  /// rule, because a reception may enable a transmission the pre-reception
+  /// hint could not predict (e.g. B's stay-triggered retransmission, B_ack's
+  /// ack forwarding).  On dense graphs that blanket re-arm is the dominant
+  /// calendar cost: every delivery buys a poll even when the recipient has
+  /// nothing to do.
+  ///
+  /// A protocol returning true here strengthens its `next_active_round`
+  /// contract: the hint must be accurate immediately after *any* event
+  /// (`on_hear`, `on_collision`), with reception-triggered rules included —
+  /// not just after `on_round` polls.  The engine then re-queries the hint
+  /// after delivering an event and schedules exactly that wake (or none for
+  /// `kIdle`) instead of the blanket next-round poll.  The usual laxity
+  /// still applies: a spuriously early wake is trace-safe (the skipped-poll
+  /// contract makes the extra poll a no-op), but a missed wake changes the
+  /// execution.  kScan ignores this entirely, so scan-vs-active trace
+  /// equality pins the strengthened hints.
+  virtual bool wants_post_hear_hint() const { return false; }
 
   /// Fault-injection notification (sim/faults.hpp): this node just recovered
   /// from a crash window.  The model is fail-stop with state retention — the

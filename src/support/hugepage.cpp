@@ -1,0 +1,103 @@
+#include "support/hugepage.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "support/contracts.hpp"
+
+#if defined(__linux__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
+namespace radiocast::support {
+
+namespace {
+
+constexpr std::size_t kFallbackAlign = 64;  // one cache line
+
+#if defined(__linux__)
+/// Reads /sys/kernel/mm/transparent_hugepage/enabled; MADV_HUGEPAGE is
+/// honored unless the policy is "never" (both "always" and "madvise" accept
+/// the advice).  Any read failure means THP is unavailable.
+bool probe_thp_enabled() {
+  const int fd =
+      ::open("/sys/kernel/mm/transparent_hugepage/enabled", O_RDONLY);
+  if (fd < 0) return false;
+  char buf[128];
+  const auto got = ::read(fd, buf, sizeof(buf) - 1);
+  ::close(fd);
+  if (got <= 0) return false;
+  buf[got] = '\0';
+  // The active policy is bracketed, e.g. "always [madvise] never".
+  return std::strstr(buf, "[never]") == nullptr;
+}
+#endif
+
+}  // namespace
+
+bool HugeWords::huge_pages_supported() noexcept {
+#if defined(__linux__)
+  static const bool supported = probe_thp_enabled();
+  return supported;
+#else
+  return false;
+#endif
+}
+
+HugeWords::HugeWords(std::size_t words) : words_(words) {
+  if (words == 0) return;
+  const std::size_t bytes = words * sizeof(std::uint64_t);
+#if defined(__linux__)
+  if (bytes >= kHugePageBytes && huge_pages_supported()) {
+    // Over-allocate by one huge page, then trim the misaligned head and the
+    // tail so the kept range is exactly the 2 MiB-aligned span the advice
+    // can back with huge pages.  Anonymous mappings are zero-filled.
+    const std::size_t aligned_bytes =
+        (bytes + kHugePageBytes - 1) & ~(kHugePageBytes - 1);
+    const std::size_t over = aligned_bytes + kHugePageBytes;
+    void* raw = ::mmap(nullptr, over, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (raw != MAP_FAILED) {
+      auto addr = reinterpret_cast<std::uintptr_t>(raw);
+      const std::uintptr_t aligned =
+          (addr + kHugePageBytes - 1) & ~std::uintptr_t{kHugePageBytes - 1};
+      if (const std::size_t head = aligned - addr; head != 0) {
+        ::munmap(raw, head);
+      }
+      if (const std::size_t tail = over - (aligned - addr) - aligned_bytes;
+          tail != 0) {
+        ::munmap(reinterpret_cast<void*>(aligned + aligned_bytes), tail);
+      }
+      data_ = reinterpret_cast<std::uint64_t*>(aligned);
+      map_bytes_ = aligned_bytes;
+      // Advice is best-effort: a kernel that rejects it still serves the
+      // mapping with base pages, so the failure is deliberately ignored.
+      (void)::madvise(data_, map_bytes_, MADV_HUGEPAGE);
+      huge_ = true;
+      return;
+    }
+  }
+#endif
+  const std::size_t padded =
+      (bytes + kFallbackAlign - 1) & ~(kFallbackAlign - 1);
+  data_ = static_cast<std::uint64_t*>(
+      std::aligned_alloc(kFallbackAlign, padded));
+  RC_EXPECTS_MSG(data_ != nullptr, "HugeWords allocation failed");
+  std::memset(data_, 0, padded);
+}
+
+HugeWords::~HugeWords() {
+  if (data_ == nullptr) return;
+#if defined(__linux__)
+  if (map_bytes_ != 0) {
+    ::munmap(data_, map_bytes_);
+    return;
+  }
+#endif
+  std::free(data_);
+}
+
+}  // namespace radiocast::support

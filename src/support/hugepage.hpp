@@ -1,0 +1,82 @@
+/// \file hugepage.hpp
+/// \brief 2 MiB-aligned word buffers with transparent-huge-page backing.
+///
+/// The bit backends walk multi-megabyte adjacency bitmaps row by row; with
+/// 4 KiB pages a 10^6-node `BitAdjacency` row walk misses the TLB every 512
+/// words.  `HugeWords` allocates zero-filled `std::uint64_t` storage that is
+/// 2 MiB-aligned and `madvise(MADV_HUGEPAGE)`-marked whenever the buffer is
+/// large enough and the kernel exposes transparent huge pages (probed once
+/// per process from /sys/kernel/mm/transparent_hugepage/enabled).  Everywhere
+/// else — small buffers, THP disabled, non-Linux — it degrades to a plain
+/// 64-byte-aligned allocation with identical observable behaviour.  The
+/// backing choice is a pure performance hint: contents, alignment of
+/// `data()` to 64 bytes, and zero-initialization are guaranteed either way.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+
+namespace radiocast::support {
+
+/// Move-only zero-initialized `std::uint64_t[]` buffer, huge-page-backed
+/// when profitable (see file comment).  An empty buffer has `data() ==
+/// nullptr` and `size() == 0`.
+class HugeWords {
+ public:
+  /// Buffers of at least this many bytes request 2 MiB pages.
+  static constexpr std::size_t kHugePageBytes = 2u << 20;
+
+  HugeWords() = default;
+  explicit HugeWords(std::size_t words);
+  ~HugeWords();
+
+  HugeWords(HugeWords&& other) noexcept { swap(other); }
+  HugeWords& operator=(HugeWords&& other) noexcept {
+    if (this != &other) {
+      HugeWords tmp(std::move(other));
+      swap(tmp);
+    }
+    return *this;
+  }
+  HugeWords(const HugeWords&) = delete;
+  HugeWords& operator=(const HugeWords&) = delete;
+
+  std::uint64_t* data() noexcept { return data_; }
+  const std::uint64_t* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return words_; }
+
+  std::uint64_t& operator[](std::size_t i) noexcept { return data_[i]; }
+  const std::uint64_t& operator[](std::size_t i) const noexcept {
+    return data_[i];
+  }
+
+  std::span<std::uint64_t> span() noexcept { return {data_, words_}; }
+  std::span<const std::uint64_t> span() const noexcept {
+    return {data_, words_};
+  }
+
+  /// True iff this buffer is a 2 MiB-aligned mapping with MADV_HUGEPAGE
+  /// applied (diagnostics/tests; false for the aligned-alloc fallback).
+  bool huge() const noexcept { return huge_; }
+
+  /// One-time process-wide probe: true iff the platform can honor
+  /// MADV_HUGEPAGE (Linux with transparent_hugepage not set to "never").
+  static bool huge_pages_supported() noexcept;
+
+ private:
+  void swap(HugeWords& other) noexcept {
+    std::swap(data_, other.data_);
+    std::swap(words_, other.words_);
+    std::swap(map_bytes_, other.map_bytes_);
+    std::swap(huge_, other.huge_);
+  }
+
+  std::uint64_t* data_ = nullptr;
+  std::size_t words_ = 0;
+  std::size_t map_bytes_ = 0;  ///< nonzero iff data_ is an mmap mapping
+  bool huge_ = false;
+};
+
+}  // namespace radiocast::support

@@ -345,6 +345,36 @@ TEST(BenchCli, ParsesDispatchFlag) {
   EXPECT_FALSE(parse_args(2, missing).error.empty());
 }
 
+TEST(BenchCli, ParsesIsaFlag) {
+  const char* none[] = {"radiocast_bench"};
+  EXPECT_EQ(parse_args(1, none).isa, sim::simd::Isa::kAuto);
+
+  // auto and scalar are available on every host.
+  const char* scalar[] = {"radiocast_bench", "--isa", "scalar"};
+  EXPECT_EQ(parse_args(3, scalar).isa, sim::simd::Isa::kScalar);
+  const char* autod[] = {"radiocast_bench", "--isa", "auto"};
+  EXPECT_EQ(parse_args(3, autod).isa, sim::simd::Isa::kAuto);
+
+  const char* bogus[] = {"radiocast_bench", "--isa", "sse9"};
+  EXPECT_FALSE(parse_args(3, bogus).error.empty());
+  const char* missing[] = {"radiocast_bench", "--isa"};
+  EXPECT_FALSE(parse_args(2, missing).error.empty());
+
+  // Every host-supported ISA parses; unavailable ones error instead of
+  // silently downgrading.
+  for (const auto isa : {sim::simd::Isa::kAvx2, sim::simd::Isa::kAvx512}) {
+    const char* name = sim::simd::to_string(isa);
+    const char* argv[] = {"radiocast_bench", "--isa", name};
+    const auto opt = parse_args(3, argv);
+    if (sim::simd::available(isa)) {
+      EXPECT_TRUE(opt.error.empty()) << name;
+      EXPECT_EQ(opt.isa, isa);
+    } else {
+      EXPECT_FALSE(opt.error.empty()) << name;
+    }
+  }
+}
+
 TEST(BenchJson, EscapesControlAndQuoteCharacters) {
   EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
   EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
@@ -366,6 +396,9 @@ TEST(BenchJson, EmittedDocumentParsesWithRequiredKeys) {
   EXPECT_EQ(root.at("repeat").number, 1);
   EXPECT_EQ(root.at("backend").str, "auto");
   EXPECT_EQ(root.at("dispatch").str, "auto");
+  // The active kernel ISA rides in the header so snapshots are attributable.
+  EXPECT_EQ(root.at("isa").str,
+            sim::simd::to_string(sim::simd::active_isa()));
   ASSERT_EQ(root.at("sizes").kind, JsonValue::Kind::kArray);
 
   const auto& scenarios = root.at("scenarios");
